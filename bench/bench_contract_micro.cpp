@@ -1,0 +1,205 @@
+// Experiment E11 — contract-operation microbenchmarks (google-benchmark).
+//
+// Wall-clock costs of the primitive operations the paper's gas analysis
+// counts (§7.1): token transfer, escrow deposit (4 writes), tentative
+// transfer (2 writes), path-signature vote verification (|p| signature
+// checks), and CBC certificate verification (2f+1 checks). Gas counts are
+// asserted in the test suite; this binary shows where simulated wall time
+// actually goes (signature verification dominates, as the paper's gas
+// schedule predicts).
+
+#include <benchmark/benchmark.h>
+
+#include "cbc/validators.h"
+#include "chain/world.h"
+#include "contracts/deal_info.h"
+#include "contracts/timelock_escrow.h"
+
+namespace xdeal {
+namespace {
+
+struct MicroWorld {
+  MicroWorld() {
+    world = std::make_unique<World>(
+        1, std::make_unique<SynchronousNetwork>(1, 5));
+    for (int i = 0; i < 16; ++i) {
+      parties.push_back(world->RegisterParty("p" + std::to_string(i)));
+    }
+    chain = world->CreateChain("c", 10);
+    token_id = chain->Deploy(
+        std::make_unique<FungibleToken>("TOK", parties[0]));
+    token = chain->As<FungibleToken>(token_id);
+    for (PartyId p : parties) token->Mint(Holder::Party(p), 1u << 30);
+  }
+
+  CallContext Ctx(PartyId sender) {
+    gas = std::make_unique<GasMeter>();
+    CallContext ctx;
+    ctx.world = world.get();
+    ctx.chain = chain;
+    ctx.sender = sender;
+    ctx.now = 0;
+    ctx.gas = gas.get();
+    return ctx;
+  }
+
+  std::unique_ptr<World> world;
+  std::vector<PartyId> parties;
+  Blockchain* chain = nullptr;
+  ContractId token_id;
+  FungibleToken* token = nullptr;
+  std::unique_ptr<GasMeter> gas;
+};
+
+void BM_Sha256_1KiB(benchmark::State& state) {
+  Bytes data(1024, 0xAB);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Sha256Digest(data));
+  }
+}
+BENCHMARK(BM_Sha256_1KiB);
+
+void BM_SchnorrSign(benchmark::State& state) {
+  KeyPair kp = KeyPair::FromSeed("bench");
+  Bytes msg = ToBytes("a commit vote");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kp.Sign(msg));
+  }
+}
+BENCHMARK(BM_SchnorrSign);
+
+void BM_SchnorrVerify(benchmark::State& state) {
+  KeyPair kp = KeyPair::FromSeed("bench");
+  Bytes msg = ToBytes("a commit vote");
+  Signature sig = kp.Sign(msg);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Verify(kp.public_key(), msg, sig));
+  }
+}
+BENCHMARK(BM_SchnorrVerify);
+
+void BM_TokenTransfer(benchmark::State& state) {
+  MicroWorld w;
+  CallContext ctx = w.Ctx(w.parties[0]);
+  Holder a = Holder::Party(w.parties[0]);
+  Holder b = Holder::Party(w.parties[1]);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(w.token->Transfer(ctx, a, a, b, 1));
+  }
+}
+BENCHMARK(BM_TokenTransfer);
+
+void BM_EscrowDeposit(benchmark::State& state) {
+  // Full escrow call (approve + 4-write deposit) through the contract.
+  MicroWorld w;
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto escrow = std::make_unique<TimelockEscrowContract>(
+        AssetKind::kFungible, w.token_id);
+    ContractId escrow_id = w.chain->Deploy(std::move(escrow));
+    CallContext setup = w.Ctx(w.parties[0]);
+    w.token->Approve(setup, Holder::Party(w.parties[0]),
+                     Holder::Party(w.parties[0]),
+                     Holder::OfContract(escrow_id), 100);
+    DealInfo info;
+    info.deal_id = MakeDealId("micro", state.iterations());
+    info.plist = {w.parties[0], w.parties[1]};
+    info.t0 = 1000;
+    info.delta = 100;
+    ByteWriter args;
+    args.Raw(info.deal_id.bytes.data(), 32);
+    args.U32(2);
+    args.U32(w.parties[0].v);
+    args.U32(w.parties[1].v);
+    args.U64(info.t0);
+    args.U64(info.delta);
+    args.U64(100);
+    CallContext ctx = w.Ctx(w.parties[0]);
+    ByteReader reader(args.bytes());
+    state.ResumeTiming();
+
+    benchmark::DoNotOptimize(
+        w.chain->contract(escrow_id)->Invoke(ctx, "escrow", reader));
+  }
+}
+BENCHMARK(BM_EscrowDeposit);
+
+void BM_PathVoteVerify(benchmark::State& state) {
+  // Contract-side verification of a path-signature vote of length |p|.
+  const size_t path_len = static_cast<size_t>(state.range(0));
+  MicroWorld w;
+  DealInfo info;
+  info.deal_id = MakeDealId("micro-vote", 1);
+  for (size_t i = 0; i < 16; ++i) info.plist.push_back(w.parties[i]);
+  info.t0 = 0;
+  info.delta = 1u << 20;
+
+  PathVote vote;
+  vote.voter = w.parties[0];
+  for (uint32_t d = 0; d < path_len; ++d) {
+    vote.path.emplace_back(
+        w.parties[d],
+        w.world->KeyPairOf(w.parties[d])
+            .Sign(TimelockVoteMessage(info.deal_id, vote.voter, d)));
+  }
+
+  for (auto _ : state) {
+    // Verify all |p| signatures the way the contract does.
+    bool ok = true;
+    for (uint32_t d = 0; d < vote.path.size(); ++d) {
+      const auto& [signer, sig] = vote.path[d];
+      ok = ok && Verify(w.world->keys().PublicKeyOf(signer).value(),
+                        TimelockVoteMessage(info.deal_id, vote.voter, d),
+                        sig);
+    }
+    benchmark::DoNotOptimize(ok);
+  }
+  state.SetLabel(std::to_string(path_len) + " sigs = " +
+                 std::to_string(path_len * kGasSigVerify) + " gas");
+}
+BENCHMARK(BM_PathVoteVerify)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_CbcProofVerify(benchmark::State& state) {
+  // Certificate verification for f in {1, 2, 4, 7}: 2f+1 signatures.
+  const size_t f = static_cast<size_t>(state.range(0));
+  ValidatorSet validators =
+      ValidatorSet::Create(f, "micro-" + std::to_string(f));
+  Hash256 deal = MakeDealId("micro-cbc", f);
+  Hash256 h = Sha256Digest("start");
+  StatusCertificate cert;
+  cert.deal_id = deal;
+  cert.start_hash = h;
+  cert.outcome = kDealCommitted;
+  cert.epoch = 0;
+  // Honest quorum signature set via the duplicate-free path.
+  CbcProof proof;
+  proof.status = cert;
+  {
+    // Sign with the real validator keys (use IssueByzantineStatus-like
+    // manual quorum: reuse ValidatorSet by issuing over a log-free message).
+    Bytes message =
+        StatusCertificate::Message(deal, h, kDealCommitted, 0);
+    // Grab quorum signatures by reconstructing the key pairs.
+    for (size_t i = 0; i < 2 * f + 1; ++i) {
+      KeyPair kp = KeyPair::FromSeed("micro-" + std::to_string(f) +
+                                     "/validator/0/" + std::to_string(i));
+      proof.status.sigs.push_back(
+          ValidatorSig{kp.public_key(), kp.Sign(message)});
+    }
+  }
+  std::vector<PublicKey> keys = validators.CurrentPublicKeys();
+
+  for (auto _ : state) {
+    GasMeter gas;
+    benchmark::DoNotOptimize(
+        VerifyCbcProof(proof, deal, h, keys, 0, &gas));
+  }
+  state.SetLabel(std::to_string(2 * f + 1) + " sigs = " +
+                 std::to_string((2 * f + 1) * kGasSigVerify) + " gas");
+}
+BENCHMARK(BM_CbcProofVerify)->Arg(1)->Arg(2)->Arg(4)->Arg(7);
+
+}  // namespace
+}  // namespace xdeal
+
+BENCHMARK_MAIN();

@@ -1,0 +1,68 @@
+// Experiment E7 — the §9 cost comparison between the protocols.
+//
+// "If we assume (reasonably) that 2f+1 ... usually exceeds n ... it will
+//  usually be more expensive to commit a CBC deal (O(m(2f+1))) than a
+//  timelock deal (O(mn^2)). But one gets what one pays for: the CBC
+//  protocol works in a more demanding model."
+//
+// This bench sweeps n × f at fixed m and prints measured commit-phase gas
+// for both protocols, marking the cheaper one per cell, so the measured
+// crossover frontier (CBC wins once 2f+1 < measured path-signature work)
+// is visible.
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+using namespace xdeal;
+using namespace xdeal::bench;
+
+int main() {
+  const size_t m = 4;
+  std::printf("Commit-phase gas: timelock (varies with n) vs CBC (varies "
+              "with f), m=%zu\n\n", m);
+
+  std::vector<size_t> ns = {2, 3, 4, 6, 8, 12};
+  std::vector<size_t> fs = {1, 2, 4, 7, 10, 16};
+
+  // Timelock commit gas per n (independent of f).
+  std::vector<uint64_t> tl_gas;
+  for (size_t n : ns) {
+    DealShape shape;
+    shape.n = n;
+    shape.m = m;
+    shape.t = n + m - 1;
+    tl_gas.push_back(RunTimelockDeal(shape).gas_commit);
+  }
+  // CBC commit gas per f (measured at n=4; flat in n).
+  std::vector<uint64_t> cbc_gas;
+  for (size_t f : fs) {
+    DealShape shape;
+    shape.n = 4;
+    shape.m = m;
+    shape.t = 4 + m - 1;
+    cbc_gas.push_back(RunCbcDeal(shape, f).gas_commit);
+  }
+
+  std::printf("rows: n (timelock);  columns: f (CBC).  Cell: cheaper "
+              "protocol ('TL' or 'CBC')\n\n");
+  std::printf("%14s", "tl_gas \\ f =");
+  for (size_t j = 0; j < fs.size(); ++j) std::printf("%8zu", fs[j]);
+  std::printf("\n%14s", "cbc_gas:");
+  for (uint64_t g : cbc_gas) std::printf("%8" PRIu64, g / 1000);
+  std::printf("  (x1000 gas)\n");
+  for (size_t i = 0; i < ns.size(); ++i) {
+    std::printf("n=%3zu %7" PRIu64 "k ", ns[i], tl_gas[i] / 1000);
+    for (size_t j = 0; j < fs.size(); ++j) {
+      std::printf("%8s", tl_gas[i] <= cbc_gas[j] ? "TL" : "CBC");
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\nexpected: TL cheaper in the upper-right region (small n, "
+              "large f); CBC cheaper bottom-left (large n, small f).\n"
+              "The paper's expectation (2f+1 > n typically => CBC more "
+              "expensive) corresponds to the region above the frontier.\n");
+  return 0;
+}

@@ -1,0 +1,88 @@
+// Ablation — sizing Δ against denial-of-service (§5.3, §9).
+//
+// "Like any synchronous-model protocol, Δ must be chosen large enough to
+//  make denial-of-service attacks prohibitively expensive. ... if Δ is
+//  chosen too small, parties may be vulnerable" — and the watchtower remark
+// suggests delegation as the orthogonal cure.
+//
+// We re-run the §5.3 attack (Alice and Carol silenced right as commit votes
+// land) while sweeping (a) the synchrony parameter Δ and (b) the attack
+// duration, with and without a watchtower, and report the outcome: COMMIT
+// (attack defeated), abort (clean), or MIXED (Bob keeps coins and tickets —
+// the §5.3 theft). Expected: theft only when the attack outlasts Δ-scaled
+// deadlines and no watchtower is armed; the required Δ grows linearly with
+// the attack duration; a watchtower makes even tiny Δ safe.
+
+#include <cstdio>
+
+#include "core/checker.h"
+#include "core/timelock_run.h"
+#include "core/watchtower.h"
+#include "tests/scenario_util.h"
+
+using namespace xdeal;
+
+namespace {
+
+const char* RunOnce(Tick delta, Tick attack_len, bool with_tower) {
+  auto base = std::make_unique<SynchronousNetwork>(1, 10);
+  Tick attack_start = 450;  // votes land ~450-460 (see adversary_gallery)
+  auto dos = std::make_unique<TargetedDosNetwork>(
+      std::move(base), attack_start, attack_start + attack_len);
+  TargetedDosNetwork* dos_ptr = dos.get();
+  BrokerScenario s = MakeBrokerScenario(7, std::move(dos));
+  dos_ptr->AddTarget(Endpoint{s.alice.v});
+  dos_ptr->AddTarget(Endpoint{s.carol.v});
+
+  TimelockConfig config;
+  config.delta = delta;
+  TimelockRun run(&s.env->world(), s.spec, config);
+  if (!run.Start().ok()) return "ERR";
+  std::unique_ptr<Watchtower> tower;
+  if (with_tower) {
+    PartyId op = s.env->AddParty("tower");
+    tower = std::make_unique<Watchtower>(&s.env->world(), s.spec,
+                                         run.deployment(), op,
+                                         std::vector<PartyId>{s.alice,
+                                                              s.carol});
+    tower->Arm();
+  }
+  s.env->world().scheduler().Run();
+  TimelockResult r = run.Collect();
+  if (r.released_contracts == s.spec.NumAssets()) return "COMMIT";
+  if (r.released_contracts == 0) return "abort";
+  return "MIXED!";
+}
+
+}  // namespace
+
+int main() {
+  std::printf("§5.3 DoS ablation on the broker deal — outcome per (Δ, "
+              "attack duration)\n");
+  std::printf("MIXED! = the theft outcome (coins released to Bob, tickets "
+              "refunded to Bob)\n\n");
+
+  std::vector<Tick> deltas = {40, 80, 160, 320, 640, 1280, 2560};
+  std::vector<Tick> attack_lens = {0, 100, 200, 400, 800, 1600, 3200};
+
+  for (bool tower : {false, true}) {
+    std::printf("--- %s watchtower ---\n", tower ? "WITH" : "without");
+    std::printf("%10s", "Δ \\ atk");
+    for (Tick len : attack_lens) std::printf("%9llu",
+        static_cast<unsigned long long>(len));
+    std::printf("\n");
+    for (Tick delta : deltas) {
+      std::printf("%10llu", static_cast<unsigned long long>(delta));
+      for (Tick len : attack_lens) {
+        std::printf("%9s", RunOnce(delta, len, tower));
+      }
+      std::printf("\n");
+    }
+    std::printf("\n");
+  }
+  std::printf("expected: without a tower, MIXED! appears where the attack "
+              "outlasts the vote-forwarding window (~Δ) but not the full "
+              "refund wall; larger Δ pushes the dangerous band right "
+              "(more expensive attacks); with a tower, no Δ is unsafe.\n");
+  return 0;
+}

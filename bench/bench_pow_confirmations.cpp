@@ -1,0 +1,74 @@
+// Experiment E8 — §6.2's proof-of-work CBC analysis.
+//
+// Reproduces the economics behind: "the number of confirmations required
+// should vary depending on the value of the deal, implying that high-value
+// deals would take longer to resolve than lower-value deals."
+//
+// Monte-Carlo private-mining races (fake proof-of-abort) across adversary
+// hash power α and confirmation depth k, against the analytic geometric
+// bound; then the required-confirmations-for-value table.
+
+#include <cstdio>
+
+#include "cbc/pow.h"
+
+using namespace xdeal;
+
+namespace {
+
+double SuccessRate(double alpha, unsigned k, int trials) {
+  int wins = 0;
+  for (int t = 0; t < trials; ++t) {
+    PowAttackParams params;
+    params.adversary_power = alpha;
+    params.confirmations = k;
+    params.seed = 0xC0FFEE + static_cast<uint64_t>(t) * 7919 +
+                  static_cast<uint64_t>(k) * 104729 +
+                  static_cast<uint64_t>(alpha * 1000) * 1299709;
+    if (SimulatePrivateMiningAttack(params).success) ++wins;
+  }
+  return static_cast<double>(wins) / trials;
+}
+
+}  // namespace
+
+int main() {
+  const int kTrials = 20000;
+  std::printf("Fake proof-of-abort success probability (simulated over %d "
+              "trials | analytic catch-up bound (a/(1-a))^(k+1))\n\n",
+              kTrials);
+
+  std::vector<double> alphas = {0.10, 0.20, 0.30, 0.40, 0.45};
+  std::printf("%4s", "k");
+  for (double a : alphas) std::printf("        a=%.2f       ", a);
+  std::printf("\n");
+  for (unsigned k : {0u, 1u, 2u, 3u, 4u, 6u, 8u, 10u}) {
+    std::printf("%4u", k);
+    for (double a : alphas) {
+      std::printf("   %8.5f|%8.5f", SuccessRate(a, k, kTrials),
+                  AnalyticAttackProbability(a, k));
+    }
+    std::printf("\n");
+  }
+  std::printf("\nexpected: decays geometrically in k, rises sharply with "
+              "adversary power; simulation (even-start race) tracks the "
+              "analytic bound's shape.\n");
+
+  std::printf("\nConfirmations required so expected attacker gain <= 1 coin "
+              "(risk tolerance) per deal value:\n");
+  std::printf("%12s", "value \\ a");
+  for (double a : alphas) std::printf("%8.2f", a);
+  std::printf("\n");
+  for (double value : {10.0, 100.0, 1e4, 1e6, 1e9}) {
+    std::printf("%12.0f", value);
+    for (double a : alphas) {
+      unsigned k = ConfirmationsForValue(value, a, 1.0);
+      std::printf("%8u", k);
+    }
+    std::printf("\n");
+  }
+  std::printf("\nexpected: required depth grows logarithmically with deal "
+              "value — high-value deals take longer to resolve (§6.2).\n"
+              "Contrast: a BFT certificate is final at any value.\n");
+  return 0;
+}

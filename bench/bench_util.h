@@ -1,0 +1,220 @@
+// Shared helpers for the benchmark binaries: run a generated (n, m, t) deal
+// under either protocol and report per-phase gas and timing.
+
+#ifndef XDEAL_BENCH_BENCH_UTIL_H_
+#define XDEAL_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "core/cbc_run.h"
+#include "core/deal_gen.h"
+#include "core/timelock_run.h"
+
+namespace xdeal {
+namespace bench {
+
+struct DealShape {
+  size_t n = 3;       // parties
+  size_t m = 2;       // assets
+  size_t t = 4;       // transfers (clamped up by the generator)
+  size_t chains = 2;  // chains hosting the assets
+  uint64_t seed = 1;
+};
+
+struct PhaseReport {
+  size_t n = 0, m = 0, t = 0;
+  uint64_t gas_escrow = 0;
+  uint64_t gas_transfer = 0;
+  uint64_t gas_commit = 0;       // timelock: votes; CBC: cbc votes + decide
+  uint64_t sig_verifies = 0;     // in the commit/decide phase
+  uint64_t storage_writes_commit = 0;
+  Tick escrow_ticks = 0;         // phase durations measured from receipts
+  Tick transfer_ticks = 0;
+  Tick commit_ticks = 0;
+  bool committed = false;
+};
+
+/// Measures phase durations from tagged receipts: duration = last inclusion
+/// time within the tag minus the phase's scheduled start.
+inline Tick LastInclusion(const World& world, const std::string& tag) {
+  Tick last = 0;
+  for (uint32_t c = 0; c < world.num_chains(); ++c) {
+    for (const Receipt& r : world.chain(ChainId{c})->receipts()) {
+      if (r.tag == tag && r.status.ok()) {
+        last = std::max(last, r.included_at);
+      }
+    }
+  }
+  return last;
+}
+
+inline uint64_t WritesForTag(const World& world, const std::string& tag) {
+  uint64_t writes = 0;
+  for (uint32_t c = 0; c < world.num_chains(); ++c) {
+    for (const Receipt& r : world.chain(ChainId{c})->receipts()) {
+      if (r.tag == tag && r.status.ok()) writes += r.storage_writes;
+    }
+  }
+  return writes;
+}
+
+/// Runs one timelock deal of the given shape; all parties compliant.
+inline PhaseReport RunTimelockDeal(const DealShape& shape,
+                                   bool direct_votes = false,
+                                   bool parallel_transfers = false) {
+  EnvConfig env_config;
+  env_config.seed = shape.seed;
+  DealEnv env(std::move(env_config));
+  GenParams gen;
+  gen.n_parties = shape.n;
+  gen.m_assets = shape.m;
+  gen.t_transfers = shape.t;
+  gen.num_chains = shape.chains;
+  gen.seed = shape.seed;
+  DealSpec spec = GenerateRandomDeal(&env, gen);
+
+  TimelockConfig config;
+  config.delta = 120;
+  config.direct_votes = direct_votes;
+  config.parallel_transfers = parallel_transfers;
+  TimelockRun run(&env.world(), spec, config);
+  Status st = run.Start();
+  if (!st.ok()) {
+    std::fprintf(stderr, "timelock start failed: %s\n",
+                 st.ToString().c_str());
+    return {};
+  }
+  env.world().scheduler().Run();
+  TimelockResult result = run.Collect();
+
+  PhaseReport report;
+  report.n = shape.n;
+  report.m = spec.NumAssets();
+  report.t = spec.NumTransfers();
+  report.gas_escrow = result.gas_escrow;
+  report.gas_transfer = result.gas_transfer;
+  report.gas_commit = result.gas_commit;
+  report.sig_verifies = result.sig_verifies_commit;
+  report.storage_writes_commit = WritesForTag(env.world(), "commit");
+  report.committed = result.released_contracts == spec.NumAssets();
+  report.escrow_ticks =
+      LastInclusion(env.world(), "escrow") - config.escrow_time;
+  report.transfer_ticks =
+      LastInclusion(env.world(), "transfer") - config.transfer_start;
+  report.commit_ticks = result.commit_phase_end - run.deployment().info.t0;
+  return report;
+}
+
+/// Runs one CBC deal of the given shape; all parties compliant.
+inline PhaseReport RunCbcDeal(const DealShape& shape, size_t f,
+                              size_t reconfigs = 0,
+                              bool parallel_transfers = false) {
+  EnvConfig env_config;
+  env_config.seed = shape.seed;
+  DealEnv env(std::move(env_config));
+  GenParams gen;
+  gen.n_parties = shape.n;
+  gen.m_assets = shape.m;
+  gen.t_transfers = shape.t;
+  gen.num_chains = shape.chains;
+  gen.seed = shape.seed;
+  DealSpec spec = GenerateRandomDeal(&env, gen);
+
+  ChainId cbc_chain = env.AddChain("cbc");
+  ValidatorSet validators =
+      ValidatorSet::Create(f, "bench-" + std::to_string(shape.seed));
+  CbcConfig config;
+  config.reconfigs_before_claim = reconfigs;
+  config.parallel_transfers = parallel_transfers;
+  CbcRun run(&env.world(), spec, config, cbc_chain, &validators);
+  Status st = run.Start();
+  if (!st.ok()) {
+    std::fprintf(stderr, "cbc start failed: %s\n", st.ToString().c_str());
+    return {};
+  }
+  env.world().scheduler().Run();
+  CbcResult result = run.Collect();
+
+  PhaseReport report;
+  report.n = shape.n;
+  report.m = spec.NumAssets();
+  report.t = spec.NumTransfers();
+  report.gas_escrow = result.gas_escrow;
+  report.gas_transfer = result.gas_transfer;
+  report.gas_commit = result.gas_cbc_votes + result.gas_decide;
+  report.sig_verifies = result.sig_verifies_decide;
+  report.storage_writes_commit = WritesForTag(env.world(), "decide") +
+                                 WritesForTag(env.world(), "cbc-vote");
+  report.committed = result.outcome == kDealCommitted;
+  report.escrow_ticks =
+      LastInclusion(env.world(), "escrow") - config.escrow_time;
+  report.transfer_ticks =
+      LastInclusion(env.world(), "transfer") - config.transfer_start;
+  report.commit_ticks =
+      LastInclusion(env.world(), "decide") - run.deployment().vote_time;
+  return report;
+}
+
+/// Builds a k-party ring deal: asset i (on its own chain) moves from party i
+/// to party i+1. Each party's only incoming asset lives on one chain, so
+/// timelock votes must propagate hop-by-hop around the ring — the worst case
+/// behind Figure 7's O(n)Δ commit bound.
+struct RingDeal {
+  std::unique_ptr<DealEnv> env;
+  DealSpec spec;
+};
+
+inline RingDeal MakeRingDeal(size_t k, uint64_t seed) {
+  RingDeal ring;
+  EnvConfig config;
+  config.seed = seed;
+  ring.env = std::make_unique<DealEnv>(std::move(config));
+  ring.spec.deal_id = MakeDealId("ring", seed);
+  std::vector<PartyId> parties;
+  for (size_t i = 0; i < k; ++i) {
+    parties.push_back(ring.env->AddParty("r" + std::to_string(i)));
+  }
+  ring.spec.parties = parties;
+  for (size_t i = 0; i < k; ++i) {
+    ChainId chain = ring.env->AddChain("ring-chain-" + std::to_string(i));
+    uint32_t asset = ring.env->AddFungibleAsset(
+        &ring.spec, chain, "rtok" + std::to_string(i), parties[i]);
+    ring.env->Mint(ring.spec, asset, parties[i], 100);
+    ring.spec.escrows.push_back({asset, parties[i], 100});
+    ring.spec.transfers.push_back(
+        {asset, parties[i], parties[(i + 1) % k], 100});
+  }
+  return ring;
+}
+
+/// Runs a ring deal under the timelock protocol and reports the commit
+/// phase duration (t0 -> last release).
+inline PhaseReport RunTimelockRing(size_t k, uint64_t seed,
+                                   bool direct_votes) {
+  RingDeal ring = MakeRingDeal(k, seed);
+  TimelockConfig config;
+  config.delta = 150;
+  config.direct_votes = direct_votes;
+  config.parallel_transfers = true;  // transfers are independent legs
+  TimelockRun run(&ring.env->world(), ring.spec, config);
+  Status st = run.Start();
+  if (!st.ok()) return {};
+  ring.env->world().scheduler().Run();
+  TimelockResult result = run.Collect();
+  PhaseReport report;
+  report.n = k;
+  report.m = k;
+  report.t = k;
+  report.gas_commit = result.gas_commit;
+  report.sig_verifies = result.sig_verifies_commit;
+  report.committed = result.released_contracts == ring.spec.NumAssets();
+  report.commit_ticks = result.commit_phase_end - run.deployment().info.t0;
+  return report;
+}
+
+}  // namespace bench
+}  // namespace xdeal
+
+#endif  // XDEAL_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,145 @@
+// HTLC atomic cross-chain swap — the baseline protocol (paper §8).
+//
+// In a swap "each party transfers an asset directly to another party and
+// halts". We implement the hashed-timelock construction (Herlihy PODC'18,
+// specialized to a single leader on a swap cycle):
+//
+//   - the leader generates a secret s and publishes H(s);
+//   - party v_i funds an HTLC paying its outgoing asset to v_{i+1},
+//     hash-locked on H(s), with timeout T_i strictly decreasing in i, after
+//     observing v_{i-1}'s contract funded (deployment propagates along the
+//     cycle);
+//   - the leader claims its incoming asset by revealing s on-chain; the
+//     revealed secret propagates backwards as each party claims in turn;
+//   - if anything stalls, timeouts refund depositors, and the decreasing-
+//     timeout discipline guarantees every compliant party that pays also
+//     gets paid.
+//
+// The point of the baseline (experiment E9): swaps cover direct pairwise
+// exchanges but cannot express deals where a party transfers assets it does
+// not initially own — the paper's broker (Figure 1) and auction (§9)
+// examples. IsSwapExpressible() checks exactly that.
+
+#ifndef XDEAL_BASELINE_HTLC_SWAP_H_
+#define XDEAL_BASELINE_HTLC_SWAP_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "chain/world.h"
+#include "contracts/htlc.h"
+#include "core/deal_spec.h"
+
+namespace xdeal {
+
+/// One leg of a swap: `from` pays `value` of `asset` to `to`.
+struct SwapLeg {
+  AssetRef asset;
+  PartyId from;
+  PartyId to;
+  uint64_t value = 0;
+};
+
+/// A swap: legs forming (at least) one cycle through all parties; leader is
+/// parties[0] == legs[0].from.
+struct SwapSpec {
+  std::vector<PartyId> parties;  // cycle order
+  std::vector<SwapLeg> legs;     // leg i: parties[i] -> parties[i+1 mod k]
+};
+
+/// True if `spec` can be run as an atomic swap: every asset is transferred
+/// exactly once, directly from its escrower, in one hop — i.e. no party
+/// passes on assets it did not bring to the deal.
+bool IsSwapExpressible(const DealSpec& spec);
+
+/// Converts a swap-expressible DealSpec whose arcs form a single cycle into
+/// a SwapSpec. Fails for broker/auction-style deals.
+Result<SwapSpec> ToSwapSpec(const DealSpec& spec);
+
+struct SwapConfig {
+  Tick setup_time = 0;
+  Tick start_time = 20;
+  Tick deploy_gap = 40;   // used only to size timeouts; deployment is
+                          // event-driven (on observing the predecessor)
+  Tick claim_margin = 40;
+  Tick refund_margin = 20;
+};
+
+class HtlcSwapRun;
+
+/// Per-party swap strategy; default is compliant.
+class SwapParty {
+ public:
+  virtual ~SwapParty() = default;
+
+  PartyId self() const { return self_; }
+
+  /// Leader only: fund the first HTLC.
+  virtual void OnStart();
+  /// Receipt observed on some chain (funding and claim notifications).
+  virtual void OnObservedReceipt(const Receipt& receipt);
+  /// Refund watchdog for our own deposit.
+  virtual void OnRefundWatch();
+
+ protected:
+  friend class HtlcSwapRun;
+
+  World& world();
+  const SwapSpec& spec() const;
+  HtlcSwapRun& run() { return *run_; }
+
+  void FundOwnLeg();
+  void ClaimIncoming(const Bytes& secret);
+
+  HtlcSwapRun* run_ = nullptr;
+  PartyId self_;
+  size_t index_ = 0;  // position in the cycle
+  bool funded_ = false;
+  bool claimed_ = false;
+};
+
+struct SwapResult {
+  bool all_claimed = false;
+  bool all_refunded = false;
+  size_t claimed_legs = 0;
+  size_t refunded_legs = 0;
+  Tick settle_time = 0;
+  uint64_t gas_deploy = 0;
+  uint64_t gas_claim = 0;
+  uint64_t gas_refund = 0;
+};
+
+class HtlcSwapRun {
+ public:
+  using StrategyFactory = std::function<std::unique_ptr<SwapParty>(PartyId)>;
+
+  HtlcSwapRun(World* world, SwapSpec spec, SwapConfig config,
+              StrategyFactory factory = nullptr);
+
+  Status Start();
+  SwapResult Collect() const;
+
+  World& world() { return *world_; }
+  const SwapSpec& spec() const { return spec_; }
+  const SwapConfig& config() const { return config_; }
+  const Hash256& hashlock() const { return hashlock_; }
+  const Bytes& leader_secret() const { return secret_; }
+  HtlcContract* ContractOfLeg(size_t leg) const;
+  ContractId ContractIdOfLeg(size_t leg) const { return contracts_[leg]; }
+  Tick TimeoutOfLeg(size_t leg) const;
+
+ private:
+  World* world_;
+  SwapSpec spec_;
+  SwapConfig config_;
+  Bytes secret_;
+  Hash256 hashlock_;
+  std::vector<ContractId> contracts_;  // parallel to legs
+  std::map<uint32_t, std::unique_ptr<SwapParty>> parties_;
+};
+
+}  // namespace xdeal
+
+#endif  // XDEAL_BASELINE_HTLC_SWAP_H_

@@ -1,0 +1,123 @@
+#include "cbc/pow.h"
+
+#include <cmath>
+
+#include "util/serialize.h"
+
+namespace xdeal {
+
+Hash256 PowBlock::ComputeHash(const Hash256& parent,
+                              const Hash256& entries_digest, uint64_t height,
+                              uint64_t nonce) {
+  ByteWriter w;
+  w.Str("xdeal-pow-block");
+  w.Raw(parent.bytes.data(), 32);
+  w.Raw(entries_digest.bytes.data(), 32);
+  w.U64(height);
+  w.U64(nonce);
+  return Sha256Digest(w.bytes());
+}
+
+bool MeetsDifficulty(const Hash256& hash, unsigned difficulty_bits) {
+  if (difficulty_bits == 0) return true;
+  if (difficulty_bits > 64) difficulty_bits = 64;
+  uint64_t prefix = hash.Prefix64();
+  return (prefix >> (64 - difficulty_bits)) == 0;
+}
+
+PowBlock MineBlock(const Hash256& parent, const Hash256& entries_digest,
+                   uint64_t height, unsigned difficulty_bits,
+                   uint64_t nonce_seed) {
+  PowBlock block;
+  block.parent = parent;
+  block.entries_digest = entries_digest;
+  block.height = height;
+  for (uint64_t nonce = nonce_seed;; ++nonce) {
+    Hash256 h = PowBlock::ComputeHash(parent, entries_digest, height, nonce);
+    if (MeetsDifficulty(h, difficulty_bits)) {
+      block.nonce = nonce;
+      block.hash = h;
+      return block;
+    }
+  }
+}
+
+const PowBlock& PowChain::Extend(const Hash256& entries_digest,
+                                 uint64_t nonce_seed) {
+  Hash256 parent = TipHash();
+  uint64_t height = blocks_.size();
+  blocks_.push_back(
+      MineBlock(parent, entries_digest, height, difficulty_bits_, nonce_seed));
+  return blocks_.back();
+}
+
+Status PowChain::VerifySegment(const std::vector<PowBlock>& segment,
+                               unsigned difficulty_bits) {
+  for (size_t i = 0; i < segment.size(); ++i) {
+    const PowBlock& b = segment[i];
+    Hash256 expect = PowBlock::ComputeHash(b.parent, b.entries_digest,
+                                           b.height, b.nonce);
+    if (!(expect == b.hash)) {
+      return Status::Unverified("pow: block hash mismatch");
+    }
+    if (!MeetsDifficulty(b.hash, difficulty_bits)) {
+      return Status::Unverified("pow: insufficient work");
+    }
+    if (i > 0) {
+      if (!(b.parent == segment[i - 1].hash) ||
+          b.height != segment[i - 1].height + 1) {
+        return Status::Unverified("pow: broken linkage");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Result<std::vector<PowBlock>> PowChain::ProofSuffix(
+    size_t k_confirmations) const {
+  if (blocks_.size() < k_confirmations + 1) {
+    return Status::FailedPrecondition("pow: not enough confirmations yet");
+  }
+  return std::vector<PowBlock>(blocks_.end() - (k_confirmations + 1),
+                               blocks_.end());
+}
+
+PowAttackResult SimulatePrivateMiningAttack(const PowAttackParams& params) {
+  Rng rng(params.seed);
+  PowAttackResult result;
+  const unsigned target = params.confirmations + 1;
+  // Race until one side has a decisive, k-confirmed chain. The adversary
+  // acts first on ties (she watches the public chain and presents her proof
+  // the moment it suffices).
+  while (result.honest_blocks < target && result.adversary_blocks < target) {
+    if (rng.Chance(params.adversary_power)) {
+      ++result.adversary_blocks;
+    } else {
+      ++result.honest_blocks;
+    }
+  }
+  result.success = result.adversary_blocks >= target;
+  return result;
+}
+
+double AnalyticAttackProbability(double alpha, unsigned confirmations) {
+  if (alpha >= 0.5) return 1.0;
+  if (alpha <= 0.0) return 0.0;
+  // Probability the adversary's Poisson race wins k+1 blocks before the
+  // honest majority does; the geometric catch-up bound.
+  return std::pow(alpha / (1.0 - alpha), confirmations + 1);
+}
+
+unsigned ConfirmationsForValue(double deal_value, double alpha,
+                               double acceptable_expected_loss) {
+  if (alpha >= 0.5) return ~0u;  // no confirmation count suffices
+  unsigned k = 0;
+  while (AnalyticAttackProbability(alpha, k) * deal_value >
+         acceptable_expected_loss) {
+    ++k;
+    if (k > 10000) return k;  // degenerate parameters
+  }
+  return k;
+}
+
+}  // namespace xdeal

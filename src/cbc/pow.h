@@ -1,0 +1,123 @@
+// Proof-of-work CBC (paper §6.2, "Proof-of-work (Nakamoto) Consensus").
+//
+// A proof-of-work CBC lacks finality: a proof of commit or abort can be
+// contradicted by a later, heavier fork. The paper describes the attack:
+// Alice privately mines a block containing her abort vote while publicly
+// voting commit; if her private fork is long enough when the deal resolves,
+// she presents the fake proof of abort to her outgoing escrows and the real
+// proof of commit to her incoming ones.
+//
+// Two pieces here:
+//   1. PowChain — an actual mined chain: blocks carry entries, mining grinds
+//      nonces until the header hash clears a difficulty target, and a proof
+//      is a connected segment with k confirmation blocks. Used to
+//      demonstrate that a fake abort proof is *structurally valid* — only
+//      economics (the race) protects the deal.
+//   2. SimulatePrivateMiningAttack — the Monte-Carlo race between the
+//      adversary's private fork and the honest chain, driving the
+//      confirmation-depth benchmark (E8): success probability decays
+//      geometrically in the confirmation count and rises with adversary
+//      hash power, which is why "the number of confirmations required should
+//      vary depending on the value of the deal".
+
+#ifndef XDEAL_CBC_POW_H_
+#define XDEAL_CBC_POW_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "crypto/sha256.h"
+#include "util/result.h"
+#include "util/rng.h"
+
+namespace xdeal {
+
+/// A proof-of-work block: entries digest + parent + nonce.
+struct PowBlock {
+  Hash256 parent;
+  Hash256 entries_digest;  // commitment to this block's entries
+  uint64_t height = 0;
+  uint64_t nonce = 0;
+  Hash256 hash;            // H(parent || entries || height || nonce)
+
+  static Hash256 ComputeHash(const Hash256& parent,
+                             const Hash256& entries_digest, uint64_t height,
+                             uint64_t nonce);
+};
+
+/// True if `hash` clears a difficulty of `difficulty_bits` leading zero bits.
+bool MeetsDifficulty(const Hash256& hash, unsigned difficulty_bits);
+
+/// Grinds nonces (starting from a seed) until the block hash clears the
+/// difficulty. Intended for small difficulties (<= ~20 bits) in tests.
+PowBlock MineBlock(const Hash256& parent, const Hash256& entries_digest,
+                   uint64_t height, unsigned difficulty_bits,
+                   uint64_t nonce_seed);
+
+/// A chain of mined blocks. Fork choice is longest chain (all blocks share
+/// one difficulty, so longest == most work).
+class PowChain {
+ public:
+  explicit PowChain(unsigned difficulty_bits)
+      : difficulty_bits_(difficulty_bits) {}
+
+  unsigned difficulty_bits() const { return difficulty_bits_; }
+  size_t length() const { return blocks_.size(); }
+  const std::vector<PowBlock>& blocks() const { return blocks_; }
+  Hash256 TipHash() const {
+    return blocks_.empty() ? Hash256{} : blocks_.back().hash;
+  }
+
+  /// Mines and appends a block committing to `entries_digest`.
+  const PowBlock& Extend(const Hash256& entries_digest, uint64_t nonce_seed);
+
+  /// Verifies a segment: linkage, heights, and difficulty for every block.
+  /// This is what an escrow contract can check about a PoW proof — note it
+  /// cannot check that the segment is on the *canonical* chain.
+  static Status VerifySegment(const std::vector<PowBlock>& segment,
+                              unsigned difficulty_bits);
+
+  /// The last `k_confirmations + 1` blocks ending at the tip, as a proof
+  /// that the entry in the (k+1)-from-tip block is buried k deep.
+  Result<std::vector<PowBlock>> ProofSuffix(size_t k_confirmations) const;
+
+ private:
+  unsigned difficulty_bits_;
+  std::vector<PowBlock> blocks_;
+};
+
+/// Parameters of the private-mining race.
+struct PowAttackParams {
+  double adversary_power = 0.25;   // fraction of total hash power, in (0, 1)
+  unsigned confirmations = 3;      // k blocks required beyond the decisive vote
+  uint64_t seed = 1;
+};
+
+struct PowAttackResult {
+  bool success = false;            // adversary produced the fake abort proof
+  unsigned honest_blocks = 0;
+  unsigned adversary_blocks = 0;
+};
+
+/// One Monte-Carlo trial: honest miners and the adversary race from the
+/// deal's start; each successive block belongs to the adversary with
+/// probability `adversary_power`. The adversary wins if her private fork
+/// reaches confirmations+1 blocks (abort vote + k confirmations) no later
+/// than the honest chain confirms the commit decision at the same depth.
+PowAttackResult SimulatePrivateMiningAttack(const PowAttackParams& params);
+
+/// Closed-form catch-up probability (alpha/(1-alpha))^(k+1) for alpha < 1/2,
+/// 1 otherwise — the classical Nakamoto race bound this simulation tracks.
+double AnalyticAttackProbability(double alpha, unsigned confirmations);
+
+/// Smallest confirmation count k such that the analytic attack probability
+/// times `deal_value` is below `acceptable_expected_loss` — the paper's
+/// "number of confirmations required should vary depending on the value of
+/// the deal" made concrete.
+unsigned ConfirmationsForValue(double deal_value, double alpha,
+                               double acceptable_expected_loss);
+
+}  // namespace xdeal
+
+#endif  // XDEAL_CBC_POW_H_

@@ -1,0 +1,133 @@
+#include "cbc/validators.h"
+
+#include <cassert>
+
+namespace xdeal {
+
+namespace {
+
+std::vector<KeyPair> MakeEpochKeys(const std::string& seed, uint32_t epoch,
+                                   size_t count) {
+  std::vector<KeyPair> keys;
+  keys.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    keys.push_back(KeyPair::FromSeed(seed + "/validator/" +
+                                     std::to_string(epoch) + "/" +
+                                     std::to_string(i)));
+  }
+  return keys;
+}
+
+}  // namespace
+
+ValidatorSet::ValidatorSet(size_t f, std::string seed)
+    : f_(f), seed_(std::move(seed)) {
+  history_.push_back(MakeEpochKeys(seed_, 0, size()));
+}
+
+ValidatorSet ValidatorSet::Create(size_t f, const std::string& seed) {
+  return ValidatorSet(f, seed);
+}
+
+std::vector<PublicKey> ValidatorSet::CurrentPublicKeys() const {
+  return PublicKeysAt(epoch_);
+}
+
+std::vector<PublicKey> ValidatorSet::PublicKeysAt(uint32_t epoch) const {
+  assert(epoch < history_.size());
+  std::vector<PublicKey> keys;
+  keys.reserve(history_[epoch].size());
+  for (const KeyPair& kp : history_[epoch]) keys.push_back(kp.public_key());
+  return keys;
+}
+
+std::vector<ValidatorSig> ValidatorSet::QuorumSign(const Bytes& message) const {
+  // The first 2f+1 validators of the current epoch are the honest quorum.
+  std::vector<ValidatorSig> sigs;
+  sigs.reserve(quorum());
+  const auto& current = history_[epoch_];
+  for (size_t i = 0; i < quorum(); ++i) {
+    sigs.push_back(ValidatorSig{current[i].public_key(),
+                                current[i].Sign(message)});
+  }
+  return sigs;
+}
+
+ReconfigCertificate ValidatorSet::Reconfigure() {
+  uint32_t new_epoch = epoch_ + 1;
+  std::vector<KeyPair> new_keys = MakeEpochKeys(seed_, new_epoch, size());
+
+  ReconfigCertificate cert;
+  cert.new_epoch = new_epoch;
+  for (const KeyPair& kp : new_keys) {
+    cert.new_validators.push_back(kp.public_key());
+  }
+  Bytes message = ReconfigCertificate::Message(new_epoch, cert.new_validators);
+  cert.sigs = QuorumSign(message);  // signed by the OLD (current) epoch
+
+  history_.push_back(std::move(new_keys));
+  epoch_ = new_epoch;
+  return cert;
+}
+
+StatusCertificate ValidatorSet::IssueStatus(const CbcLogContract& log,
+                                            const Hash256& deal_id) const {
+  StatusCertificate cert;
+  cert.deal_id = deal_id;
+  cert.start_hash = log.StartHashOf(deal_id);
+  cert.outcome = log.OutcomeOf(deal_id);
+  cert.epoch = epoch_;
+  cert.sigs = QuorumSign(StatusCertificate::Message(
+      cert.deal_id, cert.start_hash, cert.outcome, cert.epoch));
+  return cert;
+}
+
+StatusCertificate ValidatorSet::IssueByzantineStatus(
+    const Hash256& deal_id, const Hash256& start_hash,
+    DealOutcome outcome) const {
+  StatusCertificate cert;
+  cert.deal_id = deal_id;
+  cert.start_hash = start_hash;
+  cert.outcome = outcome;
+  cert.epoch = epoch_;
+  Bytes message = StatusCertificate::Message(deal_id, start_hash, outcome,
+                                             cert.epoch);
+  // Only the last f validators (the Byzantine minority) sign.
+  const auto& current = history_[epoch_];
+  for (size_t i = current.size() - f_; i < current.size(); ++i) {
+    cert.sigs.push_back(ValidatorSig{current[i].public_key(),
+                                     current[i].Sign(message)});
+  }
+  return cert;
+}
+
+StatusCertificate ValidatorSet::IssueDuplicateSigStatus(
+    const Hash256& deal_id, const Hash256& start_hash, DealOutcome outcome,
+    size_t copies) const {
+  StatusCertificate cert;
+  cert.deal_id = deal_id;
+  cert.start_hash = start_hash;
+  cert.outcome = outcome;
+  cert.epoch = epoch_;
+  Bytes message = StatusCertificate::Message(deal_id, start_hash, outcome,
+                                             cert.epoch);
+  const KeyPair& one = history_[epoch_][0];
+  for (size_t i = 0; i < copies; ++i) {
+    cert.sigs.push_back(ValidatorSig{one.public_key(), one.Sign(message)});
+  }
+  return cert;
+}
+
+StatusCertificate ValidatorSet::IssueWrongStartHashStatus(
+    const CbcLogContract& log, const Hash256& deal_id) const {
+  StatusCertificate cert;
+  cert.deal_id = deal_id;
+  cert.start_hash = Sha256Digest("forged-startdeal");
+  cert.outcome = log.OutcomeOf(deal_id);
+  cert.epoch = epoch_;
+  cert.sigs = QuorumSign(StatusCertificate::Message(
+      cert.deal_id, cert.start_hash, cert.outcome, cert.epoch));
+  return cert;
+}
+
+}  // namespace xdeal

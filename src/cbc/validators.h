@@ -1,0 +1,88 @@
+// ValidatorSet: the BFT validators backing a certified blockchain (§6.2).
+//
+// "Blocks are approved by a known set of 3f+1 validators, of which at most f
+//  can deviate from the protocol. ... the blockchain can be reconfigured
+//  periodically by having at least 2f+1 current validators elect a new set."
+//
+// The consensus internals are out of scope ("the details of how validators
+// reach consensus on new blocks are not important here"); what matters is
+// the artifact parties consume: status certificates with at least 2f+1
+// validator signatures, plus reconfiguration certificates chaining validator
+// sets. This class issues those artifacts by reading the CBC log contract's
+// public state — including deliberately wrong ones from the Byzantine
+// minority, for adversarial tests.
+
+#ifndef XDEAL_CBC_VALIDATORS_H_
+#define XDEAL_CBC_VALIDATORS_H_
+
+#include <string>
+#include <vector>
+
+#include "cbc/cbc_log.h"
+#include "cbc/types.h"
+
+namespace xdeal {
+
+class ValidatorSet {
+ public:
+  /// Creates an epoch-0 set of 3f+1 validators with deterministic keys.
+  static ValidatorSet Create(size_t f, const std::string& seed);
+
+  size_t f() const { return f_; }
+  size_t size() const { return 3 * f_ + 1; }
+  size_t quorum() const { return 2 * f_ + 1; }
+  uint32_t epoch() const { return epoch_; }
+
+  /// Public keys of the current epoch's validators.
+  std::vector<PublicKey> CurrentPublicKeys() const;
+
+  /// Public keys of a historical epoch (escrow contracts pin the epoch they
+  /// saw at escrow time).
+  std::vector<PublicKey> PublicKeysAt(uint32_t epoch) const;
+
+  /// Rotates to a fresh validator set (epoch+1) and returns the
+  /// reconfiguration certificate signed by a 2f+1 quorum of the old set.
+  ReconfigCertificate Reconfigure();
+
+  /// Issues a status certificate for `deal_id` reflecting the log's current
+  /// outcome, signed by exactly a 2f+1 quorum of honest validators. The
+  /// outcome may be kDealActive (not yet decisive); such a certificate will
+  /// not verify as a proof.
+  StatusCertificate IssueStatus(const CbcLogContract& log,
+                                const Hash256& deal_id) const;
+
+  // --- Byzantine behaviours (for adversarial tests and benches) ---
+
+  /// A certificate asserting an arbitrary outcome, signed by only the f
+  /// Byzantine validators (insufficient quorum — must be rejected).
+  StatusCertificate IssueByzantineStatus(const Hash256& deal_id,
+                                         const Hash256& start_hash,
+                                         DealOutcome outcome) const;
+
+  /// A certificate with `copies` duplicate signatures from one validator
+  /// (must be rejected by the duplicate-signer check).
+  StatusCertificate IssueDuplicateSigStatus(const Hash256& deal_id,
+                                            const Hash256& start_hash,
+                                            DealOutcome outcome,
+                                            size_t copies) const;
+
+  /// A quorum-signed certificate over the WRONG start hash (models a
+  /// validator set trying to redirect a deal to a forged startDeal).
+  StatusCertificate IssueWrongStartHashStatus(const CbcLogContract& log,
+                                              const Hash256& deal_id) const;
+
+ private:
+  ValidatorSet(size_t f, std::string seed);
+
+  std::vector<ValidatorSig> QuorumSign(const Bytes& message) const;
+
+  size_t f_;
+  std::string seed_;
+  uint32_t epoch_ = 0;
+  // One key-pair list per epoch; index epoch_ is current.
+  std::vector<std::vector<KeyPair>> history_;
+};
+
+}  // namespace xdeal
+
+#endif  // XDEAL_CBC_VALIDATORS_H_

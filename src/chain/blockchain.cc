@@ -1,0 +1,156 @@
+#include "chain/blockchain.h"
+
+#include <cassert>
+
+#include "chain/world.h"
+
+namespace xdeal {
+
+Hash256 Block::ComputeHash(uint64_t height, Tick timestamp,
+                           const Hash256& parent, const Hash256& root) {
+  ByteWriter w;
+  w.Str("xdeal-block");
+  w.U64(height);
+  w.U64(timestamp);
+  w.Raw(parent.bytes.data(), parent.bytes.size());
+  w.Raw(root.bytes.data(), root.bytes.size());
+  return Sha256Digest(w.bytes());
+}
+
+Blockchain::Blockchain(World* world, ChainId id, std::string name,
+                       Tick block_interval)
+    : world_(world),
+      id_(id),
+      name_(std::move(name)),
+      block_interval_(block_interval) {
+  assert(block_interval_ > 0);
+}
+
+ContractId Blockchain::Deploy(std::unique_ptr<Contract> contract) {
+  ContractId id{static_cast<uint32_t>(contracts_.size())};
+  contract->OnDeployed(id);
+  contracts_.push_back(std::move(contract));
+  return id;
+}
+
+Contract* Blockchain::contract(ContractId id) {
+  if (id.v >= contracts_.size()) return nullptr;
+  return contracts_[id.v].get();
+}
+
+const Contract* Blockchain::contract(ContractId id) const {
+  if (id.v >= contracts_.size()) return nullptr;
+  return contracts_[id.v].get();
+}
+
+uint64_t Blockchain::SubmitAt(Tick arrival, PartyId sender,
+                              ContractId contract, CallData call,
+                              std::string tag) {
+  uint64_t seq = next_seq_++;
+  Tick boundary = NextBoundaryAfter(arrival);
+  bool schedule = mempool_.find(boundary) == mempool_.end();
+  mempool_[boundary].push_back(
+      PendingTx{seq, sender, contract, std::move(call), std::move(tag)});
+  if (schedule) {
+    world_->scheduler().ScheduleAt(boundary,
+                                   [this, boundary] { ProduceBlock(boundary); });
+  }
+  return seq;
+}
+
+void Blockchain::Subscribe(Endpoint who, Observer cb) {
+  observers_.emplace_back(who, std::move(cb));
+}
+
+uint64_t Blockchain::GasForTag(const std::string& tag) const {
+  uint64_t sum = 0;
+  for (const Receipt& r : receipts_) {
+    if (r.tag == tag) sum += r.gas_used;
+  }
+  return sum;
+}
+
+Receipt Blockchain::Execute(const PendingTx& tx, Tick now, uint64_t height) {
+  Receipt receipt;
+  receipt.tx_seq = tx.seq;
+  receipt.chain = id_;
+  receipt.contract = tx.contract;
+  receipt.sender = tx.sender;
+  receipt.function = tx.call.function;
+  receipt.included_at = now;
+  receipt.block_height = height;
+  receipt.tag = tx.tag;
+
+  Contract* target = contract(tx.contract);
+  if (target == nullptr) {
+    receipt.status = Status::NotFound("no such contract");
+    return receipt;
+  }
+
+  GasMeter gas;
+  CallContext ctx;
+  ctx.world = world_;
+  ctx.chain = this;
+  ctx.sender = tx.sender;
+  ctx.now = now;
+  ctx.block_height = height;
+  ctx.gas = &gas;
+
+  ByteReader args(tx.call.args);
+  Result<Bytes> result = target->Invoke(ctx, tx.call.function, args);
+  receipt.status = result.ok() ? Status::OK() : result.status();
+  if (result.ok()) receipt.ret = std::move(result).value();
+  receipt.gas_used = gas.used();
+  receipt.sig_verifies = gas.sig_verifies();
+  receipt.storage_writes = gas.storage_writes();
+  return receipt;
+}
+
+void Blockchain::ProduceBlock(Tick boundary) {
+  auto it = mempool_.find(boundary);
+  if (it == mempool_.end()) return;
+  std::vector<PendingTx> txs = std::move(it->second);
+  mempool_.erase(it);
+
+  uint64_t height = blocks_.size();
+  Block block;
+  block.height = height;
+  block.timestamp = boundary;
+  block.parent_hash = blocks_.empty() ? Hash256{} : blocks_.back().hash;
+
+  std::vector<Hash256> leaf_hashes;
+  std::vector<size_t> receipt_indexes;
+  leaf_hashes.reserve(txs.size());
+  for (const PendingTx& tx : txs) {
+    Receipt r = Execute(tx, boundary, height);
+    total_gas_ += r.gas_used;
+    block.tx_seqs.push_back(r.tx_seq);
+
+    ByteWriter w;
+    w.U64(r.tx_seq).U32(r.sender.v).Str(r.function).Blob(r.ret);
+    w.U8(static_cast<uint8_t>(r.status.code()));
+    leaf_hashes.push_back(Sha256Digest(w.bytes()));
+
+    receipt_indexes.push_back(receipts_.size());
+    receipts_.push_back(std::move(r));
+  }
+  block.entries_root = MerkleRoot(leaf_hashes);
+  block.hash = Block::ComputeHash(block.height, block.timestamp,
+                                  block.parent_hash, block.entries_root);
+  blocks_.push_back(block);
+
+  // Deliver observation notifications with per-observer delays.
+  Endpoint self = world_->ChainEndpoint(id_);
+  for (const auto& [who, cb] : observers_) {
+    Tick delay = world_->SampleDelay(self, who);
+    for (size_t idx : receipt_indexes) {
+      // Copy the receipt into the closure: the vector may grow later.
+      Receipt snapshot = receipts_[idx];
+      Observer observer = cb;
+      world_->scheduler().ScheduleAfter(
+          delay, [observer, snapshot] { observer(snapshot); });
+    }
+  }
+}
+
+}  // namespace xdeal

@@ -1,0 +1,141 @@
+// Blockchain: a publicly-readable, tamper-evident, append-only ledger that
+// hosts contracts (paper §3).
+//
+// The simulator's chain produces a block at each block-interval boundary for
+// which transactions are pending. Each included transaction executes its
+// target contract deterministically under a GasMeter and yields a Receipt.
+// Parties subscribe to a chain and receive receipt notifications after a
+// network-model observation delay — this is the only way information leaves
+// a chain.
+
+#ifndef XDEAL_CHAIN_BLOCKCHAIN_H_
+#define XDEAL_CHAIN_BLOCKCHAIN_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "chain/contract.h"
+#include "crypto/merkle.h"
+#include "crypto/sha256.h"
+#include "sim/network.h"
+#include "sim/scheduler.h"
+
+namespace xdeal {
+
+class World;
+
+/// The durable record of one executed transaction.
+struct Receipt {
+  uint64_t tx_seq = 0;          // unique per chain
+  ChainId chain;
+  ContractId contract;
+  PartyId sender;
+  std::string function;
+  Status status;                // OK or the failed `require`
+  Bytes ret;                    // serialized return value (empty on failure)
+  uint64_t gas_used = 0;
+  uint64_t sig_verifies = 0;
+  uint64_t storage_writes = 0;
+  Tick included_at = 0;
+  uint64_t block_height = 0;
+  std::string tag;              // caller-supplied label (phase attribution)
+};
+
+/// A produced block: header + the receipts of its transactions.
+struct Block {
+  uint64_t height = 0;
+  Tick timestamp = 0;
+  Hash256 parent_hash;
+  Hash256 entries_root;         // Merkle root over receipt digests
+  Hash256 hash;                 // H(height || timestamp || parent || root)
+  std::vector<uint64_t> tx_seqs;
+
+  static Hash256 ComputeHash(uint64_t height, Tick timestamp,
+                             const Hash256& parent, const Hash256& root);
+};
+
+/// An append-only contract-hosting ledger.
+class Blockchain {
+ public:
+  using Observer = std::function<void(const Receipt&)>;
+
+  Blockchain(World* world, ChainId id, std::string name, Tick block_interval);
+
+  ChainId id() const { return id_; }
+  const std::string& name() const { return name_; }
+  Tick block_interval() const { return block_interval_; }
+
+  /// Installs a contract; returns its id. Deployment is instantaneous in the
+  /// simulator (deploy-time gas is out of scope for the paper's analysis).
+  ContractId Deploy(std::unique_ptr<Contract> contract);
+
+  /// Direct state access. Contract state is public (§3), so parties may read
+  /// it off-chain at no gas cost; tests and validation logic use this.
+  Contract* contract(ContractId id);
+  const Contract* contract(ContractId id) const;
+
+  /// Typed convenience: dynamic_cast the contract to T.
+  template <typename T>
+  T* As(ContractId id) {
+    return dynamic_cast<T*>(contract(id));
+  }
+  template <typename T>
+  const T* As(ContractId id) const {
+    return dynamic_cast<const T*>(contract(id));
+  }
+
+  /// Enqueues a transaction arriving at the chain at time `arrival`; it will
+  /// execute in the block at the next interval boundary. Returns the tx seq.
+  uint64_t SubmitAt(Tick arrival, PartyId sender, ContractId contract,
+                    CallData call, std::string tag);
+
+  /// Registers an observer endpoint; every future receipt is delivered to it
+  /// after an observation delay sampled from the network model.
+  void Subscribe(Endpoint who, Observer cb);
+
+  const std::vector<Block>& blocks() const { return blocks_; }
+  const std::vector<Receipt>& receipts() const { return receipts_; }
+
+  /// Total gas consumed by all executed transactions.
+  uint64_t total_gas() const { return total_gas_; }
+
+  /// Sum of gas for receipts whose tag matches.
+  uint64_t GasForTag(const std::string& tag) const;
+
+  /// Next block boundary strictly after `t`.
+  Tick NextBoundaryAfter(Tick t) const {
+    return (t / block_interval_ + 1) * block_interval_;
+  }
+
+ private:
+  struct PendingTx {
+    uint64_t seq;
+    PartyId sender;
+    ContractId contract;
+    CallData call;
+    std::string tag;
+  };
+
+  void ProduceBlock(Tick boundary);
+  Receipt Execute(const PendingTx& tx, Tick now, uint64_t height);
+
+  World* world_;
+  ChainId id_;
+  std::string name_;
+  Tick block_interval_;
+  uint64_t next_seq_ = 0;
+  uint64_t total_gas_ = 0;
+
+  std::vector<std::unique_ptr<Contract>> contracts_;
+  std::map<Tick, std::vector<PendingTx>> mempool_;  // keyed by boundary
+  std::vector<Block> blocks_;
+  std::vector<Receipt> receipts_;
+  std::vector<std::pair<Endpoint, Observer>> observers_;
+};
+
+}  // namespace xdeal
+
+#endif  // XDEAL_CHAIN_BLOCKCHAIN_H_

@@ -1,0 +1,33 @@
+#include "chain/ids.h"
+
+#include <cassert>
+
+namespace xdeal {
+
+PartyId KeyDirectory::Register(const std::string& name,
+                               const std::string& seed_domain) {
+  PartyId id{static_cast<uint32_t>(entries_.size())};
+  entries_.push_back(Entry{name, KeyPair::FromSeed(seed_domain + "/" + name)});
+  return id;
+}
+
+Result<PublicKey> KeyDirectory::PublicKeyOf(PartyId p) const {
+  if (p.v >= entries_.size()) {
+    return Status::NotFound("unknown party id");
+  }
+  return entries_[p.v].keys.public_key();
+}
+
+Result<std::string> KeyDirectory::NameOf(PartyId p) const {
+  if (p.v >= entries_.size()) {
+    return Status::NotFound("unknown party id");
+  }
+  return entries_[p.v].name;
+}
+
+const KeyPair& KeyDirectory::KeyPairOf(PartyId p) const {
+  assert(p.v < entries_.size());
+  return entries_[p.v].keys;
+}
+
+}  // namespace xdeal

@@ -1,0 +1,81 @@
+// Identifier types for parties, chains, and contracts, plus the global key
+// directory.
+//
+// §3 of the paper: "We assume each party has a public key and a private key,
+// and that any party's public key is known to all." The KeyDirectory is that
+// assumption made concrete: a read-only mapping from party to public key that
+// contracts and parties may consult freely.
+
+#ifndef XDEAL_CHAIN_IDS_H_
+#define XDEAL_CHAIN_IDS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "crypto/schnorr.h"
+#include "util/result.h"
+
+namespace xdeal {
+
+constexpr uint32_t kInvalidId = ~0u;
+
+/// A party: a person, organization, or (in the paper's model) a contract.
+struct PartyId {
+  uint32_t v = kInvalidId;
+
+  bool valid() const { return v != kInvalidId; }
+  bool operator==(const PartyId& o) const { return v == o.v; }
+  bool operator!=(const PartyId& o) const { return v != o.v; }
+  bool operator<(const PartyId& o) const { return v < o.v; }
+};
+
+/// One of the independent blockchains.
+struct ChainId {
+  uint32_t v = kInvalidId;
+
+  bool valid() const { return v != kInvalidId; }
+  bool operator==(const ChainId& o) const { return v == o.v; }
+  bool operator!=(const ChainId& o) const { return v != o.v; }
+  bool operator<(const ChainId& o) const { return v < o.v; }
+};
+
+/// A contract resident on a specific chain.
+struct ContractId {
+  uint32_t v = kInvalidId;
+
+  bool valid() const { return v != kInvalidId; }
+  bool operator==(const ContractId& o) const { return v == o.v; }
+  bool operator!=(const ContractId& o) const { return v != o.v; }
+  bool operator<(const ContractId& o) const { return v < o.v; }
+};
+
+/// Global public-key directory (paper §3: all public keys are known to all).
+/// Private keys are held by the World and handed only to the owning party's
+/// strategy object.
+class KeyDirectory {
+ public:
+  /// Registers a party with a deterministic key pair derived from
+  /// (seed_domain, name). Returns its id.
+  PartyId Register(const std::string& name, const std::string& seed_domain);
+
+  size_t size() const { return entries_.size(); }
+
+  Result<PublicKey> PublicKeyOf(PartyId p) const;
+  Result<std::string> NameOf(PartyId p) const;
+
+  /// Private-key access: only the simulation harness (World) calls this to
+  /// wire a party's strategy to its keys.
+  const KeyPair& KeyPairOf(PartyId p) const;
+
+ private:
+  struct Entry {
+    std::string name;
+    KeyPair keys;
+  };
+  std::vector<Entry> entries_;
+};
+
+}  // namespace xdeal
+
+#endif  // XDEAL_CHAIN_IDS_H_

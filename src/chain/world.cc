@@ -1,0 +1,65 @@
+#include "chain/world.h"
+
+#include <cassert>
+
+namespace xdeal {
+
+World::World(uint64_t seed, std::unique_ptr<NetworkModel> net)
+    : rng_(seed), network_(std::move(net)) {
+  assert(network_ != nullptr);
+}
+
+PartyId World::RegisterParty(const std::string& name) {
+  return key_directory_.Register(name, "world");
+}
+
+Blockchain* World::CreateChain(const std::string& name, Tick block_interval) {
+  ChainId id{static_cast<uint32_t>(chains_.size())};
+  chains_.push_back(
+      std::make_unique<Blockchain>(this, id, name, block_interval));
+  return chains_.back().get();
+}
+
+Blockchain* World::chain(ChainId id) {
+  if (id.v >= chains_.size()) return nullptr;
+  return chains_[id.v].get();
+}
+
+const Blockchain* World::chain(ChainId id) const {
+  if (id.v >= chains_.size()) return nullptr;
+  return chains_[id.v].get();
+}
+
+void World::Submit(PartyId from, ChainId chain_id, ContractId contract,
+                   CallData call, std::string tag) {
+  Blockchain* target = chain(chain_id);
+  assert(target != nullptr);
+  Tick delay =
+      SampleDelay(PartyEndpoint(from), ChainEndpoint(chain_id));
+  Tick arrival_offset = delay;
+  scheduler_.ScheduleAfter(
+      arrival_offset,
+      [this, target, from, contract, call = std::move(call),
+       tag = std::move(tag)]() mutable {
+        target->SubmitAt(scheduler_.now(), from, contract, std::move(call),
+                         std::move(tag));
+      });
+}
+
+Tick World::SampleDelay(Endpoint from, Endpoint to) {
+  return network_->SampleDelay(scheduler_.now(), from, to, &rng_);
+}
+
+uint64_t World::TotalGas() const {
+  uint64_t sum = 0;
+  for (const auto& c : chains_) sum += c->total_gas();
+  return sum;
+}
+
+uint64_t World::TotalGasForTag(const std::string& tag) const {
+  uint64_t sum = 0;
+  for (const auto& c : chains_) sum += c->GasForTag(tag);
+  return sum;
+}
+
+}  // namespace xdeal

@@ -1,0 +1,83 @@
+// World: the simulation container — scheduler, RNG, network model, key
+// directory, and the set of independent blockchains.
+//
+// The World is the root object every scenario builds: create chains, register
+// parties, deploy contracts, then drive parties that submit transactions and
+// observe receipts. All cross-component timing flows through the network
+// model so scenarios can swap synchrony assumptions without touching
+// protocol code.
+
+#ifndef XDEAL_CHAIN_WORLD_H_
+#define XDEAL_CHAIN_WORLD_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "chain/blockchain.h"
+#include "chain/ids.h"
+#include "sim/network.h"
+#include "sim/scheduler.h"
+#include "util/rng.h"
+
+namespace xdeal {
+
+class World {
+ public:
+  /// `seed` drives every random choice; `net` supplies message delays.
+  World(uint64_t seed, std::unique_ptr<NetworkModel> net);
+
+  Scheduler& scheduler() { return scheduler_; }
+  Rng& rng() { return rng_; }
+  Tick now() const { return scheduler_.now(); }
+
+  /// Registers a party (keys derived deterministically from seed + name).
+  PartyId RegisterParty(const std::string& name);
+
+  /// Creates a new independent blockchain.
+  Blockchain* CreateChain(const std::string& name, Tick block_interval);
+
+  Blockchain* chain(ChainId id);
+  const Blockchain* chain(ChainId id) const;
+  size_t num_chains() const { return chains_.size(); }
+
+  const KeyDirectory& keys() const { return key_directory_; }
+
+  /// Private-key handle for a party's own strategy object.
+  const KeyPair& KeyPairOf(PartyId p) const {
+    return key_directory_.KeyPairOf(p);
+  }
+
+  /// Submits a transaction from `from` to a contract on `chain_id`.
+  /// The message reaches the chain after a sampled network delay and executes
+  /// at the following block boundary. Returns immediately (fire and forget);
+  /// results arrive through chain subscription or direct state reads.
+  void Submit(PartyId from, ChainId chain_id, ContractId contract,
+              CallData call, std::string tag = "");
+
+  /// Samples a one-way delay between two endpoints (exposed for components
+  /// like block observation that need the same model).
+  Tick SampleDelay(Endpoint from, Endpoint to);
+
+  Endpoint PartyEndpoint(PartyId p) const { return Endpoint{p.v}; }
+  Endpoint ChainEndpoint(ChainId c) const {
+    return Endpoint{kChainEndpointBase + c.v};
+  }
+
+  /// Sum of gas across all chains (global cost, Figure 4 rows).
+  uint64_t TotalGas() const;
+  uint64_t TotalGasForTag(const std::string& tag) const;
+
+ private:
+  static constexpr uint32_t kChainEndpointBase = 1u << 24;
+
+  Scheduler scheduler_;
+  Rng rng_;
+  std::unique_ptr<NetworkModel> network_;
+  KeyDirectory key_directory_;
+  std::vector<std::unique_ptr<Blockchain>> chains_;
+};
+
+}  // namespace xdeal
+
+#endif  // XDEAL_CHAIN_WORLD_H_

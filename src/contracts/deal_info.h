@@ -1,0 +1,90 @@
+// DealInfo: the deal metadata broadcast by the market-clearing service and
+// checked by escrow contracts (paper §5 "Clearing Phase").
+//
+// Also defines the canonical byte format of timelock commit-vote messages.
+// A vote from voter v forwarded along a path of parties carries one
+// signature per path element; the signature at depth i is over
+// TimelockVoteMessage(D, v, i). Both the signing parties and the verifying
+// contracts derive these bytes, so they live here, shared.
+
+#ifndef XDEAL_CONTRACTS_DEAL_INFO_H_
+#define XDEAL_CONTRACTS_DEAL_INFO_H_
+
+#include <algorithm>
+#include <vector>
+
+#include "chain/contract.h"
+#include "crypto/sha256.h"
+#include "util/serialize.h"
+
+namespace xdeal {
+
+/// Globally unique deal identifier ("effectively a nonce", §5).
+using DealId = Hash256;
+
+/// Deal metadata for the timelock protocol: participant list, commit-phase
+/// starting time t0, and the synchrony bound Δ.
+struct DealInfo {
+  DealId deal_id;
+  std::vector<PartyId> plist;
+  Tick t0 = 0;
+  Tick delta = 0;
+
+  bool HasParty(PartyId p) const {
+    return std::find(plist.begin(), plist.end(), p) != plist.end();
+  }
+
+  size_t NumParties() const { return plist.size(); }
+
+  /// Timeout for a vote with a path signature of length `path_len`:
+  /// t0 + |p| * Δ (§5).
+  Tick VoteDeadline(size_t path_len) const {
+    return t0 + static_cast<Tick>(path_len) * delta;
+  }
+
+  /// Final contract timeout: t0 + N * Δ, after which missing votes can never
+  /// be accepted and escrows refund (§5).
+  Tick RefundTime() const {
+    return t0 + static_cast<Tick>(plist.size()) * delta;
+  }
+
+  /// Canonical serialization (for hashing / consistency checks).
+  Bytes Serialize() const {
+    ByteWriter w;
+    w.Raw(deal_id.bytes.data(), deal_id.bytes.size());
+    w.U32(static_cast<uint32_t>(plist.size()));
+    for (PartyId p : plist) w.U32(p.v);
+    w.U64(t0);
+    w.U64(delta);
+    return w.Take();
+  }
+
+  bool operator==(const DealInfo& o) const {
+    return Serialize() == o.Serialize();
+  }
+};
+
+/// Derives a fresh deal id from a human-readable label plus entropy.
+inline DealId MakeDealId(std::string_view label, uint64_t nonce) {
+  ByteWriter w;
+  w.Str("xdeal-deal-id");
+  w.Str(label);
+  w.U64(nonce);
+  return Sha256Digest(w.bytes());
+}
+
+/// The byte string signed at depth `depth` of a path signature for
+/// `voter`'s commit vote on deal `deal_id` (timelock protocol, §5).
+inline Bytes TimelockVoteMessage(const DealId& deal_id, PartyId voter,
+                                 uint32_t depth) {
+  ByteWriter w;
+  w.Str("xdeal-timelock-vote");
+  w.Raw(deal_id.bytes.data(), deal_id.bytes.size());
+  w.U32(voter.v);
+  w.U32(depth);
+  return w.Take();
+}
+
+}  // namespace xdeal
+
+#endif  // XDEAL_CONTRACTS_DEAL_INFO_H_

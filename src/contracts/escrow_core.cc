@@ -1,0 +1,166 @@
+#include "contracts/escrow_core.h"
+
+#include "chain/blockchain.h"
+
+namespace xdeal {
+
+FungibleToken* EscrowCore::Fungible(CallContext& ctx) const {
+  return ctx.chain->As<FungibleToken>(token_);
+}
+
+TicketRegistry* EscrowCore::Nft(CallContext& ctx) const {
+  return ctx.chain->As<TicketRegistry>(token_);
+}
+
+Status EscrowCore::EscrowIn(CallContext& ctx, const Holder& self,
+                            PartyId party, uint64_t value) {
+  if (settled_) {
+    return Status::FailedPrecondition("escrow: deal already settled");
+  }
+  Holder owner = Holder::Party(party);
+  if (kind_ == AssetKind::kFungible) {
+    FungibleToken* token = Fungible(ctx);
+    if (token == nullptr) return Status::Internal("escrow: token missing");
+    // Pull the deposit (2 storage writes inside transferFrom).
+    XDEAL_RETURN_IF_ERROR(
+        token->TransferFrom(ctx, self, owner, self, value));
+    // escrow map + onCommit map: 1 write each (Figure 3 lines 9-10).
+    XDEAL_RETURN_IF_ERROR(ctx.gas->ChargeStorageWrite(2));
+    escrowed_[party] += value;
+    on_commit_[party] += value;
+    return Status::OK();
+  }
+  TicketRegistry* registry = Nft(ctx);
+  if (registry == nullptr) return Status::Internal("escrow: registry missing");
+  XDEAL_RETURN_IF_ERROR(
+      registry->TransferFrom(ctx, self, owner, self, value));
+  XDEAL_RETURN_IF_ERROR(ctx.gas->ChargeStorageWrite(2));
+  nft_refund_[value] = party;
+  nft_commit_[value] = party;
+  return Status::OK();
+}
+
+Status EscrowCore::TentativeTransfer(CallContext& ctx, PartyId from,
+                                     PartyId to, uint64_t value) {
+  if (settled_) {
+    return Status::FailedPrecondition("transfer: deal already settled");
+  }
+  if (kind_ == AssetKind::kFungible) {
+    XDEAL_RETURN_IF_ERROR(ctx.gas->ChargeStorageRead());
+    auto it = on_commit_.find(from);
+    if (it == on_commit_.end() || it->second < value) {
+      // §4 precondition OwnsC(P, a) violated.
+      return Status::FailedPrecondition(
+          "transfer: sender lacks commit-ownership");
+    }
+    XDEAL_RETURN_IF_ERROR(ctx.gas->ChargeStorageWrite(2));
+    it->second -= value;
+    on_commit_[to] += value;
+    return Status::OK();
+  }
+  XDEAL_RETURN_IF_ERROR(ctx.gas->ChargeStorageRead());
+  auto it = nft_commit_.find(value);
+  if (it == nft_commit_.end() || it->second != from) {
+    return Status::FailedPrecondition(
+        "transfer: sender lacks commit-ownership of ticket");
+  }
+  XDEAL_RETURN_IF_ERROR(ctx.gas->ChargeStorageWrite(1));
+  it->second = to;
+  return Status::OK();
+}
+
+Status EscrowCore::ReleaseAll(CallContext& ctx, const Holder& self) {
+  if (settled_) return Status::OK();  // idempotent
+  settled_ = true;
+  if (kind_ == AssetKind::kFungible) {
+    FungibleToken* token = Fungible(ctx);
+    if (token == nullptr) return Status::Internal("release: token missing");
+    for (const auto& [party, amount] : on_commit_) {
+      if (amount == 0) continue;
+      XDEAL_RETURN_IF_ERROR(
+          token->Transfer(ctx, self, self, Holder::Party(party), amount));
+    }
+    return Status::OK();
+  }
+  TicketRegistry* registry = Nft(ctx);
+  if (registry == nullptr) return Status::Internal("release: registry missing");
+  for (const auto& [ticket, party] : nft_commit_) {
+    XDEAL_RETURN_IF_ERROR(registry->TransferFrom(ctx, self, self,
+                                                 Holder::Party(party), ticket));
+  }
+  return Status::OK();
+}
+
+Status EscrowCore::RefundAll(CallContext& ctx, const Holder& self) {
+  if (settled_) return Status::OK();  // idempotent
+  settled_ = true;
+  if (kind_ == AssetKind::kFungible) {
+    FungibleToken* token = Fungible(ctx);
+    if (token == nullptr) return Status::Internal("refund: token missing");
+    for (const auto& [party, amount] : escrowed_) {
+      if (amount == 0) continue;
+      XDEAL_RETURN_IF_ERROR(
+          token->Transfer(ctx, self, self, Holder::Party(party), amount));
+    }
+    return Status::OK();
+  }
+  TicketRegistry* registry = Nft(ctx);
+  if (registry == nullptr) return Status::Internal("refund: registry missing");
+  for (const auto& [ticket, party] : nft_refund_) {
+    XDEAL_RETURN_IF_ERROR(registry->TransferFrom(ctx, self, self,
+                                                 Holder::Party(party), ticket));
+  }
+  return Status::OK();
+}
+
+uint64_t EscrowCore::OnCommitOf(PartyId p) const {
+  if (kind_ == AssetKind::kFungible) {
+    auto it = on_commit_.find(p);
+    return it == on_commit_.end() ? 0 : it->second;
+  }
+  uint64_t count = 0;
+  for (const auto& [ticket, party] : nft_commit_) {
+    if (party == p) ++count;
+  }
+  return count;
+}
+
+uint64_t EscrowCore::EscrowedOf(PartyId p) const {
+  if (kind_ == AssetKind::kFungible) {
+    auto it = escrowed_.find(p);
+    return it == escrowed_.end() ? 0 : it->second;
+  }
+  uint64_t count = 0;
+  for (const auto& [ticket, party] : nft_refund_) {
+    if (party == p) ++count;
+  }
+  return count;
+}
+
+PartyId EscrowCore::NftCommitOwner(uint64_t ticket_id) const {
+  auto it = nft_commit_.find(ticket_id);
+  return it == nft_commit_.end() ? PartyId{} : it->second;
+}
+
+PartyId EscrowCore::NftRefundOwner(uint64_t ticket_id) const {
+  auto it = nft_refund_.find(ticket_id);
+  return it == nft_refund_.end() ? PartyId{} : it->second;
+}
+
+std::vector<PartyId> EscrowCore::Depositors() const {
+  std::vector<PartyId> out;
+  if (kind_ == AssetKind::kFungible) {
+    for (const auto& [party, amount] : escrowed_) {
+      if (amount > 0) out.push_back(party);
+    }
+    return out;
+  }
+  for (const auto& [ticket, party] : nft_refund_) {
+    bool seen = false;
+    for (PartyId p : out) seen = seen || (p == party);
+    if (!seen) out.push_back(party);
+  }
+  return out;
+}
+
+}  // namespace xdeal

@@ -1,0 +1,101 @@
+// EscrowCore: the asset-holding and tentative-transfer bookkeeping shared by
+// both commit protocols' escrow contracts.
+//
+// Implements the §4 escrow state machine. For a deal D and asset a:
+//
+//   escrow:   Pre:  Owns(P, a)
+//             Post: Owns(D, a) ∧ OwnsC(P, a) ∧ OwnsA(P, a)
+//   transfer: Pre:  Owns(D, a) ∧ OwnsC(P, a)
+//             Post: OwnsC(Q, a)
+//
+// where OwnsC is the `onCommit` map (who gets the asset if the deal commits)
+// and OwnsA is the `escrow` map (who gets it back on abort). The escrow
+// contract itself becomes the owner of record on the token ledger, which is
+// what prevents double-spending (§10: "Escrow contracts replace classical
+// locks").
+//
+// Gas profile matches Figure 3: escrow = 4 storage writes (2 in the token
+// transferFrom + 1 escrow map + 1 onCommit map); tentative transfer = 2
+// writes (fungible debit+credit) or 1 (NFT owner update).
+
+#ifndef XDEAL_CONTRACTS_ESCROW_CORE_H_
+#define XDEAL_CONTRACTS_ESCROW_CORE_H_
+
+#include <map>
+#include <vector>
+
+#include "chain/contract.h"
+#include "contracts/fungible_token.h"
+#include "contracts/ticket_registry.h"
+
+namespace xdeal {
+
+enum class AssetKind : uint8_t { kFungible = 0, kNft = 1 };
+
+/// Bookkeeping component embedded in TimelockEscrowContract and
+/// CbcEscrowContract. Not itself a Contract.
+class EscrowCore {
+ public:
+  EscrowCore() = default;
+
+  /// Binds the core to the token contract it escrows (same chain).
+  void Bind(AssetKind kind, ContractId token) {
+    kind_ = kind;
+    token_ = token;
+  }
+
+  AssetKind kind() const { return kind_; }
+  ContractId token() const { return token_; }
+
+  /// Escrow-phase deposit. For fungible assets `value` is an amount; for
+  /// NFTs it is a ticket id. `self` is the enclosing escrow contract's
+  /// holder identity. Requires a prior on-chain approval by `party`.
+  Status EscrowIn(CallContext& ctx, const Holder& self, PartyId party,
+                  uint64_t value);
+
+  /// Tentative transfer of `value` (amount or ticket id) from `from`'s
+  /// commit-ownership to `to`. Enforces the §4 precondition OwnsC(from, a).
+  Status TentativeTransfer(CallContext& ctx, PartyId from, PartyId to,
+                           uint64_t value);
+
+  /// Commit outcome: pays every onCommit owner and clears state.
+  Status ReleaseAll(CallContext& ctx, const Holder& self);
+
+  /// Abort outcome: refunds every original owner and clears state.
+  Status RefundAll(CallContext& ctx, const Holder& self);
+
+  // --- public state (off-chain readable) ---
+
+  /// OwnsC: commit-ownership. Amount for fungible; for NFTs, the total count
+  /// of tickets tentatively owned.
+  uint64_t OnCommitOf(PartyId p) const;
+  /// OwnsA: abort-ownership (what was deposited).
+  uint64_t EscrowedOf(PartyId p) const;
+  /// NFT view: tentative owner of a specific ticket (invalid if not held).
+  PartyId NftCommitOwner(uint64_t ticket_id) const;
+  /// NFT view: refund owner of a specific ticket.
+  PartyId NftRefundOwner(uint64_t ticket_id) const;
+  /// All parties with any escrowed stake.
+  std::vector<PartyId> Depositors() const;
+  /// True once ReleaseAll or RefundAll has run.
+  bool settled() const { return settled_; }
+
+ private:
+  FungibleToken* Fungible(CallContext& ctx) const;
+  TicketRegistry* Nft(CallContext& ctx) const;
+
+  AssetKind kind_ = AssetKind::kFungible;
+  ContractId token_;
+  bool settled_ = false;
+
+  // Fungible: party -> amount.
+  std::map<PartyId, uint64_t> escrowed_;
+  std::map<PartyId, uint64_t> on_commit_;
+  // NFT: ticket -> party.
+  std::map<uint64_t, PartyId> nft_refund_;
+  std::map<uint64_t, PartyId> nft_commit_;
+};
+
+}  // namespace xdeal
+
+#endif  // XDEAL_CONTRACTS_ESCROW_CORE_H_

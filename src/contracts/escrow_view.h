@@ -1,0 +1,27 @@
+// DealEscrowView: read-only interface over a deal's escrow contract state,
+// implemented by both TimelockEscrowContract and CbcEscrowContract so that
+// outcome evaluation (core/checker.h) is protocol-agnostic.
+
+#ifndef XDEAL_CONTRACTS_ESCROW_VIEW_H_
+#define XDEAL_CONTRACTS_ESCROW_VIEW_H_
+
+#include "contracts/escrow_core.h"
+
+namespace xdeal {
+
+class DealEscrowView {
+ public:
+  virtual ~DealEscrowView() = default;
+
+  virtual const EscrowCore& escrow_core() const = 0;
+  /// Deal committed at this asset: escrow released to onCommit owners.
+  virtual bool Released() const = 0;
+  /// Deal aborted at this asset: escrow refunded to original owners.
+  virtual bool Refunded() const = 0;
+
+  bool Settled() const { return Released() || Refunded(); }
+};
+
+}  // namespace xdeal
+
+#endif  // XDEAL_CONTRACTS_ESCROW_VIEW_H_

@@ -1,0 +1,50 @@
+// Holder: an asset owner — either a party or a contract.
+//
+// §4: "A party may be a person or a contract". Escrow works by making the
+// escrow contract itself the owner of record ("the escrow mechanism prevents
+// double-spending by making the escrow contract itself the asset owner"), so
+// token ledgers are keyed by Holder rather than PartyId.
+
+#ifndef XDEAL_CONTRACTS_HOLDER_H_
+#define XDEAL_CONTRACTS_HOLDER_H_
+
+#include <cstdint>
+#include <string>
+
+#include "chain/ids.h"
+
+namespace xdeal {
+
+struct Holder {
+  enum class Kind : uint8_t { kParty = 0, kContract = 1 };
+
+  Kind kind = Kind::kParty;
+  uint32_t id = kInvalidId;
+
+  static Holder Party(PartyId p) { return Holder{Kind::kParty, p.v}; }
+  static Holder OfContract(ContractId c) {
+    return Holder{Kind::kContract, c.v};
+  }
+
+  bool valid() const { return id != kInvalidId; }
+  bool is_party() const { return kind == Kind::kParty; }
+  PartyId party() const { return PartyId{id}; }
+  ContractId contract() const { return ContractId{id}; }
+
+  bool operator==(const Holder& o) const {
+    return kind == o.kind && id == o.id;
+  }
+  bool operator!=(const Holder& o) const { return !(*this == o); }
+  bool operator<(const Holder& o) const {
+    if (kind != o.kind) return kind < o.kind;
+    return id < o.id;
+  }
+
+  std::string ToString() const {
+    return (is_party() ? "party:" : "contract:") + std::to_string(id);
+  }
+};
+
+}  // namespace xdeal
+
+#endif  // XDEAL_CONTRACTS_HOLDER_H_

@@ -1,0 +1,72 @@
+#include "contracts/htlc.h"
+
+namespace xdeal {
+
+Result<Bytes> HtlcContract::Invoke(CallContext& ctx, const std::string& fn,
+                                   ByteReader& args) {
+  Status st;
+  if (fn == "deposit") {
+    st = HandleDeposit(ctx, args);
+  } else if (fn == "claim") {
+    st = HandleClaim(ctx, args);
+  } else if (fn == "refund") {
+    st = HandleRefund(ctx);
+  } else {
+    st = Status::NotFound("HTLC: unknown function " + fn);
+  }
+  if (!st.ok()) return st;
+  return Bytes{};
+}
+
+Status HtlcContract::HandleDeposit(CallContext& ctx, ByteReader& args) {
+  auto value = args.U64();
+  if (!value.ok()) return value.status();
+  if (ctx.sender != depositor_) {
+    return Status::PermissionDenied("deposit: only the depositor funds");
+  }
+  if (funded_) {
+    return Status::AlreadyExists("deposit: already funded");
+  }
+  XDEAL_RETURN_IF_ERROR(core_.EscrowIn(ctx, Holder::OfContract(self_id()),
+                                       ctx.sender, value.value()));
+  // Route commit-ownership to the counterparty so a claim pays them out.
+  XDEAL_RETURN_IF_ERROR(
+      core_.TentativeTransfer(ctx, depositor_, counterparty_, value.value()));
+  XDEAL_RETURN_IF_ERROR(ctx.gas->ChargeStorageWrite(1));
+  funded_ = true;
+  return Status::OK();
+}
+
+Status HtlcContract::HandleClaim(CallContext& ctx, ByteReader& args) {
+  auto preimage = args.Blob();
+  if (!preimage.ok()) return preimage.status();
+  if (!funded_ || claimed_ || refunded_) {
+    return Status::FailedPrecondition("claim: not claimable");
+  }
+  if (ctx.now >= timeout_) {
+    return Status::TimedOut("claim: past the timelock");
+  }
+  XDEAL_RETURN_IF_ERROR(ctx.gas->ChargeCompute(10));  // hash evaluation
+  if (!(Sha256Digest(preimage.value()) == hashlock_)) {
+    return Status::Unverified("claim: preimage does not match hashlock");
+  }
+  // Publishing the preimage on-chain is the point: observers learn s.
+  XDEAL_RETURN_IF_ERROR(ctx.gas->ChargeStorageWrite(2));  // secret + flag
+  secret_ = preimage.value();
+  claimed_ = true;
+  return core_.ReleaseAll(ctx, Holder::OfContract(self_id()));
+}
+
+Status HtlcContract::HandleRefund(CallContext& ctx) {
+  if (!funded_ || claimed_ || refunded_) {
+    return Status::FailedPrecondition("refund: not refundable");
+  }
+  if (ctx.now < timeout_) {
+    return Status::FailedPrecondition("refund: timelock not expired");
+  }
+  XDEAL_RETURN_IF_ERROR(ctx.gas->ChargeStorageWrite(1));
+  refunded_ = true;
+  return core_.RefundAll(ctx, Holder::OfContract(self_id()));
+}
+
+}  // namespace xdeal

@@ -1,0 +1,71 @@
+// HtlcContract: a hashed timelock contract, the building block of atomic
+// cross-chain swaps (paper §8; Herlihy, PODC'18; BIP-199).
+//
+// An HTLC escrows one asset from a depositor for a counterparty behind a
+// hashlock H(s) and a timelock T:
+//   - claim(s): before T, anyone presenting the preimage s with
+//     H(s) == hashlock sends the asset to the counterparty — and publishes
+//     s on-chain, which is how the secret propagates through a swap;
+//   - refund(): at or after T, the asset returns to the depositor.
+//
+// This is the baseline the deal protocols are compared against (experiment
+// E9): swaps handle direct pairwise transfers but cannot express the
+// broker or auction deals.
+
+#ifndef XDEAL_CONTRACTS_HTLC_H_
+#define XDEAL_CONTRACTS_HTLC_H_
+
+#include <optional>
+#include <string>
+
+#include "contracts/escrow_core.h"
+
+namespace xdeal {
+
+class HtlcContract : public Contract {
+ public:
+  /// The hashlock is SHA-256 over the raw secret bytes.
+  HtlcContract(AssetKind kind, ContractId token, PartyId depositor,
+               PartyId counterparty, Hash256 hashlock, Tick timeout)
+      : depositor_(depositor),
+        counterparty_(counterparty),
+        hashlock_(hashlock),
+        timeout_(timeout) {
+    core_.Bind(kind, token);
+  }
+
+  std::string TypeName() const override { return "HTLC"; }
+
+  Result<Bytes> Invoke(CallContext& ctx, const std::string& fn,
+                       ByteReader& args) override;
+
+  // --- public state ---
+  PartyId depositor() const { return depositor_; }
+  PartyId counterparty() const { return counterparty_; }
+  const Hash256& hashlock() const { return hashlock_; }
+  Tick timeout() const { return timeout_; }
+  bool funded() const { return funded_; }
+  bool claimed() const { return claimed_; }
+  bool refunded() const { return refunded_; }
+  /// The revealed preimage, once claimed (public on the chain).
+  const std::optional<Bytes>& revealed_secret() const { return secret_; }
+
+ private:
+  Status HandleDeposit(CallContext& ctx, ByteReader& args);
+  Status HandleClaim(CallContext& ctx, ByteReader& args);
+  Status HandleRefund(CallContext& ctx);
+
+  EscrowCore core_;
+  PartyId depositor_;
+  PartyId counterparty_;
+  Hash256 hashlock_;
+  Tick timeout_;
+  bool funded_ = false;
+  bool claimed_ = false;
+  bool refunded_ = false;
+  std::optional<Bytes> secret_;
+};
+
+}  // namespace xdeal
+
+#endif  // XDEAL_CONTRACTS_HTLC_H_

@@ -1,0 +1,414 @@
+#include "core/cbc_run.h"
+
+#include <cassert>
+
+namespace xdeal {
+
+// ---------------------------------------------------------------------------
+// CbcParty (compliant behaviour)
+// ---------------------------------------------------------------------------
+
+World& CbcParty::world() { return run_->world(); }
+const DealSpec& CbcParty::spec() const { return run_->spec(); }
+const CbcDeployment& CbcParty::deployment() const {
+  return run_->deployment();
+}
+
+const CbcLogContract* CbcParty::Log() const {
+  return run_->world()
+      .chain(run_->deployment().cbc_chain)
+      ->As<CbcLogContract>(run_->deployment().cbc_log);
+}
+
+CbcEscrowContract* CbcParty::EscrowOfAsset(uint32_t asset) const {
+  return run_->world()
+      .chain(run_->spec().assets[asset].chain)
+      ->As<CbcEscrowContract>(run_->deployment().escrow_contracts[asset]);
+}
+
+void CbcParty::SubmitStartDeal() {
+  ByteWriter w;
+  w.Raw(deployment().deal_id.bytes.data(), 32);
+  w.U32(static_cast<uint32_t>(spec().parties.size()));
+  for (PartyId p : spec().parties) w.U32(p.v);
+  world().Submit(self_, deployment().cbc_chain, deployment().cbc_log,
+                 CallData{"startDeal", w.Take()}, "cbc-start");
+}
+
+void CbcParty::SubmitEscrow(const EscrowStep& step) {
+  ByteWriter w;
+  w.Raw(deployment().deal_id.bytes.data(), 32);
+  w.U32(static_cast<uint32_t>(spec().parties.size()));
+  for (PartyId p : spec().parties) w.U32(p.v);
+  w.Raw(start_hash_.bytes.data(), 32);
+  const auto& validators = run_->escrow_validators();
+  w.U32(static_cast<uint32_t>(validators.size()));
+  for (const PublicKey& v : validators) w.Raw(v.Serialize());
+  w.U32(run_->escrow_epoch());
+  w.U64(step.value);
+  world().Submit(self_, spec().assets[step.asset].chain,
+                 deployment().escrow_contracts[step.asset],
+                 CallData{"escrow", w.Take()}, "escrow");
+}
+
+void CbcParty::SubmitTransfer(const TransferStep& step) {
+  ByteWriter w;
+  w.Raw(deployment().deal_id.bytes.data(), 32);
+  w.U32(step.to.v);
+  w.U64(step.value);
+  world().Submit(self_, spec().assets[step.asset].chain,
+                 deployment().escrow_contracts[step.asset],
+                 CallData{"transfer", w.Take()}, "transfer");
+}
+
+void CbcParty::SubmitCbcVote(bool abort) {
+  if (!start_hash_known_) return;
+  if (abort && voted_abort_) return;
+  if (!abort && voted_commit_) return;
+  ByteWriter w;
+  w.Raw(deployment().deal_id.bytes.data(), 32);
+  w.Raw(start_hash_.bytes.data(), 32);
+  world().Submit(self_, deployment().cbc_chain, deployment().cbc_log,
+                 CallData{abort ? "abort" : "commit", w.Take()}, "cbc-vote");
+  if (abort) {
+    voted_abort_ = true;
+  } else {
+    voted_commit_ = true;
+  }
+}
+
+void CbcParty::SubmitDecide(uint32_t asset, const CbcProof& proof) {
+  if (!decided_assets_.insert(asset).second) return;
+  ByteWriter w;
+  w.Raw(deployment().deal_id.bytes.data(), 32);
+  w.Blob(proof.Serialize());
+  world().Submit(self_, spec().assets[asset].chain,
+                 deployment().escrow_contracts[asset],
+                 CallData{"decide", w.Take()}, "decide");
+}
+
+bool CbcParty::RunValidationChecks() const {
+  if (!start_hash_known_) return false;
+  const DealSpec& s = spec();
+  std::vector<DealSpec::Expectation> expect = s.ExpectationsOf(self_);
+  for (uint32_t a : s.IncomingAssetsOf(self_)) {
+    const CbcEscrowContract* esc = EscrowOfAsset(a);
+    if (esc == nullptr || !esc->initialized()) return false;
+    if (!(esc->deal_id() == deployment().deal_id)) return false;
+    if (!(esc->start_hash() == start_hash_)) return false;
+    // "they must check their correctness before voting to commit" — the
+    // pinned validators must match the CBC's real validator set.
+    const auto& pinned = esc->validators();
+    const auto& real = run_->escrow_validators();
+    if (pinned.size() != real.size()) return false;
+    for (size_t i = 0; i < pinned.size(); ++i) {
+      if (!(pinned[i] == real[i])) return false;
+    }
+    const AssetRef& asset = s.assets[a];
+    Blockchain* chain = run_->world().chain(asset.chain);
+    Holder escrow_holder = Holder::OfContract(esc->self_id());
+    if (asset.kind == AssetKind::kFungible) {
+      if (esc->core().OnCommitOf(self_) != expect[a].fungible_amount) {
+        return false;
+      }
+      const auto* token = chain->As<FungibleToken>(asset.token);
+      if (token == nullptr ||
+          token->BalanceOf(escrow_holder) < expect[a].fungible_amount) {
+        return false;
+      }
+    } else {
+      const auto* registry = chain->As<TicketRegistry>(asset.token);
+      if (registry == nullptr) return false;
+      for (uint64_t ticket : expect[a].tickets) {
+        if (!(esc->core().NftCommitOwner(ticket) == self_)) return false;
+        if (!(registry->OwnerOf(ticket) == escrow_holder)) return false;
+      }
+    }
+  }
+  return true;
+}
+
+void CbcParty::ClaimAll(DealOutcome outcome) {
+  // Build the proof: reconfig chain (if the validators rotated) + a fresh
+  // status certificate from the current validator set.
+  CbcProof proof;
+  proof.reconfigs = run_->reconfig_chain();
+  proof.status =
+      run_->validators().IssueStatus(*Log(), deployment().deal_id);
+  if (proof.status.outcome != outcome) return;  // view changed; stale call
+
+  if (outcome == kDealCommitted) {
+    // Motivated to claim incoming assets.
+    for (uint32_t a : spec().IncomingAssetsOf(self_)) {
+      const CbcEscrowContract* esc = EscrowOfAsset(a);
+      if (esc != nullptr && !esc->settled()) SubmitDecide(a, proof);
+    }
+  } else {
+    // Motivated to recover deposits.
+    for (uint32_t a = 0; a < spec().NumAssets(); ++a) {
+      if (!spec().Deposits(self_, a)) continue;
+      const CbcEscrowContract* esc = EscrowOfAsset(a);
+      if (esc != nullptr && !esc->settled()) SubmitDecide(a, proof);
+    }
+  }
+}
+
+void CbcParty::OnStartDealPhase() { SubmitStartDeal(); }
+
+void CbcParty::OnEscrowPhase() {
+  if (!start_hash_known_) return;  // never observed startDeal: do nothing
+  if (escrowed_) return;
+  escrowed_ = true;
+  for (const EscrowStep& step : spec().escrows) {
+    if (step.party == self_) SubmitEscrow(step);
+  }
+}
+
+void CbcParty::OnTransferStep(size_t step_index) {
+  const TransferStep& step = spec().transfers[step_index];
+  if (step.from == self_) SubmitTransfer(step);
+}
+
+void CbcParty::OnValidatePhase() { satisfied_ = RunValidationChecks(); }
+
+void CbcParty::OnVotePhase() {
+  // "they vote to commit if validation succeeds, and they vote to abort if
+  //  validation fails" (§6).
+  SubmitCbcVote(/*abort=*/!satisfied_);
+}
+
+void CbcParty::OnObservedCbcReceipt(const Receipt& receipt) {
+  if (!receipt.status.ok()) return;
+  if (receipt.function == "startDeal") {
+    const CbcLogContract* log = Log();
+    if (log == nullptr) return;
+    Hash256 h = log->StartHashOf(deployment().deal_id);
+    if (!h.IsZero()) {
+      start_hash_ = h;
+      start_hash_known_ = true;
+      // If our abort deadline already passed while we were partitioned and
+      // could not even learn h, vote abort now so escrows come home.
+      if (abort_pending_ &&
+          log->OutcomeOf(deployment().deal_id) == kDealActive) {
+        SubmitCbcVote(/*abort=*/true);
+        return;
+      }
+      // If the escrow phase already passed while we were partitioned,
+      // escrow now — late escrows at worst make validation fail and the
+      // deal abort consistently.
+      if (world().now() >= run_->config().escrow_time && !escrowed_) {
+        OnEscrowPhase();
+      }
+    }
+    return;
+  }
+  if (receipt.function == "commit" || receipt.function == "abort") {
+    const CbcLogContract* log = Log();
+    if (log == nullptr) return;
+    DealOutcome outcome = log->OutcomeOf(deployment().deal_id);
+    if (outcome != kDealActive) ClaimAll(outcome);
+  }
+}
+
+void CbcParty::OnAbortDeadline() {
+  const CbcLogContract* log = Log();
+  if (log == nullptr) return;
+  if (!start_hash_known_) {
+    // We have not even seen the deal start; abort the moment we do.
+    abort_pending_ = true;
+    return;
+  }
+  DealOutcome outcome = log->OutcomeOf(deployment().deal_id);
+  if (outcome != kDealActive) return;  // already decided
+  // Too much time has passed: rescind/abort so escrowed assets come home.
+  SubmitCbcVote(/*abort=*/true);
+}
+
+// ---------------------------------------------------------------------------
+// CbcRun
+// ---------------------------------------------------------------------------
+
+CbcRun::CbcRun(World* world, DealSpec spec, CbcConfig config,
+               ChainId cbc_chain, ValidatorSet* validators,
+               StrategyFactory factory)
+    : world_(world),
+      spec_(std::move(spec)),
+      config_(config),
+      cbc_chain_(cbc_chain),
+      validators_(validators) {
+  for (PartyId p : spec_.parties) {
+    std::unique_ptr<CbcParty> strategy;
+    if (factory) strategy = factory(p);
+    if (!strategy) strategy = std::make_unique<CbcParty>();
+    strategy->run_ = this;
+    strategy->self_ = p;
+    parties_[p.v] = std::move(strategy);
+  }
+}
+
+CbcParty* CbcRun::party(PartyId p) {
+  auto it = parties_.find(p.v);
+  return it == parties_.end() ? nullptr : it->second.get();
+}
+
+Status CbcRun::Start() {
+  XDEAL_RETURN_IF_ERROR(spec_.Validate());
+
+  deployment_.deal_id = spec_.deal_id;
+  deployment_.cbc_chain = cbc_chain_;
+  Blockchain* cbc = world_->chain(cbc_chain_);
+  if (cbc == nullptr) return Status::NotFound("CBC chain missing");
+  deployment_.cbc_log = cbc->Deploy(std::make_unique<CbcLogContract>());
+
+  escrow_validators_ = validators_->CurrentPublicKeys();
+  escrow_epoch_ = validators_->epoch();
+
+  for (const AssetRef& asset : spec_.assets) {
+    Blockchain* chain = world_->chain(asset.chain);
+    if (chain == nullptr) return Status::NotFound("asset chain missing");
+    deployment_.escrow_contracts.push_back(chain->Deploy(
+        std::make_unique<CbcEscrowContract>(asset.kind, asset.token)));
+  }
+
+  size_t sequential_steps =
+      config_.parallel_transfers ? 1 : spec_.transfers.size();
+  deployment_.validation_time =
+      config_.transfer_start +
+      static_cast<Tick>(sequential_steps) * config_.step_gap +
+      config_.validation_slack;
+  deployment_.vote_time = deployment_.validation_time;
+
+  // Every party watches the CBC.
+  for (const auto& [pid, strategy] : parties_) {
+    CbcParty* raw = strategy.get();
+    cbc->Subscribe(world_->PartyEndpoint(PartyId{pid}),
+                   [raw](const Receipt& r) { raw->OnObservedCbcReceipt(r); });
+  }
+
+  SetupApprovals();
+  SchedulePhases();
+  return Status::OK();
+}
+
+void CbcRun::SetupApprovals() {
+  std::map<std::pair<uint32_t, uint32_t>, uint64_t> fungible_totals;
+  for (const EscrowStep& e : spec_.escrows) {
+    const AssetRef& asset = spec_.assets[e.asset];
+    Holder spender = Holder::OfContract(deployment_.escrow_contracts[e.asset]);
+    if (asset.kind == AssetKind::kFungible) {
+      fungible_totals[{e.asset, e.party.v}] += e.value;
+    } else {
+      ByteWriter w;
+      w.U64(e.value);
+      w.U8(static_cast<uint8_t>(spender.kind));
+      w.U32(spender.id);
+      world_->scheduler().ScheduleAt(
+          config_.setup_time, [this, e, args = w.Take()]() mutable {
+            world_->Submit(e.party, spec_.assets[e.asset].chain,
+                           spec_.assets[e.asset].token,
+                           CallData{"approve", std::move(args)}, "setup");
+          });
+    }
+  }
+  for (const auto& [key, total] : fungible_totals) {
+    auto [asset_index, party_id] = key;
+    Holder spender =
+        Holder::OfContract(deployment_.escrow_contracts[asset_index]);
+    ByteWriter w;
+    w.U8(static_cast<uint8_t>(spender.kind));
+    w.U32(spender.id);
+    w.U64(total);
+    uint32_t asset_copy = asset_index;
+    uint32_t party_copy = party_id;
+    world_->scheduler().ScheduleAt(
+        config_.setup_time,
+        [this, asset_copy, party_copy, args = w.Take()]() mutable {
+          world_->Submit(PartyId{party_copy}, spec_.assets[asset_copy].chain,
+                         spec_.assets[asset_copy].token,
+                         CallData{"approve", std::move(args)}, "setup");
+        });
+  }
+}
+
+void CbcRun::SchedulePhases() {
+  // Clearing: the first party records startDeal.
+  CbcParty* starter = parties_.at(spec_.parties.front().v).get();
+  world_->scheduler().ScheduleAt(config_.start_deal_time,
+                                 [starter] { starter->OnStartDealPhase(); });
+
+  for (const auto& [pid, strategy] : parties_) {
+    CbcParty* raw = strategy.get();
+    world_->scheduler().ScheduleAt(config_.escrow_time,
+                                   [raw] { raw->OnEscrowPhase(); });
+    world_->scheduler().ScheduleAt(deployment_.validation_time, [raw] {
+      raw->OnValidatePhase();
+      raw->OnVotePhase();
+    });
+    world_->scheduler().ScheduleAt(
+        deployment_.vote_time + config_.abort_patience,
+        [raw] { raw->OnAbortDeadline(); });
+  }
+  for (size_t i = 0; i < spec_.transfers.size(); ++i) {
+    Tick when = config_.transfer_start +
+                (config_.parallel_transfers
+                     ? 0
+                     : static_cast<Tick>(i) * config_.step_gap);
+    CbcParty* actor = parties_.at(spec_.transfers[i].from.v).get();
+    world_->scheduler().ScheduleAt(when,
+                                   [actor, i] { actor->OnTransferStep(i); });
+  }
+  // Optional mid-deal validator reconfigurations.
+  for (size_t k = 0; k < config_.reconfigs_before_claim; ++k) {
+    world_->scheduler().ScheduleAt(config_.reconfig_time + k, [this] {
+      reconfig_chain_.push_back(validators_->Reconfigure());
+    });
+  }
+}
+
+CbcResult CbcRun::Collect() const {
+  CbcResult result;
+  const Blockchain* cbc = world_->chain(cbc_chain_);
+  const auto* log = cbc->As<CbcLogContract>(deployment_.cbc_log);
+  if (log != nullptr) result.outcome = log->OutcomeOf(deployment_.deal_id);
+
+  result.all_settled = true;
+  bool any_released = false, any_refunded = false;
+  for (uint32_t a = 0; a < spec_.NumAssets(); ++a) {
+    const Blockchain* chain = world_->chain(spec_.assets[a].chain);
+    const auto* esc =
+        chain->As<CbcEscrowContract>(deployment_.escrow_contracts[a]);
+    if (esc == nullptr) continue;
+    if (esc->Released()) {
+      ++result.released_contracts;
+      any_released = true;
+    }
+    if (esc->Refunded()) {
+      ++result.refunded_contracts;
+      any_refunded = true;
+    }
+    // A contract nobody deposited into is vacuously settled.
+    bool vacuous = esc->core().Depositors().empty();
+    result.all_settled = result.all_settled && (esc->settled() || vacuous);
+  }
+  result.atomic = !(any_released && any_refunded);
+
+  for (uint32_t c = 0; c < world_->num_chains(); ++c) {
+    const Blockchain* chain = world_->chain(ChainId{c});
+    for (const Receipt& r : chain->receipts()) {
+      if (!r.status.ok()) continue;
+      if (r.tag == "escrow") result.gas_escrow += r.gas_used;
+      if (r.tag == "transfer") result.gas_transfer += r.gas_used;
+      if (r.tag == "cbc-vote" || r.tag == "cbc-start") {
+        result.gas_cbc_votes += r.gas_used;
+      }
+      if (r.tag == "decide") {
+        result.gas_decide += r.gas_used;
+        result.sig_verifies_decide += r.sig_verifies;
+        result.settle_time = std::max(result.settle_time, r.included_at);
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace xdeal

@@ -1,0 +1,175 @@
+// CbcRun: executes a deal under the certified-blockchain commit protocol
+// (§6).
+//
+// A designated party records startDeal(D, plist) on the CBC; parties escrow
+// their outgoing assets (pinning the CBC's validator set and the startDeal
+// hash h), perform tentative transfers, validate, then vote commit or abort
+// *on the CBC* (not per asset). The CBC log's total order decides the deal;
+// parties extract status certificates from the validators and present them
+// to escrow contracts, which verify 2f+1 signatures and settle.
+//
+// There are no per-asset timeouts: a party whose deal is taking too long
+// votes abort (rescinding its earlier commit vote if necessary, after
+// waiting at least Δ, §6). This protocol tolerates pre-GST asynchrony: the
+// deal may abort, but it aborts *everywhere* — never a mixed outcome.
+
+#ifndef XDEAL_CORE_CBC_RUN_H_
+#define XDEAL_CORE_CBC_RUN_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "cbc/validators.h"
+#include "chain/world.h"
+#include "contracts/cbc_escrow.h"
+#include "core/deal_spec.h"
+
+namespace xdeal {
+
+struct CbcConfig {
+  Tick setup_time = 0;
+  Tick start_deal_time = 20;
+  Tick escrow_time = 80;
+  Tick transfer_start = 180;
+  Tick step_gap = 40;
+  bool parallel_transfers = false;
+  Tick validation_slack = 50;
+  /// How long after its commit vote a party waits before rescinding with an
+  /// abort vote if the deal is still undecided. Must be >= Δ (§6).
+  Tick abort_patience = 400;
+  /// Number of validator-set reconfigurations to perform mid-deal (between
+  /// escrow and claim) — exercises the (k+1)(2f+1) proof chain.
+  size_t reconfigs_before_claim = 0;
+  Tick reconfig_time = 260;
+};
+
+struct CbcDeployment {
+  DealId deal_id;
+  ChainId cbc_chain;
+  ContractId cbc_log;
+  std::vector<ContractId> escrow_contracts;  // parallel to spec.assets
+  Tick validation_time = 0;
+  Tick vote_time = 0;
+};
+
+class CbcRun;
+
+/// Per-party strategy for the CBC protocol; default is compliant.
+class CbcParty {
+ public:
+  virtual ~CbcParty() = default;
+
+  PartyId self() const { return self_; }
+  bool satisfied() const { return satisfied_; }
+  bool voted_commit() const { return voted_commit_; }
+  bool voted_abort() const { return voted_abort_; }
+
+  // --- phase hooks ---
+  virtual void OnStartDealPhase();     // only the starter acts
+  virtual void OnEscrowPhase();
+  virtual void OnTransferStep(size_t step_index);
+  virtual void OnValidatePhase();
+  virtual void OnVotePhase();          // commit if satisfied, abort otherwise
+  virtual void OnObservedCbcReceipt(const Receipt& receipt);
+  virtual void OnAbortDeadline();      // rescind if still undecided
+
+ protected:
+  friend class CbcRun;
+
+  World& world();
+  const DealSpec& spec() const;
+  const CbcDeployment& deployment() const;
+  CbcRun& run() { return *run_; }
+  const CbcLogContract* Log() const;
+  CbcEscrowContract* EscrowOfAsset(uint32_t asset) const;
+
+  void SubmitStartDeal();
+  void SubmitEscrow(const EscrowStep& step);
+  void SubmitTransfer(const TransferStep& step);
+  void SubmitCbcVote(bool abort);
+  /// Requests a status certificate and presents it to asset `a`'s escrow.
+  void SubmitDecide(uint32_t asset, const CbcProof& proof);
+  bool RunValidationChecks() const;
+  /// Claims every escrow this party cares about, given a decisive outcome.
+  void ClaimAll(DealOutcome outcome);
+
+  CbcRun* run_ = nullptr;
+  PartyId self_;
+  bool satisfied_ = false;
+  bool start_hash_known_ = false;
+  Hash256 start_hash_;
+  bool voted_commit_ = false;
+  bool voted_abort_ = false;
+  bool escrowed_ = false;
+  bool abort_pending_ = false;  // deadline passed before we learned h
+  std::set<uint32_t> decided_assets_;  // where we already sent a proof
+};
+
+struct CbcResult {
+  DealOutcome outcome = kDealActive;  // per the CBC log
+  bool all_settled = false;
+  bool atomic = true;                 // no mixed settle across asset chains
+  size_t released_contracts = 0;
+  size_t refunded_contracts = 0;
+  Tick settle_time = 0;
+
+  uint64_t gas_escrow = 0;
+  uint64_t gas_transfer = 0;
+  uint64_t gas_cbc_votes = 0;   // writes on the CBC itself
+  uint64_t gas_decide = 0;      // proof checking on asset chains
+  uint64_t sig_verifies_decide = 0;
+};
+
+class CbcRun {
+ public:
+  using StrategyFactory = std::function<std::unique_ptr<CbcParty>(PartyId)>;
+
+  /// `cbc_chain` must host nothing yet (the run deploys the log contract);
+  /// `validators` is the BFT validator set backing the CBC.
+  CbcRun(World* world, DealSpec spec, CbcConfig config, ChainId cbc_chain,
+         ValidatorSet* validators, StrategyFactory factory = nullptr);
+
+  Status Start();
+  CbcResult Collect() const;
+
+  const CbcDeployment& deployment() const { return deployment_; }
+  const DealSpec& spec() const { return spec_; }
+  const CbcConfig& config() const { return config_; }
+  World& world() { return *world_; }
+  ValidatorSet& validators() { return *validators_; }
+  CbcParty* party(PartyId p);
+
+  /// Validator keys pinned by escrows (epoch at escrow time).
+  const std::vector<PublicKey>& escrow_validators() const {
+    return escrow_validators_;
+  }
+  uint32_t escrow_epoch() const { return escrow_epoch_; }
+
+  /// Reconfiguration certificates issued since escrow (parties attach these
+  /// to their proofs).
+  const std::vector<ReconfigCertificate>& reconfig_chain() const {
+    return reconfig_chain_;
+  }
+
+ private:
+  void SetupApprovals();
+  void SchedulePhases();
+
+  World* world_;
+  DealSpec spec_;
+  CbcConfig config_;
+  ChainId cbc_chain_;
+  ValidatorSet* validators_;
+  CbcDeployment deployment_;
+  std::vector<PublicKey> escrow_validators_;
+  uint32_t escrow_epoch_ = 0;
+  std::vector<ReconfigCertificate> reconfig_chain_;
+  std::map<uint32_t, std::unique_ptr<CbcParty>> parties_;
+};
+
+}  // namespace xdeal
+
+#endif  // XDEAL_CORE_CBC_RUN_H_

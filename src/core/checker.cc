@@ -1,0 +1,209 @@
+#include "core/checker.h"
+
+#include <cassert>
+
+namespace xdeal {
+
+LedgerSnapshot LedgerSnapshot::Capture(const World& world,
+                                       const DealSpec& spec) {
+  LedgerSnapshot snap;
+  snap.balances.resize(spec.NumAssets());
+  snap.ticket_owners.resize(spec.NumAssets());
+  for (uint32_t a = 0; a < spec.NumAssets(); ++a) {
+    const AssetRef& asset = spec.assets[a];
+    const Blockchain* chain = world.chain(asset.chain);
+    if (chain == nullptr) continue;
+    if (asset.kind == AssetKind::kFungible) {
+      const auto* token = chain->As<FungibleToken>(asset.token);
+      if (token == nullptr) continue;
+      for (PartyId p : spec.parties) {
+        snap.balances[a][p.v] = token->BalanceOf(Holder::Party(p));
+      }
+    } else {
+      const auto* registry = chain->As<TicketRegistry>(asset.token);
+      if (registry == nullptr) continue;
+      for (const EscrowStep& e : spec.escrows) {
+        if (e.asset != a) continue;
+        Holder owner = registry->OwnerOf(e.value);
+        if (owner.valid() && owner.is_party()) {
+          snap.ticket_owners[a][e.value] = owner.party().v;
+        }
+      }
+    }
+  }
+  return snap;
+}
+
+DealChecker::DealChecker(const World* world, DealSpec spec,
+                         std::vector<ContractId> escrows)
+    : world_(world), spec_(std::move(spec)), escrows_(std::move(escrows)) {
+  assert(escrows_.size() == spec_.NumAssets());
+}
+
+void DealChecker::CaptureInitial() {
+  initial_ = LedgerSnapshot::Capture(*world_, spec_);
+  captured_ = true;
+}
+
+const DealEscrowView* DealChecker::ViewOf(uint32_t asset) const {
+  const Blockchain* chain = world_->chain(spec_.assets[asset].chain);
+  if (chain == nullptr) return nullptr;
+  return dynamic_cast<const DealEscrowView*>(chain->contract(escrows_[asset]));
+}
+
+bool DealChecker::ExecutedOutgoingTransfer(PartyId p, uint32_t asset) const {
+  const Blockchain* chain = world_->chain(spec_.assets[asset].chain);
+  if (chain == nullptr) return false;
+  for (const Receipt& r : chain->receipts()) {
+    if (r.function == "transfer" && r.status.ok() && r.sender == p &&
+        r.contract == escrows_[asset]) {
+      return true;
+    }
+  }
+  return false;
+}
+
+PartyVerdict DealChecker::Evaluate(PartyId p) const {
+  assert(captured_);
+  PartyVerdict v;
+
+  // --- outgoing transferred: some committed chain carries an executed
+  //     outgoing tentative transfer of p ---
+  for (uint32_t a = 0; a < spec_.NumAssets(); ++a) {
+    const DealEscrowView* view = ViewOf(a);
+    if (view == nullptr || !view->Released()) continue;
+    if (ExecutedOutgoingTransfer(p, a)) {
+      v.outgoing_transferred = true;
+      break;
+    }
+  }
+
+  // --- all incoming received ---
+  std::vector<DealSpec::Expectation> expect = spec_.ExpectationsOf(p);
+  v.all_incoming_received = true;
+  for (uint32_t a : spec_.IncomingAssetsOf(p)) {
+    const DealEscrowView* view = ViewOf(a);
+    if (view == nullptr || !view->Released()) {
+      v.all_incoming_received = false;
+      break;
+    }
+    if (spec_.assets[a].kind == AssetKind::kFungible) {
+      if (view->escrow_core().OnCommitOf(p) != expect[a].fungible_amount) {
+        v.all_incoming_received = false;
+        break;
+      }
+    } else {
+      for (uint64_t ticket : expect[a].tickets) {
+        if (!(view->escrow_core().NftCommitOwner(ticket) == p)) {
+          v.all_incoming_received = false;
+          break;
+        }
+      }
+      if (!v.all_incoming_received) break;
+    }
+  }
+
+  v.property1 = !v.outgoing_transferred || v.all_incoming_received;
+
+  // --- weak liveness: every escrow p actually funded has settled ---
+  v.weak_liveness = true;
+  for (uint32_t a = 0; a < spec_.NumAssets(); ++a) {
+    const DealEscrowView* view = ViewOf(a);
+    if (view == nullptr) continue;
+    bool p_has_stake = view->escrow_core().EscrowedOf(p) > 0;
+    if (p_has_stake && !view->Settled()) {
+      v.weak_liveness = false;
+      break;
+    }
+  }
+
+  // --- token-level checks ---
+  LedgerSnapshot now = LedgerSnapshot::Capture(*world_, spec_);
+  std::vector<AssetOutcome> outcomes = spec_.ExpectedOutcomes();
+  v.token_state_expected = true;
+  v.token_state_unchanged = true;
+  for (uint32_t a = 0; a < spec_.NumAssets(); ++a) {
+    if (spec_.assets[a].kind == AssetKind::kFungible) {
+      uint64_t initial = 0, final_bal = 0;
+      auto iti = initial_.balances[a].find(p.v);
+      if (iti != initial_.balances[a].end()) initial = iti->second;
+      auto itf = now.balances[a].find(p.v);
+      if (itf != now.balances[a].end()) final_bal = itf->second;
+
+      uint64_t deposited = 0;
+      auto itd = outcomes[a].fungible_deposited.find(p);
+      if (itd != outcomes[a].fungible_deposited.end()) deposited = itd->second;
+      uint64_t commit_share = 0;
+      auto itc = outcomes[a].fungible_commit.find(p);
+      if (itc != outcomes[a].fungible_commit.end()) commit_share = itc->second;
+
+      uint64_t expected_final = initial - deposited + commit_share;
+      if (final_bal != expected_final) v.token_state_expected = false;
+      if (final_bal != initial) v.token_state_unchanged = false;
+    } else {
+      for (const auto& [ticket, commit_owner] : outcomes[a].nft_commit) {
+        bool initially_ours = false;
+        auto iti = initial_.ticket_owners[a].find(ticket);
+        if (iti != initial_.ticket_owners[a].end()) {
+          initially_ours = iti->second == p.v;
+        }
+        bool finally_ours = false;
+        auto itf = now.ticket_owners[a].find(ticket);
+        // Re-capture only tracks escrowed tickets; look up live owner.
+        const auto* registry =
+            world_->chain(spec_.assets[a].chain)
+                ->As<TicketRegistry>(spec_.assets[a].token);
+        if (registry != nullptr) {
+          Holder owner = registry->OwnerOf(ticket);
+          finally_ours = owner.is_party() && owner.party() == p;
+        }
+        (void)itf;
+        bool should_own_on_commit = commit_owner == p;
+        if (finally_ours != should_own_on_commit) {
+          v.token_state_expected = false;
+        }
+        if (finally_ours != initially_ours) v.token_state_unchanged = false;
+      }
+    }
+  }
+  return v;
+}
+
+bool DealChecker::SafetyHolds(const std::vector<PartyId>& compliant) const {
+  for (PartyId p : compliant) {
+    if (!Evaluate(p).property1) return false;
+  }
+  return true;
+}
+
+bool DealChecker::WeakLivenessHolds(
+    const std::vector<PartyId>& compliant) const {
+  for (PartyId p : compliant) {
+    if (!Evaluate(p).weak_liveness) return false;
+  }
+  return true;
+}
+
+bool DealChecker::StrongLivenessHolds() const {
+  for (uint32_t a = 0; a < spec_.NumAssets(); ++a) {
+    const DealEscrowView* view = ViewOf(a);
+    if (view == nullptr || !view->Released()) return false;
+  }
+  for (PartyId p : spec_.parties) {
+    if (!Evaluate(p).token_state_expected) return false;
+  }
+  return true;
+}
+
+bool DealChecker::Atomic() const {
+  bool any_released = false, any_refunded = false;
+  for (uint32_t a = 0; a < spec_.NumAssets(); ++a) {
+    const DealEscrowView* view = ViewOf(a);
+    if (view == nullptr) continue;
+    any_released = any_released || view->Released();
+    any_refunded = any_refunded || view->Refunded();
+  }
+  return !(any_released && any_refunded);
+}
+
+}  // namespace xdeal

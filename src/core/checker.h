@@ -1,0 +1,97 @@
+// DealChecker: evaluates the paper's correctness properties over a finished
+// deal execution.
+//
+//   Property 1 (safety): for every compliant party X, if any of X's outgoing
+//     assets is transferred then all of X's incoming assets are transferred
+//     (equivalently: if some incoming asset is not transferred, no outgoing
+//     asset is transferred).
+//   Property 2 (weak liveness): no asset belonging to a compliant party is
+//     locked up forever — every escrow X funded eventually settled.
+//   Property 3 (strong liveness): if all parties are compliant, all
+//     transfers happen.
+//
+// The checker snapshots token-level ownership before the deal, then combines
+// final token state, escrow contract state, and transaction receipts:
+//   - "X's outgoing asset transferred" := some asset chain *committed*
+//     (escrow released) on which X executed an outgoing tentative transfer;
+//   - "all of X's incoming assets transferred" := every asset on which X
+//     expects incoming value committed with X's commit-ownership exactly as
+//     the agreed spec says.
+
+#ifndef XDEAL_CORE_CHECKER_H_
+#define XDEAL_CORE_CHECKER_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "chain/world.h"
+#include "contracts/escrow_view.h"
+#include "core/deal_spec.h"
+
+namespace xdeal {
+
+/// Token-level ownership snapshot of every asset class in a deal.
+struct LedgerSnapshot {
+  // asset index -> party -> fungible balance.
+  std::vector<std::map<uint32_t, uint64_t>> balances;
+  // asset index -> ticket -> owner party (only tickets named in the spec).
+  std::vector<std::map<uint64_t, uint32_t>> ticket_owners;
+
+  static LedgerSnapshot Capture(const World& world, const DealSpec& spec);
+};
+
+/// Per-party evaluation of the run.
+struct PartyVerdict {
+  bool outgoing_transferred = false;  // paid something
+  bool all_incoming_received = false; // got everything expected
+  bool property1 = false;             // safety holds for this party
+  bool weak_liveness = false;         // nothing left locked
+  bool token_state_expected = false;  // token ledger matches full commit
+  bool token_state_unchanged = false; // token ledger matches full abort
+};
+
+class DealChecker {
+ public:
+  /// `escrows` maps asset index -> the deal's escrow contract on that
+  /// asset's chain (must implement DealEscrowView).
+  DealChecker(const World* world, DealSpec spec,
+              std::vector<ContractId> escrows);
+
+  /// Call before the run executes (after minting / before escrow phase).
+  void CaptureInitial();
+
+  /// Evaluates one party after the scheduler has drained.
+  PartyVerdict Evaluate(PartyId p) const;
+
+  /// Property 1 over a set of compliant parties.
+  bool SafetyHolds(const std::vector<PartyId>& compliant) const;
+
+  /// Property 2 over a set of compliant parties.
+  bool WeakLivenessHolds(const std::vector<PartyId>& compliant) const;
+
+  /// Property 3: every escrow released and token ledgers match the expected
+  /// commit outcome exactly (call only for all-compliant runs).
+  bool StrongLivenessHolds() const;
+
+  /// True if every asset chain settled the same way (the CBC guarantee:
+  /// "the deal either commits everywhere or aborts everywhere").
+  bool Atomic() const;
+
+  const DealSpec& spec() const { return spec_; }
+
+ private:
+  const DealEscrowView* ViewOf(uint32_t asset) const;
+  bool ExecutedOutgoingTransfer(PartyId p, uint32_t asset) const;
+
+  const World* world_;
+  DealSpec spec_;
+  std::vector<ContractId> escrows_;
+  LedgerSnapshot initial_;
+  bool captured_ = false;
+};
+
+}  // namespace xdeal
+
+#endif  // XDEAL_CORE_CHECKER_H_

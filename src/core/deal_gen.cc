@@ -1,0 +1,98 @@
+#include "core/deal_gen.h"
+
+#include <cassert>
+
+namespace xdeal {
+
+DealSpec GenerateRandomDeal(DealEnv* env, const GenParams& params) {
+  assert(params.n_parties >= 2);
+  assert(params.m_assets >= 1);
+  Rng rng(params.seed ^ 0x9E3779B97F4A7C15ULL);
+
+  DealSpec spec;
+  spec.deal_id = MakeDealId("generated", params.seed);
+
+  for (size_t i = 0; i < params.n_parties; ++i) {
+    spec.parties.push_back(env->AddParty("party-" + std::to_string(i)));
+  }
+  std::vector<ChainId> chains;
+  for (size_t c = 0; c < params.num_chains; ++c) {
+    chains.push_back(env->AddChain("chain-" + std::to_string(c)));
+  }
+
+  // Assets round-robin over chains; owner of asset i is party i mod n.
+  struct AssetPlan {
+    uint32_t index;
+    PartyId owner;
+    bool nft;
+    uint64_t ticket_or_amount;
+    PartyId walk_end;  // current tentative owner along the transfer walk
+  };
+  std::vector<AssetPlan> plans;
+  for (size_t a = 0; a < params.m_assets; ++a) {
+    PartyId owner = spec.parties[a % params.n_parties];
+    ChainId chain = chains[a % chains.size()];
+    bool nft = params.nft_every > 0 && a > 0 && a % params.nft_every == 0;
+    AssetPlan plan;
+    plan.owner = owner;
+    plan.nft = nft;
+    plan.walk_end = owner;
+    if (nft) {
+      plan.index = env->AddNftAsset(&spec, chain,
+                                    "nft-" + std::to_string(a), owner);
+      plan.ticket_or_amount = env->MintTicket(
+          spec, plan.index, owner, "event-" + std::to_string(a), "A1",
+          /*quality=*/90);
+    } else {
+      plan.index = env->AddFungibleAsset(&spec, chain,
+                                         "tok-" + std::to_string(a), owner);
+      plan.ticket_or_amount = params.amount;
+      env->Mint(spec, plan.index, owner, params.amount);
+    }
+    spec.escrows.push_back(
+        EscrowStep{plan.index, owner, plan.ticket_or_amount});
+    plans.push_back(plan);
+  }
+
+  // Asset 0 hops a full cycle through all parties: guarantees strong
+  // connectivity. (Asset 0 is always fungible.)
+  for (size_t i = 0; i < params.n_parties; ++i) {
+    PartyId from = spec.parties[i];
+    PartyId to = spec.parties[(i + 1) % params.n_parties];
+    spec.transfers.push_back(
+        TransferStep{plans[0].index, from, to, plans[0].ticket_or_amount});
+  }
+  plans[0].walk_end = spec.parties[0];
+
+  // Each remaining asset makes at least one hop so it participates.
+  for (size_t a = 1; a < plans.size(); ++a) {
+    PartyId from = plans[a].walk_end;
+    PartyId to = from;
+    while (to == from) {
+      to = spec.parties[rng.Below(params.n_parties)];
+    }
+    spec.transfers.push_back(
+        TransferStep{plans[a].index, from, to, plans[a].ticket_or_amount});
+    plans[a].walk_end = to;
+  }
+
+  // Distribute any remaining transfer budget as extra random hops.
+  size_t target = params.t_transfers;
+  while (spec.transfers.size() < target) {
+    AssetPlan& plan = plans[rng.Below(plans.size())];
+    PartyId from = plan.walk_end;
+    PartyId to = from;
+    while (to == from) {
+      to = spec.parties[rng.Below(params.n_parties)];
+    }
+    spec.transfers.push_back(
+        TransferStep{plan.index, from, to, plan.ticket_or_amount});
+    plan.walk_end = to;
+  }
+
+  assert(spec.Validate().ok());
+  assert(spec.IsWellFormed());
+  return spec;
+}
+
+}  // namespace xdeal

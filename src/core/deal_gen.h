@@ -1,0 +1,36 @@
+// Random deal generation for property tests and parameter sweeps.
+//
+// Produces well-formed deals with a controllable shape: n parties, m assets
+// spread over `num_chains` chains, t transfers. Strong connectivity is
+// guaranteed by construction: asset 0 is escrowed by party 0 and hops a full
+// cycle through all parties; remaining assets take random feasible walks.
+// Matches the paper's cost-analysis parameterization (§7: "a deal with n
+// participating parties, m assets, and t >= m transfers").
+
+#ifndef XDEAL_CORE_DEAL_GEN_H_
+#define XDEAL_CORE_DEAL_GEN_H_
+
+#include <string>
+
+#include "core/env.h"
+
+namespace xdeal {
+
+struct GenParams {
+  size_t n_parties = 3;
+  size_t m_assets = 2;
+  size_t t_transfers = 4;  // clamped up to n + (m-1) for well-formedness
+  size_t num_chains = 2;   // assets are placed round-robin
+  uint64_t amount = 100;   // escrow size for fungible assets
+  /// Every `nft_every`-th asset (>=1) is an NFT; 0 disables NFTs.
+  size_t nft_every = 0;
+  uint64_t seed = 1;
+};
+
+/// Builds chains/tokens/parties inside `env`, mints initial holdings, and
+/// returns a valid, well-formed DealSpec.
+DealSpec GenerateRandomDeal(DealEnv* env, const GenParams& params);
+
+}  // namespace xdeal
+
+#endif  // XDEAL_CORE_DEAL_GEN_H_

@@ -1,0 +1,180 @@
+#include "core/deal_spec.h"
+
+#include <algorithm>
+#include <functional>
+
+namespace xdeal {
+
+bool DealSpec::HasParty(PartyId p) const {
+  return std::find(parties.begin(), parties.end(), p) != parties.end();
+}
+
+Status DealSpec::Validate() const {
+  if (parties.empty()) return Status::InvalidArgument("spec: no parties");
+  std::set<PartyId> unique(parties.begin(), parties.end());
+  if (unique.size() != parties.size()) {
+    return Status::InvalidArgument("spec: duplicate parties");
+  }
+  for (const EscrowStep& e : escrows) {
+    if (e.asset >= assets.size()) {
+      return Status::InvalidArgument("spec: escrow asset out of range");
+    }
+    if (!HasParty(e.party)) {
+      return Status::InvalidArgument("spec: escrower not a party");
+    }
+    if (assets[e.asset].kind == AssetKind::kFungible && e.value == 0) {
+      return Status::InvalidArgument("spec: zero-amount escrow");
+    }
+  }
+  // NFT tickets may be escrowed at most once.
+  std::set<std::pair<uint32_t, uint64_t>> seen_tickets;
+  for (const EscrowStep& e : escrows) {
+    if (assets[e.asset].kind == AssetKind::kNft &&
+        !seen_tickets.insert({e.asset, e.value}).second) {
+      return Status::InvalidArgument("spec: ticket escrowed twice");
+    }
+  }
+  // Replay transfers to confirm feasibility.
+  std::vector<AssetOutcome> state(assets.size());
+  for (const EscrowStep& e : escrows) {
+    AssetOutcome& s = state[e.asset];
+    if (assets[e.asset].kind == AssetKind::kFungible) {
+      s.fungible_commit[e.party] += e.value;
+    } else {
+      s.nft_commit[e.value] = e.party;
+    }
+  }
+  for (const TransferStep& t : transfers) {
+    if (t.asset >= assets.size()) {
+      return Status::InvalidArgument("spec: transfer asset out of range");
+    }
+    if (!HasParty(t.from) || !HasParty(t.to)) {
+      return Status::InvalidArgument("spec: transfer endpoint not a party");
+    }
+    if (t.from == t.to) {
+      return Status::InvalidArgument("spec: self-transfer");
+    }
+    AssetOutcome& s = state[t.asset];
+    if (assets[t.asset].kind == AssetKind::kFungible) {
+      auto it = s.fungible_commit.find(t.from);
+      if (it == s.fungible_commit.end() || it->second < t.value) {
+        return Status::FailedPrecondition(
+            "spec: transfer infeasible (sender lacks commit-ownership)");
+      }
+      it->second -= t.value;
+      s.fungible_commit[t.to] += t.value;
+    } else {
+      auto it = s.nft_commit.find(t.value);
+      if (it == s.nft_commit.end() || !(it->second == t.from)) {
+        return Status::FailedPrecondition(
+            "spec: ticket transfer infeasible");
+      }
+      it->second = t.to;
+    }
+  }
+  return Status::OK();
+}
+
+std::vector<std::pair<PartyId, PartyId>> DealSpec::Arcs() const {
+  std::set<std::pair<PartyId, PartyId>> arcs;
+  for (const TransferStep& t : transfers) arcs.insert({t.from, t.to});
+  return {arcs.begin(), arcs.end()};
+}
+
+bool DealSpec::IsWellFormed() const {
+  // Strong connectivity over all parties (Tarjan would do; with the small
+  // party counts of deals, double DFS reachability is clearer).
+  if (parties.empty()) return false;
+  std::map<PartyId, std::vector<PartyId>> fwd, rev;
+  for (PartyId p : parties) {
+    fwd[p];
+    rev[p];
+  }
+  for (const auto& [from, to] : Arcs()) {
+    fwd[from].push_back(to);
+    rev[to].push_back(from);
+  }
+  auto reaches_all = [&](const std::map<PartyId, std::vector<PartyId>>& g) {
+    std::set<PartyId> visited;
+    std::vector<PartyId> stack{parties[0]};
+    visited.insert(parties[0]);
+    while (!stack.empty()) {
+      PartyId cur = stack.back();
+      stack.pop_back();
+      for (PartyId next : g.at(cur)) {
+        if (visited.insert(next).second) stack.push_back(next);
+      }
+    }
+    return visited.size() == parties.size();
+  };
+  return reaches_all(fwd) && reaches_all(rev);
+}
+
+std::vector<AssetOutcome> DealSpec::ExpectedOutcomes() const {
+  std::vector<AssetOutcome> state(assets.size());
+  for (const EscrowStep& e : escrows) {
+    AssetOutcome& s = state[e.asset];
+    if (assets[e.asset].kind == AssetKind::kFungible) {
+      s.fungible_commit[e.party] += e.value;
+      s.fungible_deposited[e.party] += e.value;
+    } else {
+      s.nft_commit[e.value] = e.party;
+      s.nft_deposited[e.value] = e.party;
+    }
+  }
+  for (const TransferStep& t : transfers) {
+    AssetOutcome& s = state[t.asset];
+    if (assets[t.asset].kind == AssetKind::kFungible) {
+      s.fungible_commit[t.from] -= t.value;
+      s.fungible_commit[t.to] += t.value;
+    } else {
+      s.nft_commit[t.value] = t.to;
+    }
+  }
+  return state;
+}
+
+std::vector<DealSpec::Expectation> DealSpec::ExpectationsOf(PartyId p) const {
+  std::vector<Expectation> out(assets.size());
+  std::vector<AssetOutcome> outcomes = ExpectedOutcomes();
+  for (size_t a = 0; a < assets.size(); ++a) {
+    if (assets[a].kind == AssetKind::kFungible) {
+      auto it = outcomes[a].fungible_commit.find(p);
+      out[a].fungible_amount =
+          it == outcomes[a].fungible_commit.end() ? 0 : it->second;
+    } else {
+      for (const auto& [ticket, owner] : outcomes[a].nft_commit) {
+        if (owner == p) out[a].tickets.insert(ticket);
+      }
+    }
+  }
+  return out;
+}
+
+bool DealSpec::Deposits(PartyId p, uint32_t asset) const {
+  for (const EscrowStep& e : escrows) {
+    if (e.asset == asset && e.party == p) return true;
+  }
+  return false;
+}
+
+std::set<uint32_t> DealSpec::IncomingAssetsOf(PartyId p) const {
+  std::set<uint32_t> out;
+  for (const TransferStep& t : transfers) {
+    if (t.to == p) out.insert(t.asset);
+  }
+  return out;
+}
+
+std::set<uint32_t> DealSpec::OutgoingAssetsOf(PartyId p) const {
+  std::set<uint32_t> out;
+  for (const TransferStep& t : transfers) {
+    if (t.from == p) out.insert(t.asset);
+  }
+  for (const EscrowStep& e : escrows) {
+    if (e.party == p) out.insert(e.asset);
+  }
+  return out;
+}
+
+}  // namespace xdeal

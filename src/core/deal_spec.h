@@ -1,0 +1,111 @@
+// DealSpec: the specification of a cross-chain deal (paper §2).
+//
+// A deal is "a matrix where the entry at row i and column j shows the assets
+// to be transferred from party i to party j". Executable form: the parties,
+// the assets involved (each living on some chain), the escrow deposits, and
+// the ordered *tentative transfer* steps that realize the matrix (possibly
+// multi-hop: Bob -> Alice -> Carol).
+//
+// Well-formedness (§5.1): the deal digraph — vertices = parties, arcs =
+// transfers — must be strongly connected, else the deal has free riders and
+// compliant parties have no incentive to execute it.
+
+#ifndef XDEAL_CORE_DEAL_SPEC_H_
+#define XDEAL_CORE_DEAL_SPEC_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "contracts/deal_info.h"
+#include "contracts/escrow_core.h"
+
+namespace xdeal {
+
+/// An asset class participating in a deal: a token contract on a chain.
+struct AssetRef {
+  ChainId chain;
+  ContractId token;
+  AssetKind kind = AssetKind::kFungible;
+  std::string label;  // "coins", "tickets" — for reports
+};
+
+/// One escrow deposit: `party` places `value` (amount, or a ticket id for
+/// NFTs) of asset `asset` into escrow.
+struct EscrowStep {
+  uint32_t asset = 0;
+  PartyId party;
+  uint64_t value = 0;
+};
+
+/// One tentative transfer: `from` moves `value` (amount or ticket id) of
+/// asset `asset` to `to`, in commit-ownership.
+struct TransferStep {
+  uint32_t asset = 0;
+  PartyId from;
+  PartyId to;
+  uint64_t value = 0;
+};
+
+/// The commit-time outcome of one asset, derived by replaying the spec.
+struct AssetOutcome {
+  // Fungible: final commit-ownership amounts, and deposits per party.
+  std::map<PartyId, uint64_t> fungible_commit;
+  std::map<PartyId, uint64_t> fungible_deposited;
+  // NFT: final commit owner per ticket, and depositor per ticket.
+  std::map<uint64_t, PartyId> nft_commit;
+  std::map<uint64_t, PartyId> nft_deposited;
+};
+
+class DealSpec {
+ public:
+  DealId deal_id;
+  std::vector<PartyId> parties;
+  std::vector<AssetRef> assets;
+  std::vector<EscrowStep> escrows;
+  std::vector<TransferStep> transfers;
+
+  size_t NumParties() const { return parties.size(); }
+  size_t NumAssets() const { return assets.size(); }
+  size_t NumTransfers() const { return transfers.size(); }
+
+  bool HasParty(PartyId p) const;
+
+  /// Structural validity: parties distinct, asset indices in range, all
+  /// escrowers/transfer endpoints are parties, and the transfer sequence is
+  /// feasible (each step's sender holds the value in commit-ownership when
+  /// the step runs). Distinct from well-formedness.
+  Status Validate() const;
+
+  /// The deal digraph's arcs (from, to), deduplicated.
+  std::vector<std::pair<PartyId, PartyId>> Arcs() const;
+
+  /// §5.1: the digraph over *all* parties is strongly connected.
+  bool IsWellFormed() const;
+
+  /// Replays escrows + transfers to produce the expected commit outcome of
+  /// each asset. Requires Validate().ok().
+  std::vector<AssetOutcome> ExpectedOutcomes() const;
+
+  /// Parties from which `p` expects incoming value per asset (for the
+  /// validation phase): asset index -> expected commit ownership of p.
+  /// Fungible: amount. NFT: set of ticket ids.
+  struct Expectation {
+    uint64_t fungible_amount = 0;
+    std::set<uint64_t> tickets;
+  };
+  std::vector<Expectation> ExpectationsOf(PartyId p) const;
+
+  /// True if `p` deposits into asset `a` under this spec.
+  bool Deposits(PartyId p, uint32_t asset) const;
+
+  /// Chains on which `p` has incoming assets (where it is motivated to
+  /// vote) and outgoing assets (which it monitors to forward votes), §5.1.
+  std::set<uint32_t> IncomingAssetsOf(PartyId p) const;
+  std::set<uint32_t> OutgoingAssetsOf(PartyId p) const;
+};
+
+}  // namespace xdeal
+
+#endif  // XDEAL_CORE_DEAL_SPEC_H_

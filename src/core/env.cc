@@ -1,0 +1,80 @@
+#include "core/env.h"
+
+#include <cassert>
+#include <utility>
+
+namespace xdeal {
+
+Tick SuggestDelta(const EnvConfig& config) {
+  // One protocol hop costs at most: observe (net) + submit (net) + inclusion
+  // (block interval). Δ doubles that for headroom.
+  return 2 * (2 * config.net_max_delay + config.block_interval);
+}
+
+namespace {
+std::unique_ptr<NetworkModel> MakeNetwork(EnvConfig* config) {
+  if (config->network) return std::move(config->network);
+  return std::make_unique<SynchronousNetwork>(config->net_min_delay,
+                                              config->net_max_delay);
+}
+}  // namespace
+
+DealEnv::DealEnv(EnvConfig config)
+    : config_block_interval_(config.block_interval),
+      config_net_max_delay_(config.net_max_delay),
+      world_(config.seed, MakeNetwork(&config)) {}
+
+PartyId DealEnv::AddParty(const std::string& name) {
+  return world_.RegisterParty(name);
+}
+
+ChainId DealEnv::AddChain(const std::string& name) {
+  return world_.CreateChain(name, config_block_interval_)->id();
+}
+
+uint32_t DealEnv::AddFungibleAsset(DealSpec* spec, ChainId chain,
+                                   const std::string& label, PartyId issuer) {
+  Blockchain* c = world_.chain(chain);
+  assert(c != nullptr);
+  ContractId token = c->Deploy(std::make_unique<FungibleToken>(label, issuer));
+  spec->assets.push_back(AssetRef{chain, token, AssetKind::kFungible, label});
+  return static_cast<uint32_t>(spec->assets.size() - 1);
+}
+
+uint32_t DealEnv::AddNftAsset(DealSpec* spec, ChainId chain,
+                              const std::string& label, PartyId issuer) {
+  Blockchain* c = world_.chain(chain);
+  assert(c != nullptr);
+  ContractId token = c->Deploy(std::make_unique<TicketRegistry>(issuer));
+  spec->assets.push_back(AssetRef{chain, token, AssetKind::kNft, label});
+  return static_cast<uint32_t>(spec->assets.size() - 1);
+}
+
+void DealEnv::Mint(const DealSpec& spec, uint32_t asset, PartyId party,
+                   uint64_t amount) {
+  FungibleToken* token = TokenOf(spec, asset);
+  assert(token != nullptr);
+  Status st = token->Mint(Holder::Party(party), amount);
+  assert(st.ok());
+  (void)st;
+}
+
+uint64_t DealEnv::MintTicket(const DealSpec& spec, uint32_t asset,
+                             PartyId party, const std::string& event,
+                             const std::string& seat, uint32_t quality) {
+  TicketRegistry* registry = RegistryOf(spec, asset);
+  assert(registry != nullptr);
+  return registry->Mint(Holder::Party(party), TicketInfo{event, seat, quality});
+}
+
+FungibleToken* DealEnv::TokenOf(const DealSpec& spec, uint32_t asset) {
+  return world_.chain(spec.assets[asset].chain)
+      ->As<FungibleToken>(spec.assets[asset].token);
+}
+
+TicketRegistry* DealEnv::RegistryOf(const DealSpec& spec, uint32_t asset) {
+  return world_.chain(spec.assets[asset].chain)
+      ->As<TicketRegistry>(spec.assets[asset].token);
+}
+
+}  // namespace xdeal

@@ -1,0 +1,78 @@
+// DealEnv: scenario-construction helper.
+//
+// Wraps a World plus the bookkeeping needed to stand up a deal: create
+// chains, register parties, deploy token contracts, mint initial holdings,
+// and assemble a DealSpec. Used by examples, tests, and benchmarks so that
+// scenario code stays at the level of the paper's prose ("Bob owns two
+// tickets on the ticket chain; Carol owns 101 coins on the coin chain").
+
+#ifndef XDEAL_CORE_ENV_H_
+#define XDEAL_CORE_ENV_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "chain/world.h"
+#include "core/deal_spec.h"
+
+namespace xdeal {
+
+struct EnvConfig {
+  uint64_t seed = 1;
+  Tick block_interval = 10;
+  Tick net_min_delay = 1;
+  Tick net_max_delay = 10;
+  /// Custom network model (overrides the synchronous default if set).
+  std::unique_ptr<NetworkModel> network;
+};
+
+/// A Δ consistent with the environment's worst-case submit + inclusion +
+/// observation latency, with 2x headroom (see §5: "∆ should be large enough
+/// to render irrelevant any imprecision in blockchain timekeeping").
+Tick SuggestDelta(const EnvConfig& config);
+
+class DealEnv {
+ public:
+  explicit DealEnv(EnvConfig config);
+
+  World& world() { return world_; }
+
+  PartyId AddParty(const std::string& name);
+
+  /// Creates a chain; returns its id.
+  ChainId AddChain(const std::string& name);
+
+  /// Deploys a fungible token on `chain` and registers it as the next asset
+  /// of `spec`; returns the asset index.
+  uint32_t AddFungibleAsset(DealSpec* spec, ChainId chain,
+                            const std::string& label, PartyId issuer);
+
+  /// Deploys an NFT registry on `chain`; returns the asset index.
+  uint32_t AddNftAsset(DealSpec* spec, ChainId chain, const std::string& label,
+                       PartyId issuer);
+
+  /// Mints `amount` of fungible asset `asset` to `party`.
+  void Mint(const DealSpec& spec, uint32_t asset, PartyId party,
+            uint64_t amount);
+
+  /// Mints an NFT ticket; returns the ticket id.
+  uint64_t MintTicket(const DealSpec& spec, uint32_t asset, PartyId party,
+                      const std::string& event, const std::string& seat,
+                      uint32_t quality);
+
+  FungibleToken* TokenOf(const DealSpec& spec, uint32_t asset);
+  TicketRegistry* RegistryOf(const DealSpec& spec, uint32_t asset);
+
+  Tick block_interval() const { return config_block_interval_; }
+  Tick net_max_delay() const { return config_net_max_delay_; }
+
+ private:
+  Tick config_block_interval_;
+  Tick config_net_max_delay_;
+  World world_;
+};
+
+}  // namespace xdeal
+
+#endif  // XDEAL_CORE_ENV_H_

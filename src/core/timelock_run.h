@@ -1,0 +1,163 @@
+// TimelockRun: executes a deal under the timelock commit protocol (§5).
+//
+// The driver deploys one TimelockEscrowContract per asset, computes the deal
+// schedule (phase times, t0, Δ), and drives each party's *strategy object*
+// through the five phases (§4.1):
+//
+//   clearing -> escrow -> transfer -> validation -> commit
+//
+// Compliant strategy (§5.1, incentive-minimal):
+//   - escrows its outgoing assets, performs its transfer steps in order,
+//   - validates its incoming assets against the agreed spec,
+//   - votes commit on the escrow contracts of its *incoming* assets,
+//   - monitors its *outgoing* assets' chains and forwards newly observed
+//     votes (path-signature extended with its own signature) to its
+//     incoming assets' contracts,
+//   - claims a refund after t0 + N·Δ if an escrow it funded never settled.
+//
+// Deviating behaviours are subclasses overriding individual hooks (see
+// adversaries.h). Phase timings are deterministic; all nondeterminism comes
+// from the World's network model and seed.
+
+#ifndef XDEAL_CORE_TIMELOCK_RUN_H_
+#define XDEAL_CORE_TIMELOCK_RUN_H_
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "chain/world.h"
+#include "contracts/timelock_escrow.h"
+#include "core/deal_spec.h"
+
+namespace xdeal {
+
+struct TimelockConfig {
+  Tick setup_time = 0;          // token approvals
+  Tick escrow_time = 50;
+  Tick transfer_start = 150;
+  Tick step_gap = 40;           // between sequential transfer steps
+  bool parallel_transfers = false;
+  Tick validation_slack = 50;   // after last transfer step
+  Tick delta = 200;             // the synchrony bound Δ
+  bool direct_votes = false;    // altruistic: vote on every asset's chain
+  Tick refund_margin = 20;      // watchdog fires at t0 + N·Δ + margin
+};
+
+/// Where the deal's contracts live: escrow contract per asset index.
+struct TimelockDeployment {
+  DealInfo info;  // deal id, plist, t0, Δ
+  std::vector<ContractId> escrow_contracts;  // parallel to spec.assets
+
+  Tick validation_time = 0;
+};
+
+class TimelockRun;
+
+/// Per-party strategy. The default implementation is the compliant party;
+/// adversaries override hooks. Strategies act only through `Submit*` helpers
+/// and public chain state — the same interface a real party would have.
+class TimelockParty {
+ public:
+  virtual ~TimelockParty() = default;
+
+  PartyId self() const { return self_; }
+
+  // --- phase hooks (called by the driver at scheduled times) ---
+  virtual void OnEscrowPhase();
+  virtual void OnTransferStep(size_t step_index);
+  virtual void OnValidatePhase();
+  virtual void OnCommitPhase();
+  /// Observation of a receipt on a chain this party monitors.
+  virtual void OnObservedReceipt(const Receipt& receipt);
+  /// Refund watchdog at t0 + N·Δ + margin.
+  virtual void OnRefundWatch();
+
+  /// Validation verdict reached by this party (valid after validation).
+  bool satisfied() const { return satisfied_; }
+
+ protected:
+  friend class TimelockRun;
+
+  // --- helpers available to strategies ---
+  World& world();
+  const DealSpec& spec() const;
+  const TimelockDeployment& deployment() const;
+  const TimelockConfig& config() const;
+  Blockchain* ChainOfAsset(uint32_t asset) const;
+  TimelockEscrowContract* EscrowOfAsset(uint32_t asset) const;
+
+  /// Submits an "escrow" call for one EscrowStep of this party.
+  void SubmitEscrow(const EscrowStep& step);
+  /// Submits a "transfer" call for one TransferStep (must be ours).
+  void SubmitTransfer(const TransferStep& step);
+  /// Builds this party's own commit vote (path length 1).
+  PathVote MakeOwnVote() const;
+  /// Extends `vote` with our signature at the next depth.
+  PathVote ExtendVote(const PathVote& vote) const;
+  /// Submits a commit vote to asset `a`'s escrow contract.
+  void SubmitVote(uint32_t asset, const PathVote& vote);
+  /// Runs the §4.1 validation checks; true if everything is satisfactory.
+  bool RunValidationChecks() const;
+
+  TimelockRun* run_ = nullptr;
+  PartyId self_;
+  bool satisfied_ = false;
+  // (voter, asset) pairs we have already sent/forwarded, to avoid duplicates.
+  std::set<std::pair<uint32_t, uint32_t>> sent_votes_;
+};
+
+/// Aggregated result of a run.
+struct TimelockResult {
+  bool all_settled = false;      // every escrow contract released or refunded
+  size_t released_contracts = 0;
+  size_t refunded_contracts = 0;
+  Tick settle_time = 0;          // last settlement (inclusion time)
+  Tick commit_phase_end = 0;     // last release, if any
+
+  uint64_t gas_escrow = 0;
+  uint64_t gas_transfer = 0;
+  uint64_t gas_commit = 0;
+  uint64_t gas_refund = 0;
+  uint64_t sig_verifies_commit = 0;
+};
+
+class TimelockRun {
+ public:
+  /// `spec` must Validate(). Strategy factory: returns the strategy for each
+  /// party (nullptr -> compliant).
+  using StrategyFactory =
+      std::function<std::unique_ptr<TimelockParty>(PartyId)>;
+
+  TimelockRun(World* world, DealSpec spec, TimelockConfig config,
+              StrategyFactory factory = nullptr);
+
+  /// Deploys contracts, schedules all phases, and wires subscriptions.
+  /// Call once, then world->scheduler().Run().
+  Status Start();
+
+  /// Collects results after the scheduler has drained.
+  TimelockResult Collect() const;
+
+  const TimelockDeployment& deployment() const { return deployment_; }
+  const DealSpec& spec() const { return spec_; }
+  const TimelockConfig& config() const { return config_; }
+  World& world() { return *world_; }
+  TimelockParty* party(PartyId p);
+
+ private:
+  void SetupApprovals();
+  void SchedulePhases();
+
+  World* world_;
+  DealSpec spec_;
+  TimelockConfig config_;
+  TimelockDeployment deployment_;
+  std::map<uint32_t, std::unique_ptr<TimelockParty>> parties_;
+};
+
+}  // namespace xdeal
+
+#endif  // XDEAL_CORE_TIMELOCK_RUN_H_

@@ -1,0 +1,85 @@
+#include "core/watchtower.h"
+
+namespace xdeal {
+
+Watchtower::Watchtower(World* world, const DealSpec& spec,
+                       const TimelockDeployment& deployment,
+                       PartyId operator_id, std::vector<PartyId> clients)
+    : world_(world),
+      spec_(spec),
+      deployment_(deployment),
+      operator_id_(operator_id),
+      clients_(std::move(clients)) {}
+
+TimelockEscrowContract* Watchtower::EscrowOfAsset(uint32_t asset) const {
+  return world_->chain(spec_.assets[asset].chain)
+      ->As<TimelockEscrowContract>(deployment_.escrow_contracts[asset]);
+}
+
+void Watchtower::Arm() {
+  std::set<ChainId> chains;
+  for (const AssetRef& asset : spec_.assets) chains.insert(asset.chain);
+  for (ChainId c : chains) {
+    world_->chain(c)->Subscribe(
+        world_->PartyEndpoint(operator_id_),
+        [this](const Receipt& r) { OnObservedReceipt(r); });
+  }
+  world_->scheduler().ScheduleAt(
+      deployment_.info.RefundTime() + 1, [this] { OnRefundWatch(); });
+}
+
+void Watchtower::OnObservedReceipt(const Receipt& receipt) {
+  if (receipt.function != "commit" || !receipt.status.ok()) return;
+  // Find the asset this receipt's contract backs.
+  uint32_t observed = kInvalidId;
+  for (uint32_t a = 0; a < spec_.NumAssets(); ++a) {
+    if (spec_.assets[a].chain == receipt.chain &&
+        deployment_.escrow_contracts[a] == receipt.contract) {
+      observed = a;
+      break;
+    }
+  }
+  if (observed == kInvalidId) return;
+  const TimelockEscrowContract* source = EscrowOfAsset(observed);
+  if (source == nullptr) return;
+
+  // Relay every accepted vote, verbatim, to every other contract that has
+  // not yet accepted a vote from that voter. The path signature and its
+  // deadline are unchanged — the watchtower's value is pure speed.
+  for (const auto& [voter_id, vote] : source->accepted_votes()) {
+    for (uint32_t b = 0; b < spec_.NumAssets(); ++b) {
+      if (b == observed) continue;
+      const TimelockEscrowContract* target = EscrowOfAsset(b);
+      if (target == nullptr || target->settled()) continue;
+      if (target->HasVoted(PartyId{voter_id})) continue;
+      if (!relayed_votes_.insert({b, voter_id}).second) continue;
+      ByteWriter w;
+      w.Raw(deployment_.info.deal_id.bytes.data(), 32);
+      vote.AppendTo(&w);
+      world_->Submit(operator_id_, spec_.assets[b].chain,
+                     deployment_.escrow_contracts[b],
+                     CallData{"commit", w.Take()}, "watchtower");
+      ++relayed_;
+    }
+  }
+}
+
+void Watchtower::OnRefundWatch() {
+  for (uint32_t a = 0; a < spec_.NumAssets(); ++a) {
+    const TimelockEscrowContract* esc = EscrowOfAsset(a);
+    if (esc == nullptr || esc->settled()) continue;
+    // Refund on behalf of any client with a deposit here.
+    bool client_stake = false;
+    for (PartyId client : clients_) {
+      client_stake = client_stake || esc->core().EscrowedOf(client) > 0;
+    }
+    if (!client_stake) continue;
+    ByteWriter w;
+    w.Raw(deployment_.info.deal_id.bytes.data(), 32);
+    world_->Submit(operator_id_, spec_.assets[a].chain,
+                   deployment_.escrow_contracts[a],
+                   CallData{"claimRefund", w.Take()}, "watchtower");
+  }
+}
+
+}  // namespace xdeal

@@ -1,0 +1,59 @@
+// Watchtower: an always-online vote relay (paper §5.3).
+//
+// "To address a similar risk, the Lightning payment network employs
+//  watchtowers, parties that monitor escrow contracts and step in to act on
+//  the behalf of off-line parties in danger of losing assets."
+//
+// A watchtower is NOT a deal party: it cannot extend a path signature (it is
+// not in the plist), but the timelock contracts accept a valid vote from
+// *any* sender, so the watchtower can
+//   1. relay accepted votes verbatim from one escrow contract to the others
+//      the moment it observes them (it is never offline, so it usually beats
+//      the |p|·Δ deadline that a DoS'd party would miss), and
+//   2. trigger claimRefund after t0 + N·Δ on behalf of clients (callable by
+//      anyone).
+// The watchtower_test shows this neutralizing the §5.3 attack that
+// otherwise costs the offline parties their assets.
+
+#ifndef XDEAL_CORE_WATCHTOWER_H_
+#define XDEAL_CORE_WATCHTOWER_H_
+
+#include <set>
+#include <vector>
+
+#include "core/timelock_run.h"
+
+namespace xdeal {
+
+class Watchtower {
+ public:
+  /// `operator_id` is the watchtower's own on-chain identity (any registered
+  /// party; it needs no deal membership). `clients` are the parties whose
+  /// deposits it guards for refund purposes; vote relaying helps everyone.
+  Watchtower(World* world, const DealSpec& spec,
+             const TimelockDeployment& deployment, PartyId operator_id,
+             std::vector<PartyId> clients);
+
+  /// Subscribes to every deal chain and schedules the refund watch.
+  void Arm();
+
+  /// Number of votes this watchtower has relayed (for tests/metrics).
+  size_t relayed() const { return relayed_; }
+
+ private:
+  void OnObservedReceipt(const Receipt& receipt);
+  void OnRefundWatch();
+  TimelockEscrowContract* EscrowOfAsset(uint32_t asset) const;
+
+  World* world_;
+  DealSpec spec_;
+  TimelockDeployment deployment_;
+  PartyId operator_id_;
+  std::vector<PartyId> clients_;
+  std::set<std::pair<uint32_t, uint32_t>> relayed_votes_;  // (asset, voter)
+  size_t relayed_ = 0;
+};
+
+}  // namespace xdeal
+
+#endif  // XDEAL_CORE_WATCHTOWER_H_

@@ -1,0 +1,75 @@
+#include "crypto/merkle.h"
+
+namespace xdeal {
+
+namespace {
+
+Hash256 HashPair(const Hash256& left, const Hash256& right) {
+  Sha256 h;
+  h.Update("xdeal-merkle-node");
+  h.Update(left.bytes.data(), left.bytes.size());
+  h.Update(right.bytes.data(), right.bytes.size());
+  return h.Finish();
+}
+
+// Computes all levels of the tree; level 0 is the leaves.
+std::vector<std::vector<Hash256>> BuildLevels(
+    const std::vector<Hash256>& leaves) {
+  std::vector<std::vector<Hash256>> levels;
+  levels.push_back(leaves);
+  while (levels.back().size() > 1) {
+    const auto& cur = levels.back();
+    std::vector<Hash256> next;
+    next.reserve((cur.size() + 1) / 2);
+    for (size_t i = 0; i < cur.size(); i += 2) {
+      const Hash256& left = cur[i];
+      const Hash256& right = (i + 1 < cur.size()) ? cur[i + 1] : cur[i];
+      next.push_back(HashPair(left, right));
+    }
+    levels.push_back(std::move(next));
+  }
+  return levels;
+}
+
+}  // namespace
+
+Hash256 MerkleRoot(const std::vector<Hash256>& leaves) {
+  if (leaves.empty()) return Hash256{};
+  if (leaves.size() == 1) return HashPair(leaves[0], leaves[0]);
+  return BuildLevels(leaves).back()[0];
+}
+
+Result<MerkleProof> BuildMerkleProof(const std::vector<Hash256>& leaves,
+                                     size_t index) {
+  if (index >= leaves.size()) {
+    return Status::InvalidArgument("merkle proof index out of range");
+  }
+  MerkleProof proof;
+  if (leaves.size() == 1) {
+    // Single leaf: the root is HashPair(leaf, leaf); sibling is the leaf.
+    proof.push_back({leaves[0], false});
+    return proof;
+  }
+  auto levels = BuildLevels(leaves);
+  size_t pos = index;
+  for (size_t lvl = 0; lvl + 1 < levels.size(); ++lvl) {
+    const auto& cur = levels[lvl];
+    size_t sibling = (pos % 2 == 0) ? pos + 1 : pos - 1;
+    if (sibling >= cur.size()) sibling = pos;  // duplicated last node
+    proof.push_back({cur[sibling], pos % 2 == 1});
+    pos /= 2;
+  }
+  return proof;
+}
+
+bool VerifyMerkleProof(const Hash256& leaf, const MerkleProof& proof,
+                       const Hash256& root) {
+  Hash256 acc = leaf;
+  for (const MerkleStep& step : proof) {
+    acc = step.sibling_is_left ? HashPair(step.sibling, acc)
+                               : HashPair(acc, step.sibling);
+  }
+  return acc == root;
+}
+
+}  // namespace xdeal

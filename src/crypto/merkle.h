@@ -1,0 +1,42 @@
+// Binary Merkle tree over entry hashes, used for block entry commitments.
+//
+// Blocks commit to their entries with a Merkle root; parties presenting a
+// block subsequence as part of a cross-chain proof can (in the full design)
+// also present Merkle membership proofs for individual entries. Duplicated
+// last node at odd levels (Bitcoin-style).
+
+#ifndef XDEAL_CRYPTO_MERKLE_H_
+#define XDEAL_CRYPTO_MERKLE_H_
+
+#include <vector>
+
+#include "crypto/sha256.h"
+#include "util/result.h"
+
+namespace xdeal {
+
+/// One step in a Merkle membership proof: the sibling hash and whether the
+/// sibling is on the left.
+struct MerkleStep {
+  Hash256 sibling;
+  bool sibling_is_left = false;
+};
+
+using MerkleProof = std::vector<MerkleStep>;
+
+/// Computes the Merkle root of a list of leaf hashes.
+/// The root of an empty list is the all-zero hash; a single leaf is its own
+/// root after one hashing level (domain-separated from leaves).
+Hash256 MerkleRoot(const std::vector<Hash256>& leaves);
+
+/// Builds a membership proof for the leaf at `index`.
+Result<MerkleProof> BuildMerkleProof(const std::vector<Hash256>& leaves,
+                                     size_t index);
+
+/// Verifies that `leaf` is committed under `root` via `proof`.
+bool VerifyMerkleProof(const Hash256& leaf, const MerkleProof& proof,
+                       const Hash256& root);
+
+}  // namespace xdeal
+
+#endif  // XDEAL_CRYPTO_MERKLE_H_

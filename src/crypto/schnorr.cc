@@ -1,0 +1,116 @@
+#include "crypto/schnorr.h"
+
+#include "util/serialize.h"
+
+namespace xdeal {
+
+const U256& SchnorrGroup::P() {
+  static const U256 p = U256::FromLimbsBigEndian(
+      0x7FFFFFFFFFFFFFFFULL, 0xFFFFFFFFFFFFFFFFULL, 0xFFFFFFFFFFFFFFFFULL,
+      0xFFFFFFFFFFFFFFEDULL);
+  return p;
+}
+
+const U256& SchnorrGroup::N() {
+  static const U256 n = U256::FromLimbsBigEndian(
+      0x7FFFFFFFFFFFFFFFULL, 0xFFFFFFFFFFFFFFFFULL, 0xFFFFFFFFFFFFFFFFULL,
+      0xFFFFFFFFFFFFFFECULL);
+  return n;
+}
+
+const U256& SchnorrGroup::G() {
+  static const U256 g(2);
+  return g;
+}
+
+namespace {
+
+/// Hashes arbitrary bytes to a nonzero exponent mod n.
+U256 HashToExponent(const Bytes& data) {
+  U256 e = U256::Mod(U256::FromHash(Sha256Digest(data)), SchnorrGroup::N());
+  if (e.IsZero()) e = U256(1);
+  return e;
+}
+
+/// The challenge e = H(r || y || m) mod n.
+U256 Challenge(const U256& r, const PublicKey& key, const Bytes& message) {
+  ByteWriter w;
+  w.Raw(r.ToBytes());
+  w.Raw(key.y.ToBytes());
+  w.Blob(message);
+  return HashToExponent(w.bytes());
+}
+
+}  // namespace
+
+std::string PublicKey::Fingerprint() const {
+  return Sha256Digest(Serialize()).ShortHex();
+}
+
+Bytes Signature::Serialize() const {
+  Bytes out = r.ToBytes();
+  Bytes s_bytes = s.ToBytes();
+  out.insert(out.end(), s_bytes.begin(), s_bytes.end());
+  return out;
+}
+
+Result<Signature> Signature::Deserialize(const Bytes& bytes) {
+  if (bytes.size() != 64) {
+    return Status::InvalidArgument("signature must be 64 bytes");
+  }
+  Hash256 hr, hs;
+  std::copy(bytes.begin(), bytes.begin() + 32, hr.bytes.begin());
+  std::copy(bytes.begin() + 32, bytes.end(), hs.bytes.begin());
+  Signature sig;
+  sig.r = U256::FromHash(hr);
+  sig.s = U256::FromHash(hs);
+  return sig;
+}
+
+KeyPair KeyPair::FromSeed(std::string_view seed) {
+  ByteWriter w;
+  w.Str("xdeal-keygen-v1");
+  w.Str(seed);
+  U256 x = HashToExponent(w.bytes());
+  PublicKey pk{U256::PowMod(SchnorrGroup::G(), x, SchnorrGroup::P())};
+  return KeyPair(x, pk);
+}
+
+Signature KeyPair::Sign(const Bytes& message) const {
+  // Deterministic nonce: k = H(x || m) mod n (RFC6979-flavored, simplified).
+  ByteWriter nonce_input;
+  nonce_input.Str("xdeal-nonce-v1");
+  nonce_input.Raw(x_.ToBytes());
+  nonce_input.Blob(message);
+  U256 k = HashToExponent(nonce_input.bytes());
+
+  const U256& p = SchnorrGroup::P();
+  const U256& n = SchnorrGroup::N();
+  U256 r = U256::PowMod(SchnorrGroup::G(), k, p);
+  U256 e = Challenge(r, public_key_, message);
+  U256 s = U256::AddMod(k, U256::MulMod(e, x_, n), n);
+  return Signature{r, s};
+}
+
+Signature KeyPair::Sign(std::string_view message) const {
+  return Sign(ToBytes(message));
+}
+
+bool Verify(const PublicKey& key, const Bytes& message, const Signature& sig) {
+  const U256& p = SchnorrGroup::P();
+  // Reject degenerate values.
+  if (sig.r.IsZero() || key.y.IsZero()) return false;
+  if (sig.r >= p || key.y >= p) return false;
+
+  U256 e = Challenge(sig.r, key, message);
+  U256 lhs = U256::PowMod(SchnorrGroup::G(), sig.s, p);
+  U256 rhs = U256::MulMod(sig.r, U256::PowMod(key.y, e, p), p);
+  return lhs == rhs;
+}
+
+bool Verify(const PublicKey& key, std::string_view message,
+            const Signature& sig) {
+  return Verify(key, ToBytes(message), sig);
+}
+
+}  // namespace xdeal

@@ -1,0 +1,98 @@
+// Schnorr signatures over the multiplicative group Z_p*, p = 2^255 - 19.
+//
+// This is the signature scheme used by parties (path-signature votes in the
+// timelock protocol) and by CBC validators (block/status certificates).
+//
+// Substitution note (see DESIGN.md §6): the paper assumes an
+// Ethereum/Bitcoin-style signature scheme (secp256k1). We implement textbook
+// Schnorr over a 255-bit prime field instead of an elliptic curve: the
+// protocol-visible interface (keygen / sign / verify, 64-byte signatures) and
+// the metered cost (3000 gas per verification, §7.1) are identical, and the
+// arithmetic is real — signatures genuinely verify only under the signing
+// key. It is NOT hardened cryptography (deterministic nonces derived by
+// hashing, no side-channel defenses, composite group order), which is fine
+// for a simulator and wrong for production use.
+//
+//   keygen:  x <- H(seed) mod n,  y = g^x mod p        (n = p - 1, g = 2)
+//   sign:    k = H(x || m) mod n, r = g^k mod p,
+//            e = H(r || y || m) mod n, s = (k + e*x) mod n;  sig = (r, s)
+//   verify:  g^s  ==  r * y^e  (mod p)
+
+#ifndef XDEAL_CRYPTO_SCHNORR_H_
+#define XDEAL_CRYPTO_SCHNORR_H_
+
+#include <string>
+
+#include "crypto/sha256.h"
+#include "crypto/u256.h"
+#include "util/bytes.h"
+#include "util/result.h"
+
+namespace xdeal {
+
+/// Group parameters for the signature scheme.
+struct SchnorrGroup {
+  /// The field prime p = 2^255 - 19.
+  static const U256& P();
+  /// The exponent modulus n = p - 1.
+  static const U256& N();
+  /// The generator g = 2.
+  static const U256& G();
+};
+
+/// A public verification key (group element y = g^x).
+struct PublicKey {
+  U256 y;
+
+  bool operator==(const PublicKey& o) const { return y == o.y; }
+  bool operator<(const PublicKey& o) const { return y < o.y; }
+
+  /// Canonical 32-byte encoding, used in signed messages and certificates.
+  Bytes Serialize() const { return y.ToBytes(); }
+
+  /// Short fingerprint for logging.
+  std::string Fingerprint() const;
+};
+
+/// A 64-byte signature (r, s).
+struct Signature {
+  U256 r;
+  U256 s;
+
+  bool operator==(const Signature& o) const { return r == o.r && s == o.s; }
+
+  Bytes Serialize() const;
+  static Result<Signature> Deserialize(const Bytes& bytes);
+};
+
+/// A signing key pair. The private exponent never leaves this object except
+/// through Sign().
+class KeyPair {
+ public:
+  /// Deterministically derives a key pair from a seed string (e.g. the party
+  /// name plus a run seed). Same seed -> same keys, for reproducible runs.
+  static KeyPair FromSeed(std::string_view seed);
+
+  const PublicKey& public_key() const { return public_key_; }
+
+  /// Signs a message (any byte string).
+  Signature Sign(const Bytes& message) const;
+  Signature Sign(std::string_view message) const;
+
+ private:
+  KeyPair(U256 x, PublicKey pk) : x_(x), public_key_(pk) {}
+
+  U256 x_;  // private exponent
+  PublicKey public_key_;
+};
+
+/// Verifies that `sig` is a valid signature on `message` under `key`.
+/// Counts as one "signature verification" for gas purposes (the caller,
+/// i.e. a contract, charges kGasSigVerify).
+bool Verify(const PublicKey& key, const Bytes& message, const Signature& sig);
+bool Verify(const PublicKey& key, std::string_view message,
+            const Signature& sig);
+
+}  // namespace xdeal
+
+#endif  // XDEAL_CRYPTO_SCHNORR_H_

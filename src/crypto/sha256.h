@@ -1,0 +1,79 @@
+// SHA-256 (FIPS 180-4), implemented from scratch.
+//
+// Every hash in the system goes through this implementation: block hashes,
+// deal identifiers, vote messages, Merkle nodes, signature challenges, and
+// proof-of-work. Validated against the FIPS test vectors in sha256_test.cc.
+
+#ifndef XDEAL_CRYPTO_SHA256_H_
+#define XDEAL_CRYPTO_SHA256_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "util/bytes.h"
+
+namespace xdeal {
+
+/// A 32-byte SHA-256 digest, comparable and hashable for use as a map key.
+struct Hash256 {
+  std::array<uint8_t, 32> bytes{};
+
+  bool operator==(const Hash256& o) const { return bytes == o.bytes; }
+  bool operator!=(const Hash256& o) const { return bytes != o.bytes; }
+  bool operator<(const Hash256& o) const { return bytes < o.bytes; }
+
+  /// Lowercase hex (64 chars).
+  std::string ToHex() const;
+
+  /// First 8 hex chars — convenient for logs.
+  std::string ShortHex() const;
+
+  /// True if all bytes are zero (the default value).
+  bool IsZero() const;
+
+  /// Treats the first 8 bytes as a big-endian integer; used for PoW
+  /// difficulty comparison and deterministic tie-breaking.
+  uint64_t Prefix64() const;
+};
+
+/// Incremental SHA-256 hasher.
+class Sha256 {
+ public:
+  Sha256();
+
+  void Update(const uint8_t* data, size_t len);
+  void Update(const Bytes& data) { Update(data.data(), data.size()); }
+  void Update(std::string_view s) {
+    Update(reinterpret_cast<const uint8_t*>(s.data()), s.size());
+  }
+
+  /// Finalizes and returns the digest. The hasher must not be reused.
+  Hash256 Finish();
+
+ private:
+  void Compress(const uint8_t block[64]);
+
+  uint32_t state_[8];
+  uint64_t bit_len_ = 0;
+  uint8_t buffer_[64];
+  size_t buffer_len_ = 0;
+};
+
+/// One-shot helpers.
+Hash256 Sha256Digest(const Bytes& data);
+Hash256 Sha256Digest(std::string_view data);
+
+struct Hash256Hasher {
+  size_t operator()(const Hash256& h) const {
+    size_t v;
+    static_assert(sizeof(v) <= 32);
+    __builtin_memcpy(&v, h.bytes.data(), sizeof(v));
+    return v;
+  }
+};
+
+}  // namespace xdeal
+
+#endif  // XDEAL_CRYPTO_SHA256_H_

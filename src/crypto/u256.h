@@ -1,0 +1,112 @@
+// U256: fixed-width 256-bit unsigned integer arithmetic.
+//
+// Built from scratch on 64-bit limbs (little-endian limb order) with a
+// 512-bit intermediate for multiplication and Knuth Algorithm D division.
+// This is the numeric substrate for the Schnorr signature scheme
+// (schnorr.h): modular exponentiation over a 256-bit prime field.
+
+#ifndef XDEAL_CRYPTO_U256_H_
+#define XDEAL_CRYPTO_U256_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "crypto/sha256.h"
+#include "util/bytes.h"
+
+namespace xdeal {
+
+/// 256-bit unsigned integer. Value semantics; all operations are constant
+/// size (no allocation). Overflow wraps mod 2^256 for Add/Sub/Mul unless the
+/// wide variants are used.
+class U256 {
+ public:
+  /// Zero.
+  constexpr U256() : limbs_{0, 0, 0, 0} {}
+
+  /// From a 64-bit value.
+  constexpr explicit U256(uint64_t v) : limbs_{v, 0, 0, 0} {}
+
+  /// From four 64-bit limbs, most-significant first (reads like hex).
+  static constexpr U256 FromLimbsBigEndian(uint64_t l3, uint64_t l2,
+                                           uint64_t l1, uint64_t l0) {
+    U256 out;
+    out.limbs_ = {l0, l1, l2, l3};
+    return out;
+  }
+
+  /// Parses a hex string of up to 64 digits (no 0x prefix required).
+  /// Returns zero on malformed input paired with `ok=false`.
+  static U256 FromHex(std::string_view hex, bool* ok = nullptr);
+
+  /// Interprets a 32-byte big-endian buffer (e.g. a Hash256) as an integer.
+  static U256 FromHash(const Hash256& h);
+
+  /// Big-endian 32-byte encoding.
+  Bytes ToBytes() const;
+
+  /// 64 hex digits, most significant first.
+  std::string ToHex() const;
+
+  bool IsZero() const {
+    return (limbs_[0] | limbs_[1] | limbs_[2] | limbs_[3]) == 0;
+  }
+  bool IsOdd() const { return limbs_[0] & 1; }
+
+  uint64_t limb(int i) const { return limbs_[i]; }
+  uint64_t Low64() const { return limbs_[0]; }
+
+  /// Comparison.
+  int Compare(const U256& o) const;
+  bool operator==(const U256& o) const { return limbs_ == o.limbs_; }
+  bool operator!=(const U256& o) const { return limbs_ != o.limbs_; }
+  bool operator<(const U256& o) const { return Compare(o) < 0; }
+  bool operator<=(const U256& o) const { return Compare(o) <= 0; }
+  bool operator>(const U256& o) const { return Compare(o) > 0; }
+  bool operator>=(const U256& o) const { return Compare(o) >= 0; }
+
+  /// Wrapping arithmetic mod 2^256. AddWithCarry reports the carry-out.
+  U256 Add(const U256& o) const;
+  U256 AddWithCarry(const U256& o, uint64_t* carry_out) const;
+  U256 Sub(const U256& o) const;  // wraps on underflow
+  U256 ShiftLeft(unsigned bits) const;
+  U256 ShiftRight(unsigned bits) const;
+
+  /// Number of significant bits (0 for zero).
+  int BitLength() const;
+  bool Bit(int i) const {
+    return (limbs_[i / 64] >> (i % 64)) & 1;
+  }
+
+  /// Modular arithmetic. `m` must be nonzero.
+  static U256 AddMod(const U256& a, const U256& b, const U256& m);
+  static U256 SubMod(const U256& a, const U256& b, const U256& m);
+  static U256 MulMod(const U256& a, const U256& b, const U256& m);
+  static U256 PowMod(const U256& base, const U256& exp, const U256& m);
+  static U256 Mod(const U256& a, const U256& m);
+
+  /// Modular inverse via extended binary GCD; returns zero if gcd(a,m) != 1.
+  static U256 InvMod(const U256& a, const U256& m);
+
+ private:
+  // limbs_[0] is least significant.
+  std::array<uint64_t, 4> limbs_;
+};
+
+/// 512-bit product of two U256 values plus remainder operations; exposed for
+/// testing the division kernel.
+struct U512 {
+  std::array<uint64_t, 8> limbs{};  // little-endian
+
+  static U512 Mul(const U256& a, const U256& b);
+
+  /// Remainder of this 512-bit value modulo a nonzero 256-bit modulus,
+  /// via Knuth Algorithm D with 32-bit digits.
+  U256 Mod(const U256& m) const;
+};
+
+}  // namespace xdeal
+
+#endif  // XDEAL_CRYPTO_U256_H_

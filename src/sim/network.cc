@@ -1,0 +1,35 @@
+#include "sim/network.h"
+
+namespace xdeal {
+
+Tick SynchronousNetwork::SampleDelay(Tick /*now*/, Endpoint /*from*/,
+                                     Endpoint /*to*/, Rng* rng) {
+  if (min_delay_ >= max_delay_) return min_delay_;
+  return rng->Between(min_delay_, max_delay_);
+}
+
+Tick SemiSynchronousNetwork::SampleDelay(Tick now, Endpoint /*from*/,
+                                         Endpoint /*to*/, Rng* rng) {
+  if (now >= gst_) {
+    if (min_delay_ >= max_delay_) return min_delay_;
+    return rng->Between(min_delay_, max_delay_);
+  }
+  // Pre-GST: arbitrary delay, but delivery no later than gst + max_delay.
+  Tick hi = pre_gst_max_ > min_delay_ ? pre_gst_max_ : min_delay_;
+  Tick delay = rng->Between(min_delay_, hi);
+  Tick latest = (gst_ - now) + max_delay_;  // arrive by GST + max_delay
+  return delay < latest ? delay : latest;
+}
+
+Tick TargetedDosNetwork::SampleDelay(Tick now, Endpoint from, Endpoint to,
+                                     Rng* rng) {
+  Tick base = base_->SampleDelay(now, from, to, rng);
+  bool targeted = targets_.count(from) > 0 || targets_.count(to) > 0;
+  if (targeted && now >= attack_start_ && now < attack_end_) {
+    // The message is held until the attack subsides.
+    return (attack_end_ - now) + base;
+  }
+  return base;
+}
+
+}  // namespace xdeal

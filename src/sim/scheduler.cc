@@ -1,0 +1,37 @@
+#include "sim/scheduler.h"
+
+#include <utility>
+
+namespace xdeal {
+
+void Scheduler::ScheduleAt(Tick t, Callback fn) {
+  if (t < now_) t = now_;
+  queue_.push(Event{t, next_seq_++, std::move(fn)});
+}
+
+void Scheduler::ScheduleAfter(Tick delay, Callback fn) {
+  // Saturating add: kTickMax means "never" and must not wrap.
+  Tick t = (delay > kTickMax - now_) ? kTickMax : now_ + delay;
+  queue_.push(Event{t, next_seq_++, std::move(fn)});
+}
+
+bool Scheduler::Step() {
+  if (queue_.empty()) return false;
+  // Copy out before pop: the callback may schedule new events.
+  Event ev = queue_.top();
+  queue_.pop();
+  now_ = ev.time;
+  ev.fn();
+  return true;
+}
+
+size_t Scheduler::Run(Tick limit) {
+  size_t executed = 0;
+  while (!queue_.empty() && queue_.top().time <= limit) {
+    Step();
+    ++executed;
+  }
+  return executed;
+}
+
+}  // namespace xdeal

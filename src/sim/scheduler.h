@@ -1,0 +1,65 @@
+// Deterministic discrete-event scheduler.
+//
+// All activity in the system — transaction submission, block production,
+// observation notifications, party timeouts — is an event on this scheduler.
+// Events at equal times run in schedule order (FIFO by sequence number), so
+// every run is exactly reproducible given the same seed.
+
+#ifndef XDEAL_SIM_SCHEDULER_H_
+#define XDEAL_SIM_SCHEDULER_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace xdeal {
+
+/// Simulated time, in abstract ticks. The protocols express Δ (the
+/// synchrony bound) in the same unit.
+using Tick = uint64_t;
+
+constexpr Tick kTickMax = ~static_cast<Tick>(0);
+
+/// Deterministic event loop.
+class Scheduler {
+ public:
+  using Callback = std::function<void()>;
+
+  Tick now() const { return now_; }
+  size_t pending() const { return queue_.size(); }
+
+  /// Schedules `fn` at absolute time `t` (clamped to now if in the past).
+  void ScheduleAt(Tick t, Callback fn);
+
+  /// Schedules `fn` `delay` ticks from now.
+  void ScheduleAfter(Tick delay, Callback fn);
+
+  /// Runs a single event; returns false if the queue is empty.
+  bool Step();
+
+  /// Runs events until the queue is empty or the next event is after
+  /// `limit`. Returns the number of events executed.
+  size_t Run(Tick limit = kTickMax);
+
+ private:
+  struct Event {
+    Tick time;
+    uint64_t seq;
+    Callback fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  Tick now_ = 0;
+  uint64_t next_seq_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+}  // namespace xdeal
+
+#endif  // XDEAL_SIM_SCHEDULER_H_

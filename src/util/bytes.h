@@ -1,0 +1,27 @@
+// Byte-buffer aliases and helpers shared by serialization and crypto code.
+
+#ifndef XDEAL_UTIL_BYTES_H_
+#define XDEAL_UTIL_BYTES_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace xdeal {
+
+using Bytes = std::vector<uint8_t>;
+
+/// Converts a string's bytes into a Bytes buffer.
+inline Bytes ToBytes(std::string_view s) {
+  return Bytes(s.begin(), s.end());
+}
+
+/// Appends `src` to `dst`.
+inline void Append(Bytes* dst, const Bytes& src) {
+  dst->insert(dst->end(), src.begin(), src.end());
+}
+
+}  // namespace xdeal
+
+#endif  // XDEAL_UTIL_BYTES_H_

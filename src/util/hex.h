@@ -1,0 +1,25 @@
+// Hex encoding/decoding for hashes, keys, and test vectors.
+
+#ifndef XDEAL_UTIL_HEX_H_
+#define XDEAL_UTIL_HEX_H_
+
+#include <string>
+#include <string_view>
+
+#include "util/bytes.h"
+#include "util/result.h"
+
+namespace xdeal {
+
+/// Encodes `data` as lowercase hex.
+std::string HexEncode(const Bytes& data);
+
+/// Encodes the first `len` bytes of `data` as lowercase hex.
+std::string HexEncode(const uint8_t* data, size_t len);
+
+/// Decodes a hex string (upper or lower case, even length).
+Result<Bytes> HexDecode(std::string_view hex);
+
+}  // namespace xdeal
+
+#endif  // XDEAL_UTIL_HEX_H_

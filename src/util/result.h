@@ -1,0 +1,70 @@
+// Result<T>: value-or-Status, the library's replacement for exceptions.
+
+#ifndef XDEAL_UTIL_RESULT_H_
+#define XDEAL_UTIL_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "util/status.h"
+
+namespace xdeal {
+
+/// Holds either a T (success) or a non-OK Status (failure).
+///
+/// Usage:
+///   Result<Receipt> r = contract.Call(...);
+///   if (!r.ok()) return r.status();
+///   Use(r.value());
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value: success.
+  Result(T value) : status_(Status::OK()), value_(std::move(value)) {}  // NOLINT
+
+  /// Implicit from non-OK status: failure. Constructing from an OK status is
+  /// a programming error.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  /// Returns the value or a fallback if this Result holds an error.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace xdeal
+
+/// Assigns the value of a Result expression to `lhs`, or propagates its error.
+#define XDEAL_ASSIGN_OR_RETURN(lhs, expr)          \
+  auto XDEAL_CONCAT_(_res_, __LINE__) = (expr);    \
+  if (!XDEAL_CONCAT_(_res_, __LINE__).ok())        \
+    return XDEAL_CONCAT_(_res_, __LINE__).status();\
+  lhs = std::move(XDEAL_CONCAT_(_res_, __LINE__)).value()
+
+#define XDEAL_CONCAT_(a, b) XDEAL_CONCAT_IMPL_(a, b)
+#define XDEAL_CONCAT_IMPL_(a, b) a##b
+
+#endif  // XDEAL_UTIL_RESULT_H_

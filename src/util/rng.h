@@ -1,0 +1,66 @@
+// Deterministic random number generation.
+//
+// All randomness in the library flows from explicitly seeded generators so
+// that every simulation run, test, and benchmark is exactly reproducible.
+// SplitMix64 is used for seeding/stream-splitting; Xoshiro256** is the
+// workhorse generator (both are public-domain algorithms by Blackman/Vigna).
+
+#ifndef XDEAL_UTIL_RNG_H_
+#define XDEAL_UTIL_RNG_H_
+
+#include <cstdint>
+
+namespace xdeal {
+
+/// SplitMix64: tiny, fast, good avalanche; used to expand seeds.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(uint64_t seed) : state_(seed) {}
+
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  uint64_t state_;
+};
+
+/// Xoshiro256**: general-purpose deterministic PRNG.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) {
+    SplitMix64 sm(seed);
+    for (auto& s : state_) s = sm.Next();
+  }
+
+  uint64_t Next64();
+
+  /// Uniform in [0, bound) using Lemire rejection; bound must be nonzero.
+  uint64_t Below(uint64_t bound);
+
+  /// Uniform in [lo, hi] inclusive; requires lo <= hi.
+  uint64_t Between(uint64_t lo, uint64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// True with probability p (clamped to [0,1]).
+  bool Chance(double p);
+
+  /// Derives an independent child generator (for per-actor streams).
+  Rng Fork();
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  uint64_t state_[4];
+};
+
+}  // namespace xdeal
+
+#endif  // XDEAL_UTIL_RNG_H_

@@ -1,0 +1,148 @@
+// ByteWriter / ByteReader: canonical little-endian serialization.
+//
+// Used wherever bytes must be canonical: contract call arguments, vote
+// messages that get signed, block hashing, and proofs. Canonical encoding is
+// essential for the protocols: two parties must derive byte-identical
+// messages for signature verification to succeed.
+
+#ifndef XDEAL_UTIL_SERIALIZE_H_
+#define XDEAL_UTIL_SERIALIZE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+#include "util/bytes.h"
+#include "util/result.h"
+
+namespace xdeal {
+
+/// Appends fixed-width integers, length-prefixed strings/blobs to a buffer.
+class ByteWriter {
+ public:
+  ByteWriter() = default;
+
+  ByteWriter& U8(uint8_t v) {
+    buf_.push_back(v);
+    return *this;
+  }
+  ByteWriter& U16(uint16_t v) { return AppendLe(v); }
+  ByteWriter& U32(uint32_t v) { return AppendLe(v); }
+  ByteWriter& U64(uint64_t v) { return AppendLe(v); }
+  ByteWriter& I64(int64_t v) { return AppendLe(static_cast<uint64_t>(v)); }
+  ByteWriter& Bool(bool v) { return U8(v ? 1 : 0); }
+
+  /// Length-prefixed (u32) string.
+  ByteWriter& Str(std::string_view s) {
+    U32(static_cast<uint32_t>(s.size()));
+    buf_.insert(buf_.end(), s.begin(), s.end());
+    return *this;
+  }
+
+  /// Length-prefixed (u32) byte blob.
+  ByteWriter& Blob(const Bytes& b) {
+    U32(static_cast<uint32_t>(b.size()));
+    buf_.insert(buf_.end(), b.begin(), b.end());
+    return *this;
+  }
+
+  /// Raw bytes, no length prefix (for fixed-width fields like hashes).
+  ByteWriter& Raw(const uint8_t* data, size_t len) {
+    buf_.insert(buf_.end(), data, data + len);
+    return *this;
+  }
+  ByteWriter& Raw(const Bytes& b) { return Raw(b.data(), b.size()); }
+
+  const Bytes& bytes() const { return buf_; }
+  Bytes Take() { return std::move(buf_); }
+
+ private:
+  template <typename T>
+  ByteWriter& AppendLe(T v) {
+    for (size_t i = 0; i < sizeof(T); ++i) {
+      buf_.push_back(static_cast<uint8_t>(v >> (8 * i)));
+    }
+    return *this;
+  }
+
+  Bytes buf_;
+};
+
+/// Reads values written by ByteWriter. All reads are bounds-checked and
+/// return Status on truncation, so malformed contract call payloads from
+/// deviating parties are rejected rather than crashing.
+class ByteReader {
+ public:
+  explicit ByteReader(const Bytes& buf) : buf_(buf) {}
+
+  Result<uint8_t> U8() {
+    if (pos_ + 1 > buf_.size()) return Truncated();
+    return buf_[pos_++];
+  }
+  Result<uint16_t> U16() { return ReadLe<uint16_t>(); }
+  Result<uint32_t> U32() { return ReadLe<uint32_t>(); }
+  Result<uint64_t> U64() { return ReadLe<uint64_t>(); }
+  Result<int64_t> I64() {
+    auto r = ReadLe<uint64_t>();
+    if (!r.ok()) return r.status();
+    return static_cast<int64_t>(r.value());
+  }
+  Result<bool> Bool() {
+    auto r = U8();
+    if (!r.ok()) return r.status();
+    return r.value() != 0;
+  }
+
+  Result<std::string> Str() {
+    auto len = U32();
+    if (!len.ok()) return len.status();
+    if (pos_ + len.value() > buf_.size()) return Truncated();
+    std::string out(buf_.begin() + pos_, buf_.begin() + pos_ + len.value());
+    pos_ += len.value();
+    return out;
+  }
+
+  Result<Bytes> Blob() {
+    auto len = U32();
+    if (!len.ok()) return len.status();
+    if (pos_ + len.value() > buf_.size()) return Truncated();
+    Bytes out(buf_.begin() + pos_, buf_.begin() + pos_ + len.value());
+    pos_ += len.value();
+    return out;
+  }
+
+  /// Reads exactly `len` raw bytes.
+  Result<Bytes> Raw(size_t len) {
+    if (pos_ + len > buf_.size()) return Truncated();
+    Bytes out(buf_.begin() + pos_, buf_.begin() + pos_ + len);
+    pos_ += len;
+    return out;
+  }
+
+  bool AtEnd() const { return pos_ == buf_.size(); }
+  size_t remaining() const { return buf_.size() - pos_; }
+
+ private:
+  template <typename T>
+  Result<T> ReadLe() {
+    if (pos_ + sizeof(T) > buf_.size()) return Truncated();
+    T v = 0;
+    for (size_t i = 0; i < sizeof(T); ++i) {
+      v |= static_cast<T>(buf_[pos_ + i]) << (8 * i);
+    }
+    pos_ += sizeof(T);
+    return v;
+  }
+
+  static Status Truncated() {
+    return Status::InvalidArgument("truncated byte buffer");
+  }
+
+  const Bytes& buf_;
+  size_t pos_ = 0;
+};
+
+}  // namespace xdeal
+
+#endif  // XDEAL_UTIL_SERIALIZE_H_

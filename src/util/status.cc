@@ -1,0 +1,36 @@
+#include "util/status.h"
+
+namespace xdeal {
+
+const char* StatusCodeToString(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "OK";
+    case StatusCode::kInvalidArgument: return "InvalidArgument";
+    case StatusCode::kFailedPrecondition: return "FailedPrecondition";
+    case StatusCode::kNotFound: return "NotFound";
+    case StatusCode::kAlreadyExists: return "AlreadyExists";
+    case StatusCode::kPermissionDenied: return "PermissionDenied";
+    case StatusCode::kTimedOut: return "TimedOut";
+    case StatusCode::kUnverified: return "Unverified";
+    case StatusCode::kOutOfGas: return "OutOfGas";
+    case StatusCode::kUnavailable: return "Unavailable";
+    case StatusCode::kInternal: return "Internal";
+  }
+  return "Unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = StatusCodeToString(code_);
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+}  // namespace xdeal

@@ -1,0 +1,102 @@
+// Status: error-handling primitive used throughout the library.
+//
+// The library does not throw exceptions (RocksDB/Arrow idiom); every fallible
+// operation returns a Status or a Result<T> (see result.h). Contract calls in
+// particular use Status to model EVM-style `require(...)` failures: a failed
+// require aborts the call but still charges gas up to the failure point.
+
+#ifndef XDEAL_UTIL_STATUS_H_
+#define XDEAL_UTIL_STATUS_H_
+
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace xdeal {
+
+/// Machine-readable classification of a failure.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,   // caller passed malformed input
+  kFailedPrecondition,// a contract `require` or protocol precondition failed
+  kNotFound,          // unknown party / asset / contract / deal
+  kAlreadyExists,     // duplicate registration (deal id, vote, escrow)
+  kPermissionDenied,  // caller is not authorized (not owner, not in plist)
+  kTimedOut,          // a timelock expired
+  kUnverified,        // a signature or proof failed verification
+  kOutOfGas,          // gas limit exceeded during contract execution
+  kUnavailable,       // transient: network partition, pre-GST asynchrony
+  kInternal,          // invariant violation inside the library (a bug)
+};
+
+/// Human-readable name for a StatusCode ("OK", "InvalidArgument", ...).
+const char* StatusCodeToString(StatusCode code);
+
+/// A success-or-error value. Cheap to copy on success (no allocation).
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  static Status OK() { return Status(); }
+
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status PermissionDenied(std::string msg) {
+    return Status(StatusCode::kPermissionDenied, std::move(msg));
+  }
+  static Status TimedOut(std::string msg) {
+    return Status(StatusCode::kTimedOut, std::move(msg));
+  }
+  static Status Unverified(std::string msg) {
+    return Status(StatusCode::kUnverified, std::move(msg));
+  }
+  static Status OutOfGas(std::string msg) {
+    return Status(StatusCode::kOutOfGas, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const { return code_ == other.code_; }
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : code_(code), message_(std::move(msg)) {}
+
+  StatusCode code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& s);
+
+}  // namespace xdeal
+
+/// Propagates a non-OK Status from an expression, RocksDB-style.
+#define XDEAL_RETURN_IF_ERROR(expr)                \
+  do {                                             \
+    ::xdeal::Status _st = (expr);                  \
+    if (!_st.ok()) return _st;                     \
+  } while (0)
+
+#endif  // XDEAL_UTIL_STATUS_H_

@@ -1,0 +1,189 @@
+// Blockchain substrate: block production, receipts, gas accounting,
+// observation, and the World container.
+
+#include <gtest/gtest.h>
+
+#include "chain/blockchain.h"
+#include "chain/world.h"
+#include "contracts/fungible_token.h"
+
+namespace xdeal {
+namespace {
+
+std::unique_ptr<World> MakeWorld(uint64_t seed = 1) {
+  return std::make_unique<World>(
+      seed, std::make_unique<SynchronousNetwork>(1, 5));
+}
+
+CallData TransferCall(Holder to, uint64_t amount) {
+  ByteWriter w;
+  w.U8(static_cast<uint8_t>(to.kind));
+  w.U32(to.id);
+  w.U64(amount);
+  return CallData{"transfer", w.Take()};
+}
+
+TEST(BlockchainTest, ProducesBlocksAtBoundaries) {
+  auto world = MakeWorld();
+  PartyId alice = world->RegisterParty("alice");
+  PartyId bob = world->RegisterParty("bob");
+  Blockchain* chain = world->CreateChain("c", /*block_interval=*/10);
+  ContractId token =
+      chain->Deploy(std::make_unique<FungibleToken>("TOK", alice));
+  chain->As<FungibleToken>(token)->Mint(Holder::Party(alice), 50);
+
+  world->Submit(alice, chain->id(), token, TransferCall(Holder::Party(bob), 20));
+  world->scheduler().Run();
+
+  ASSERT_EQ(chain->blocks().size(), 1u);
+  const Block& block = chain->blocks()[0];
+  EXPECT_EQ(block.height, 0u);
+  EXPECT_EQ(block.timestamp % 10, 0u);
+  EXPECT_FALSE(block.hash.IsZero());
+  EXPECT_FALSE(block.entries_root.IsZero());
+
+  ASSERT_EQ(chain->receipts().size(), 1u);
+  EXPECT_TRUE(chain->receipts()[0].status.ok());
+  EXPECT_EQ(chain->As<FungibleToken>(token)->BalanceOf(Holder::Party(bob)),
+            20u);
+}
+
+TEST(BlockchainTest, BlockChainingAndHashes) {
+  auto world = MakeWorld();
+  PartyId alice = world->RegisterParty("alice");
+  Blockchain* chain = world->CreateChain("c", 10);
+  ContractId token =
+      chain->Deploy(std::make_unique<FungibleToken>("TOK", alice));
+  chain->As<FungibleToken>(token)->Mint(Holder::Party(alice), 100);
+
+  // Two transactions far apart -> two blocks.
+  world->Submit(alice, chain->id(), token,
+                TransferCall(Holder::Party(alice), 1));
+  world->scheduler().Run();
+  world->scheduler().ScheduleAt(500, [&] {
+    world->Submit(alice, chain->id(), token,
+                  TransferCall(Holder::Party(alice), 1));
+  });
+  world->scheduler().Run();
+
+  ASSERT_EQ(chain->blocks().size(), 2u);
+  EXPECT_EQ(chain->blocks()[1].parent_hash, chain->blocks()[0].hash);
+  EXPECT_EQ(chain->blocks()[1].height, 1u);
+  // Hash recomputes from header fields.
+  const Block& b = chain->blocks()[1];
+  EXPECT_EQ(b.hash, Block::ComputeHash(b.height, b.timestamp, b.parent_hash,
+                                       b.entries_root));
+}
+
+TEST(BlockchainTest, FailedCallLeavesStateUntouchedButChargesGas) {
+  auto world = MakeWorld();
+  PartyId alice = world->RegisterParty("alice");
+  PartyId bob = world->RegisterParty("bob");
+  Blockchain* chain = world->CreateChain("c", 10);
+  ContractId token =
+      chain->Deploy(std::make_unique<FungibleToken>("TOK", alice));
+  chain->As<FungibleToken>(token)->Mint(Holder::Party(alice), 10);
+
+  // Bob tries to move Alice's money via "transfer" (only moves own funds).
+  world->Submit(bob, chain->id(), token, TransferCall(Holder::Party(bob), 5));
+  world->scheduler().Run();
+
+  ASSERT_EQ(chain->receipts().size(), 1u);
+  const Receipt& r = chain->receipts()[0];
+  EXPECT_FALSE(r.status.ok());
+  EXPECT_GT(r.gas_used, 0u);  // the read before the require was charged
+  EXPECT_EQ(chain->As<FungibleToken>(token)->BalanceOf(Holder::Party(alice)),
+            10u);
+}
+
+TEST(BlockchainTest, ObserversNotifiedAfterDelay) {
+  auto world = MakeWorld();
+  PartyId alice = world->RegisterParty("alice");
+  PartyId bob = world->RegisterParty("bob");
+  Blockchain* chain = world->CreateChain("c", 10);
+  ContractId token =
+      chain->Deploy(std::make_unique<FungibleToken>("TOK", alice));
+  chain->As<FungibleToken>(token)->Mint(Holder::Party(alice), 10);
+
+  std::vector<std::pair<Tick, uint64_t>> seen;  // (observed_at, tx_seq)
+  chain->Subscribe(world->PartyEndpoint(bob), [&](const Receipt& r) {
+    seen.emplace_back(world->now(), r.tx_seq);
+  });
+
+  world->Submit(alice, chain->id(), token, TransferCall(Holder::Party(bob), 1));
+  world->scheduler().Run();
+
+  ASSERT_EQ(seen.size(), 1u);
+  Tick included = chain->receipts()[0].included_at;
+  EXPECT_GE(seen[0].first, included + 1);   // at least min network delay
+  EXPECT_LE(seen[0].first, included + 5);   // at most max network delay
+}
+
+TEST(BlockchainTest, GasTagAggregation) {
+  auto world = MakeWorld();
+  PartyId alice = world->RegisterParty("alice");
+  Blockchain* chain = world->CreateChain("c", 10);
+  ContractId token =
+      chain->Deploy(std::make_unique<FungibleToken>("TOK", alice));
+  chain->As<FungibleToken>(token)->Mint(Holder::Party(alice), 100);
+
+  world->Submit(alice, chain->id(), token,
+                TransferCall(Holder::Party(alice), 1), "phase-a");
+  world->Submit(alice, chain->id(), token,
+                TransferCall(Holder::Party(alice), 1), "phase-b");
+  world->scheduler().Run();
+
+  // Each OK transfer: 1 storage read (200) + 2 storage writes (10000).
+  EXPECT_EQ(chain->GasForTag("phase-a"), 10200u);
+  EXPECT_EQ(chain->GasForTag("phase-b"), 10200u);
+  EXPECT_EQ(world->TotalGas(), 20400u);
+  EXPECT_EQ(world->TotalGasForTag("phase-a"), 10200u);
+}
+
+TEST(BlockchainTest, UnknownContractYieldsNotFoundReceipt) {
+  auto world = MakeWorld();
+  PartyId alice = world->RegisterParty("alice");
+  Blockchain* chain = world->CreateChain("c", 10);
+  world->Submit(alice, chain->id(), ContractId{99}, CallData{"foo", {}});
+  world->scheduler().Run();
+  ASSERT_EQ(chain->receipts().size(), 1u);
+  EXPECT_EQ(chain->receipts()[0].status.code(), StatusCode::kNotFound);
+}
+
+TEST(GasMeterTest, ChargesAndLimits) {
+  GasMeter gas(/*limit=*/12000);
+  EXPECT_TRUE(gas.ChargeStorageWrite(2).ok());   // 10000
+  EXPECT_TRUE(gas.ChargeStorageRead(5).ok());    // +1000 = 11000
+  EXPECT_TRUE(gas.ChargeCompute(10).ok());       // +50 = 11050
+  EXPECT_EQ(gas.used(), 11050u);
+  // Exceeding the limit reports OutOfGas but still accumulates.
+  EXPECT_EQ(gas.ChargeSigVerify(1).code(), StatusCode::kOutOfGas);
+  EXPECT_EQ(gas.used(), 14050u);
+  EXPECT_EQ(gas.storage_writes(), 2u);
+  EXPECT_EQ(gas.sig_verifies(), 1u);
+}
+
+TEST(WorldTest, PartiesHaveDistinctDeterministicKeys) {
+  auto w1 = MakeWorld(42);
+  auto w2 = MakeWorld(42);
+  PartyId a1 = w1->RegisterParty("alice");
+  PartyId b1 = w1->RegisterParty("bob");
+  PartyId a2 = w2->RegisterParty("alice");
+
+  EXPECT_EQ(w1->keys().PublicKeyOf(a1).value(),
+            w2->keys().PublicKeyOf(a2).value());
+  EXPECT_FALSE(w1->keys().PublicKeyOf(a1).value() ==
+               w1->keys().PublicKeyOf(b1).value());
+  EXPECT_EQ(w1->keys().NameOf(b1).value(), "bob");
+  EXPECT_FALSE(w1->keys().PublicKeyOf(PartyId{99}).ok());
+}
+
+TEST(WorldTest, EndpointsDisjoint) {
+  auto world = MakeWorld();
+  PartyId p = world->RegisterParty("p");
+  Blockchain* chain = world->CreateChain("c", 10);
+  EXPECT_FALSE(world->PartyEndpoint(p) == world->ChainEndpoint(chain->id()));
+}
+
+}  // namespace
+}  // namespace xdeal

@@ -1,0 +1,88 @@
+// Merkle tree: roots, membership proofs, and tamper rejection.
+
+#include "crypto/merkle.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace xdeal {
+namespace {
+
+std::vector<Hash256> MakeLeaves(size_t n) {
+  std::vector<Hash256> leaves;
+  leaves.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    leaves.push_back(Sha256Digest("leaf-" + std::to_string(i)));
+  }
+  return leaves;
+}
+
+TEST(MerkleTest, EmptyRootIsZero) {
+  EXPECT_TRUE(MerkleRoot({}).IsZero());
+}
+
+TEST(MerkleTest, SingleLeafProof) {
+  auto leaves = MakeLeaves(1);
+  Hash256 root = MerkleRoot(leaves);
+  EXPECT_FALSE(root.IsZero());
+  auto proof = BuildMerkleProof(leaves, 0);
+  ASSERT_TRUE(proof.ok());
+  EXPECT_TRUE(VerifyMerkleProof(leaves[0], proof.value(), root));
+}
+
+TEST(MerkleTest, RootChangesWithAnyLeaf) {
+  auto leaves = MakeLeaves(8);
+  Hash256 root = MerkleRoot(leaves);
+  for (size_t i = 0; i < leaves.size(); ++i) {
+    auto mutated = leaves;
+    mutated[i] = Sha256Digest("tampered");
+    EXPECT_NE(MerkleRoot(mutated), root) << "leaf " << i;
+  }
+}
+
+TEST(MerkleTest, ProofOutOfRange) {
+  auto leaves = MakeLeaves(4);
+  EXPECT_FALSE(BuildMerkleProof(leaves, 4).ok());
+}
+
+class MerkleProofSweep : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(MerkleProofSweep, AllLeavesProve) {
+  size_t n = GetParam();
+  auto leaves = MakeLeaves(n);
+  Hash256 root = MerkleRoot(leaves);
+  for (size_t i = 0; i < n; ++i) {
+    auto proof = BuildMerkleProof(leaves, i);
+    ASSERT_TRUE(proof.ok());
+    EXPECT_TRUE(VerifyMerkleProof(leaves[i], proof.value(), root))
+        << "n=" << n << " i=" << i;
+    // A proof for leaf i must not verify a different leaf.
+    size_t other = (i + 1) % n;
+    if (other != i) {
+      EXPECT_FALSE(VerifyMerkleProof(leaves[other], proof.value(), root))
+          << "n=" << n << " i=" << i;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, MerkleProofSweep,
+                         ::testing::Values(1, 2, 3, 4, 5, 7, 8, 9, 15, 16, 17,
+                                           31, 33, 64));
+
+TEST(MerkleTest, TamperedProofRejected) {
+  auto leaves = MakeLeaves(8);
+  Hash256 root = MerkleRoot(leaves);
+  auto proof = BuildMerkleProof(leaves, 3);
+  ASSERT_TRUE(proof.ok());
+  auto bad = proof.value();
+  bad[0].sibling = Sha256Digest("evil");
+  EXPECT_FALSE(VerifyMerkleProof(leaves[3], bad, root));
+
+  auto flipped = proof.value();
+  flipped[0].sibling_is_left = !flipped[0].sibling_is_left;
+  EXPECT_FALSE(VerifyMerkleProof(leaves[3], flipped, root));
+}
+
+}  // namespace
+}  // namespace xdeal

@@ -1,0 +1,113 @@
+// Schnorr signature round-trips, forgery rejection, determinism, and
+// serialization.
+
+#include "crypto/schnorr.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace xdeal {
+namespace {
+
+TEST(SchnorrTest, SignVerifyRoundTrip) {
+  KeyPair kp = KeyPair::FromSeed("alice");
+  Bytes msg = ToBytes("transfer 100 coins to bob");
+  Signature sig = kp.Sign(msg);
+  EXPECT_TRUE(Verify(kp.public_key(), msg, sig));
+}
+
+TEST(SchnorrTest, WrongMessageRejected) {
+  KeyPair kp = KeyPair::FromSeed("alice");
+  Signature sig = kp.Sign(ToBytes("message one"));
+  EXPECT_FALSE(Verify(kp.public_key(), ToBytes("message two"), sig));
+}
+
+TEST(SchnorrTest, WrongKeyRejected) {
+  KeyPair alice = KeyPair::FromSeed("alice");
+  KeyPair bob = KeyPair::FromSeed("bob");
+  Bytes msg = ToBytes("a vote");
+  Signature sig = alice.Sign(msg);
+  EXPECT_FALSE(Verify(bob.public_key(), msg, sig));
+}
+
+TEST(SchnorrTest, TamperedSignatureRejected) {
+  KeyPair kp = KeyPair::FromSeed("carol");
+  Bytes msg = ToBytes("commit deal 42");
+  Signature sig = kp.Sign(msg);
+
+  Signature bad_r = sig;
+  bad_r.r = U256::AddMod(bad_r.r, U256(1), SchnorrGroup::P());
+  EXPECT_FALSE(Verify(kp.public_key(), msg, bad_r));
+
+  Signature bad_s = sig;
+  bad_s.s = U256::AddMod(bad_s.s, U256(1), SchnorrGroup::N());
+  EXPECT_FALSE(Verify(kp.public_key(), msg, bad_s));
+}
+
+TEST(SchnorrTest, DegenerateValuesRejected) {
+  KeyPair kp = KeyPair::FromSeed("dave");
+  Bytes msg = ToBytes("m");
+  Signature zero_sig{U256(), U256()};
+  EXPECT_FALSE(Verify(kp.public_key(), msg, zero_sig));
+
+  PublicKey zero_key{U256()};
+  EXPECT_FALSE(Verify(zero_key, msg, kp.Sign(msg)));
+
+  // r >= p must be rejected.
+  Signature big_r = kp.Sign(msg);
+  big_r.r = SchnorrGroup::P();
+  EXPECT_FALSE(Verify(kp.public_key(), msg, big_r));
+}
+
+TEST(SchnorrTest, DeterministicKeysAndSignatures) {
+  KeyPair a1 = KeyPair::FromSeed("seed-x");
+  KeyPair a2 = KeyPair::FromSeed("seed-x");
+  EXPECT_EQ(a1.public_key(), a2.public_key());
+
+  Bytes msg = ToBytes("hello");
+  EXPECT_EQ(a1.Sign(msg), a2.Sign(msg));
+
+  KeyPair b = KeyPair::FromSeed("seed-y");
+  EXPECT_FALSE(a1.public_key() == b.public_key());
+}
+
+TEST(SchnorrTest, SerializationRoundTrip) {
+  KeyPair kp = KeyPair::FromSeed("erin");
+  Signature sig = kp.Sign(ToBytes("payload"));
+  Bytes wire = sig.Serialize();
+  ASSERT_EQ(wire.size(), 64u);
+  auto parsed = Signature::Deserialize(wire);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value(), sig);
+  EXPECT_TRUE(Verify(kp.public_key(), ToBytes("payload"), parsed.value()));
+}
+
+TEST(SchnorrTest, DeserializeBadLength) {
+  EXPECT_FALSE(Signature::Deserialize(Bytes(63)).ok());
+  EXPECT_FALSE(Signature::Deserialize(Bytes(65)).ok());
+}
+
+TEST(SchnorrTest, ManyKeysManyMessages) {
+  Rng rng(2024);
+  for (int i = 0; i < 10; ++i) {
+    KeyPair kp = KeyPair::FromSeed("party-" + std::to_string(i));
+    for (int j = 0; j < 3; ++j) {
+      Bytes msg(16);
+      for (auto& b : msg) b = static_cast<uint8_t>(rng.Below(256));
+      Signature sig = kp.Sign(msg);
+      EXPECT_TRUE(Verify(kp.public_key(), msg, sig));
+      msg[0] ^= 0xFF;
+      EXPECT_FALSE(Verify(kp.public_key(), msg, sig));
+    }
+  }
+}
+
+TEST(SchnorrTest, FingerprintStable) {
+  KeyPair kp = KeyPair::FromSeed("frank");
+  EXPECT_EQ(kp.public_key().Fingerprint(), kp.public_key().Fingerprint());
+  EXPECT_EQ(kp.public_key().Fingerprint().size(), 8u);
+}
+
+}  // namespace
+}  // namespace xdeal

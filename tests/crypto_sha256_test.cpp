@@ -1,0 +1,96 @@
+// SHA-256 correctness against FIPS 180-4 / NIST test vectors, plus
+// incremental-update equivalence and Hash256 helpers.
+
+#include "crypto/sha256.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "util/rng.h"
+
+namespace xdeal {
+namespace {
+
+TEST(Sha256Test, EmptyString) {
+  EXPECT_EQ(Sha256Digest("").ToHex(),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256Test, Abc) {
+  EXPECT_EQ(Sha256Digest("abc").ToHex(),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256Test, TwoBlockMessage) {
+  EXPECT_EQ(
+      Sha256Digest("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")
+          .ToHex(),
+      "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256Test, MillionA) {
+  Sha256 h;
+  std::string chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) h.Update(chunk);
+  EXPECT_EQ(h.Finish().ToHex(),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256Test, ExactBlockBoundary) {
+  // 64-byte input exercises the padding path where a second block is needed.
+  std::string input(64, 'x');
+  Hash256 a = Sha256Digest(input);
+  Sha256 h;
+  h.Update(input.substr(0, 31));
+  h.Update(input.substr(31));
+  EXPECT_EQ(a, h.Finish());
+}
+
+TEST(Sha256Test, IncrementalMatchesOneShot) {
+  Rng rng(42);
+  for (int trial = 0; trial < 50; ++trial) {
+    size_t len = rng.Below(300);
+    Bytes data(len);
+    for (auto& b : data) b = static_cast<uint8_t>(rng.Below(256));
+
+    Hash256 oneshot = Sha256Digest(data);
+
+    Sha256 inc;
+    size_t pos = 0;
+    while (pos < len) {
+      size_t take = 1 + rng.Below(17);
+      take = std::min(take, len - pos);
+      inc.Update(data.data() + pos, take);
+      pos += take;
+    }
+    EXPECT_EQ(oneshot, inc.Finish()) << "trial " << trial << " len " << len;
+  }
+}
+
+TEST(Sha256Test, DistinctInputsDistinctDigests) {
+  EXPECT_NE(Sha256Digest("a"), Sha256Digest("b"));
+  EXPECT_NE(Sha256Digest("abc"), Sha256Digest("abcd"));
+}
+
+TEST(Hash256Test, ZeroAndPrefix) {
+  Hash256 zero{};
+  EXPECT_TRUE(zero.IsZero());
+  EXPECT_EQ(zero.Prefix64(), 0u);
+
+  Hash256 h = Sha256Digest("abc");
+  EXPECT_FALSE(h.IsZero());
+  // ba7816bf8f01cfea as big-endian prefix.
+  EXPECT_EQ(h.Prefix64(), 0xba7816bf8f01cfeaULL);
+  EXPECT_EQ(h.ShortHex(), "ba7816bf");
+}
+
+TEST(Hash256Test, Ordering) {
+  Hash256 a = Sha256Digest("a");
+  Hash256 b = Sha256Digest("b");
+  EXPECT_TRUE((a < b) || (b < a));
+  EXPECT_FALSE(a < a);
+}
+
+}  // namespace
+}  // namespace xdeal

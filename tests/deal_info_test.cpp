@@ -1,0 +1,79 @@
+// DealInfo: deadline arithmetic (§5), canonical serialization, vote-message
+// domain separation.
+
+#include <gtest/gtest.h>
+
+#include "contracts/deal_info.h"
+
+namespace xdeal {
+namespace {
+
+TEST(DealInfoTest, DeadlinesScaleWithPathLength) {
+  DealInfo info;
+  info.deal_id = MakeDealId("d", 1);
+  info.plist = {PartyId{0}, PartyId{1}, PartyId{2}, PartyId{3}};
+  info.t0 = 1000;
+  info.delta = 50;
+
+  EXPECT_EQ(info.VoteDeadline(1), 1050u);  // direct vote: t0 + Δ
+  EXPECT_EQ(info.VoteDeadline(2), 1100u);  // one forward: t0 + 2Δ
+  EXPECT_EQ(info.VoteDeadline(4), 1200u);
+  // Refund wall equals the longest possible path deadline: t0 + N·Δ.
+  EXPECT_EQ(info.RefundTime(), 1200u);
+  EXPECT_EQ(info.RefundTime(), info.VoteDeadline(info.plist.size()));
+}
+
+TEST(DealInfoTest, HasPartyAndCount) {
+  DealInfo info;
+  info.plist = {PartyId{3}, PartyId{7}};
+  EXPECT_TRUE(info.HasParty(PartyId{3}));
+  EXPECT_FALSE(info.HasParty(PartyId{4}));
+  EXPECT_EQ(info.NumParties(), 2u);
+}
+
+TEST(DealInfoTest, SerializationIsCanonicalAndComplete) {
+  DealInfo a;
+  a.deal_id = MakeDealId("x", 9);
+  a.plist = {PartyId{1}, PartyId{2}};
+  a.t0 = 500;
+  a.delta = 60;
+  DealInfo b = a;
+  EXPECT_TRUE(a == b);
+
+  // Every field participates in equality.
+  DealInfo diff = a;
+  diff.delta = 61;
+  EXPECT_FALSE(a == diff);
+  diff = a;
+  diff.t0 = 501;
+  EXPECT_FALSE(a == diff);
+  diff = a;
+  diff.plist.push_back(PartyId{3});
+  EXPECT_FALSE(a == diff);
+  diff = a;
+  diff.deal_id = MakeDealId("y", 9);
+  EXPECT_FALSE(a == diff);
+}
+
+TEST(DealInfoTest, DealIdsAreDistinct) {
+  EXPECT_NE(MakeDealId("a", 1), MakeDealId("a", 2));
+  EXPECT_NE(MakeDealId("a", 1), MakeDealId("b", 1));
+  EXPECT_EQ(MakeDealId("a", 1), MakeDealId("a", 1));
+}
+
+TEST(DealInfoTest, VoteMessagesAreDomainSeparated) {
+  DealId d1 = MakeDealId("d", 1);
+  DealId d2 = MakeDealId("d", 2);
+  // Distinct per deal, voter, and depth — replay across any dimension fails.
+  EXPECT_NE(TimelockVoteMessage(d1, PartyId{0}, 0),
+            TimelockVoteMessage(d2, PartyId{0}, 0));
+  EXPECT_NE(TimelockVoteMessage(d1, PartyId{0}, 0),
+            TimelockVoteMessage(d1, PartyId{1}, 0));
+  EXPECT_NE(TimelockVoteMessage(d1, PartyId{0}, 0),
+            TimelockVoteMessage(d1, PartyId{0}, 1));
+  EXPECT_EQ(TimelockVoteMessage(d1, PartyId{0}, 0),
+            TimelockVoteMessage(d1, PartyId{0}, 0));
+}
+
+}  // namespace
+}  // namespace xdeal

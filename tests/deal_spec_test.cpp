@@ -1,0 +1,233 @@
+// DealSpec: structural validation, well-formedness (strong connectivity,
+// §5.1), outcome replay, expectations, and the random deal generator.
+
+#include <gtest/gtest.h>
+
+#include "baseline/htlc_swap.h"
+#include "core/deal_gen.h"
+#include "core/deal_spec.h"
+#include "tests/scenario_util.h"
+
+namespace xdeal {
+namespace {
+
+PartyId P(uint32_t v) { return PartyId{v}; }
+
+DealSpec TwoPartySwapSpec() {
+  DealSpec spec;
+  spec.deal_id = MakeDealId("swap", 1);
+  spec.parties = {P(0), P(1)};
+  spec.assets = {
+      AssetRef{ChainId{0}, ContractId{0}, AssetKind::kFungible, "x"},
+      AssetRef{ChainId{1}, ContractId{0}, AssetKind::kFungible, "y"},
+  };
+  spec.escrows = {{0, P(0), 10}, {1, P(1), 20}};
+  spec.transfers = {{0, P(0), P(1), 10}, {1, P(1), P(0), 20}};
+  return spec;
+}
+
+TEST(DealSpecTest, ValidSwapSpec) {
+  DealSpec spec = TwoPartySwapSpec();
+  EXPECT_TRUE(spec.Validate().ok());
+  EXPECT_TRUE(spec.IsWellFormed());
+}
+
+TEST(DealSpecTest, RejectsEmptyAndDuplicates) {
+  DealSpec empty;
+  EXPECT_FALSE(empty.Validate().ok());
+
+  DealSpec dup = TwoPartySwapSpec();
+  dup.parties = {P(0), P(0)};
+  EXPECT_FALSE(dup.Validate().ok());
+}
+
+TEST(DealSpecTest, RejectsOutOfRangeAndForeignParties) {
+  DealSpec spec = TwoPartySwapSpec();
+  spec.escrows.push_back({7, P(0), 5});  // asset 7 does not exist
+  EXPECT_FALSE(spec.Validate().ok());
+
+  spec = TwoPartySwapSpec();
+  spec.transfers.push_back({0, P(9), P(0), 1});  // P(9) not a party
+  EXPECT_FALSE(spec.Validate().ok());
+
+  spec = TwoPartySwapSpec();
+  spec.transfers.push_back({0, P(0), P(0), 1});  // self transfer
+  EXPECT_FALSE(spec.Validate().ok());
+}
+
+TEST(DealSpecTest, RejectsInfeasibleTransferSequences) {
+  // Transfer more than escrowed.
+  DealSpec spec = TwoPartySwapSpec();
+  spec.transfers[0].value = 11;
+  EXPECT_FALSE(spec.Validate().ok());
+
+  // Transfer by a party that holds nothing tentatively.
+  spec = TwoPartySwapSpec();
+  spec.transfers[0].from = P(1);
+  spec.transfers[0].to = P(0);
+  EXPECT_FALSE(spec.Validate().ok());
+
+  // Double spend of an NFT.
+  DealSpec nft;
+  nft.deal_id = MakeDealId("nft", 2);
+  nft.parties = {P(0), P(1), P(2)};
+  nft.assets = {AssetRef{ChainId{0}, ContractId{0}, AssetKind::kNft, "t"}};
+  nft.escrows = {{0, P(0), 42}};
+  nft.transfers = {{0, P(0), P(1), 42}, {0, P(0), P(2), 42}};
+  EXPECT_FALSE(nft.Validate().ok());
+
+  // Same ticket escrowed twice.
+  nft.transfers = {{0, P(0), P(1), 42}};
+  nft.escrows = {{0, P(0), 42}, {0, P(1), 42}};
+  EXPECT_FALSE(nft.Validate().ok());
+}
+
+TEST(DealSpecTest, WellFormednessRequiresStrongConnectivity) {
+  // One-way payment: P0 -> P1 only. P1 is a free rider.
+  DealSpec spec;
+  spec.deal_id = MakeDealId("oneway", 3);
+  spec.parties = {P(0), P(1)};
+  spec.assets = {
+      AssetRef{ChainId{0}, ContractId{0}, AssetKind::kFungible, "x"}};
+  spec.escrows = {{0, P(0), 10}};
+  spec.transfers = {{0, P(0), P(1), 10}};
+  EXPECT_TRUE(spec.Validate().ok());
+  EXPECT_FALSE(spec.IsWellFormed());
+
+  // A party disconnected from all transfers also breaks well-formedness.
+  DealSpec extra = TwoPartySwapSpec();
+  extra.parties.push_back(P(2));
+  EXPECT_TRUE(extra.Validate().ok());
+  EXPECT_FALSE(extra.IsWellFormed());
+}
+
+TEST(DealSpecTest, BrokerDealIsWellFormedButNotSwap) {
+  BrokerScenario s = MakeBrokerScenario(5);
+  EXPECT_TRUE(s.spec.Validate().ok());
+  EXPECT_TRUE(s.spec.IsWellFormed());
+  // Alice passes on assets she never escrowed: not expressible as a swap.
+  EXPECT_FALSE(IsSwapExpressible(s.spec));
+  EXPECT_FALSE(ToSwapSpec(s.spec).ok());
+}
+
+TEST(DealSpecTest, SwapSpecIsSwapExpressible) {
+  DealSpec spec = TwoPartySwapSpec();
+  EXPECT_TRUE(IsSwapExpressible(spec));
+  auto swap = ToSwapSpec(spec);
+  ASSERT_TRUE(swap.ok());
+  EXPECT_EQ(swap.value().parties.size(), 2u);
+  EXPECT_EQ(swap.value().legs.size(), 2u);
+}
+
+TEST(DealSpecTest, ExpectedOutcomesReplay) {
+  BrokerScenario s = MakeBrokerScenario(6);
+  auto outcomes = s.spec.ExpectedOutcomes();
+  ASSERT_EQ(outcomes.size(), 2u);
+
+  // Tickets end with Carol.
+  EXPECT_EQ(outcomes[s.tickets_asset].nft_commit.at(s.ticket1), s.carol);
+  EXPECT_EQ(outcomes[s.tickets_asset].nft_commit.at(s.ticket2), s.carol);
+  EXPECT_EQ(outcomes[s.tickets_asset].nft_deposited.at(s.ticket1), s.bob);
+
+  // Coins: Bob 100, Alice 1, Carol 0 (deposited 101).
+  EXPECT_EQ(outcomes[s.coins_asset].fungible_commit.at(s.bob), 100u);
+  EXPECT_EQ(outcomes[s.coins_asset].fungible_commit.at(s.alice), 1u);
+  EXPECT_EQ(outcomes[s.coins_asset].fungible_deposited.at(s.carol), 101u);
+}
+
+TEST(DealSpecTest, ExpectationsPerParty) {
+  BrokerScenario s = MakeBrokerScenario(7);
+  auto carol_expect = s.spec.ExpectationsOf(s.carol);
+  EXPECT_EQ(carol_expect[s.tickets_asset].tickets.size(), 2u);
+  EXPECT_EQ(carol_expect[s.coins_asset].fungible_amount, 0u);
+
+  auto bob_expect = s.spec.ExpectationsOf(s.bob);
+  EXPECT_EQ(bob_expect[s.coins_asset].fungible_amount, 100u);
+  EXPECT_TRUE(bob_expect[s.tickets_asset].tickets.empty());
+}
+
+TEST(DealSpecTest, IncomingOutgoingAssets) {
+  BrokerScenario s = MakeBrokerScenario(8);
+  // Alice receives tickets and coins; sends tickets and coins.
+  EXPECT_EQ(s.spec.IncomingAssetsOf(s.alice).size(), 2u);
+  EXPECT_EQ(s.spec.OutgoingAssetsOf(s.alice).size(), 2u);
+  // Bob receives coins only; outgoing = tickets (escrow + transfer).
+  EXPECT_EQ(s.spec.IncomingAssetsOf(s.bob),
+            (std::set<uint32_t>{s.coins_asset}));
+  EXPECT_TRUE(s.spec.OutgoingAssetsOf(s.bob).count(s.tickets_asset) > 0);
+  EXPECT_TRUE(s.spec.Deposits(s.bob, s.tickets_asset));
+  EXPECT_FALSE(s.spec.Deposits(s.alice, s.tickets_asset));
+}
+
+TEST(DealSpecTest, ArcsDeduplicated) {
+  BrokerScenario s = MakeBrokerScenario(9);
+  // bob->alice (x2 tickets), alice->carol (x2), carol->alice, alice->bob:
+  // 4 distinct arcs.
+  EXPECT_EQ(s.spec.Arcs().size(), 4u);
+}
+
+// --- generator sweeps ---
+
+struct GenCase {
+  size_t n, m, t, chains;
+};
+
+class DealGenSweep : public ::testing::TestWithParam<GenCase> {};
+
+TEST_P(DealGenSweep, GeneratedDealsAreValidAndWellFormed) {
+  GenCase gc = GetParam();
+  for (uint64_t seed = 1; seed <= 3; ++seed) {
+    EnvConfig config;
+    config.seed = seed;
+    DealEnv env(std::move(config));
+    GenParams params;
+    params.n_parties = gc.n;
+    params.m_assets = gc.m;
+    params.t_transfers = gc.t;
+    params.num_chains = gc.chains;
+    params.seed = seed;
+    DealSpec spec = GenerateRandomDeal(&env, params);
+
+    EXPECT_TRUE(spec.Validate().ok());
+    EXPECT_TRUE(spec.IsWellFormed());
+    EXPECT_EQ(spec.NumParties(), gc.n);
+    EXPECT_EQ(spec.NumAssets(), gc.m);
+    EXPECT_GE(spec.NumTransfers(), std::max(gc.t, gc.n + gc.m - 1));
+
+    // Every party appears in the digraph (no free riders).
+    std::set<uint32_t> seen;
+    for (const auto& [from, to] : spec.Arcs()) {
+      seen.insert(from.v);
+      seen.insert(to.v);
+    }
+    EXPECT_EQ(seen.size(), gc.n);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, DealGenSweep,
+    ::testing::Values(GenCase{2, 1, 2, 1}, GenCase{3, 2, 5, 2},
+                      GenCase{4, 4, 8, 3}, GenCase{6, 3, 10, 2},
+                      GenCase{8, 8, 20, 4}, GenCase{12, 2, 14, 2}));
+
+TEST(DealGenTest, NftAssetsIncluded) {
+  EnvConfig config;
+  config.seed = 4;
+  DealEnv env(std::move(config));
+  GenParams params;
+  params.n_parties = 4;
+  params.m_assets = 6;
+  params.t_transfers = 12;
+  params.nft_every = 2;
+  params.seed = 4;
+  DealSpec spec = GenerateRandomDeal(&env, params);
+  EXPECT_TRUE(spec.Validate().ok());
+  size_t nft_count = 0;
+  for (const AssetRef& a : spec.assets) {
+    if (a.kind == AssetKind::kNft) ++nft_count;
+  }
+  EXPECT_GT(nft_count, 0u);
+}
+
+}  // namespace
+}  // namespace xdeal

@@ -1,0 +1,220 @@
+// EscrowCore: the §4 escrow state machine — pre/post conditions of escrow
+// and tentative transfer, double-spend prevention, release and refund.
+
+#include <gtest/gtest.h>
+
+#include "chain/world.h"
+#include "contracts/escrow_core.h"
+
+namespace xdeal {
+namespace {
+
+struct EscrowFixture : public ::testing::Test {
+  void SetUp() override {
+    world = std::make_unique<World>(
+        1, std::make_unique<SynchronousNetwork>(1, 5));
+    p = world->RegisterParty("p");
+    q = world->RegisterParty("q");
+    r = world->RegisterParty("r");
+    chain = world->CreateChain("c", 10);
+    token_id = chain->Deploy(std::make_unique<FungibleToken>("TOK", p));
+    registry_id = chain->Deploy(std::make_unique<TicketRegistry>(p));
+    // The escrow "contract" identity (the core is a component of one).
+    escrow_holder = Holder::OfContract(ContractId{7});
+    gas = std::make_unique<GasMeter>();
+    ctx.world = world.get();
+    ctx.chain = chain;
+    ctx.sender = p;
+    ctx.now = 0;
+    ctx.gas = gas.get();
+  }
+
+  FungibleToken* token() { return chain->As<FungibleToken>(token_id); }
+  TicketRegistry* registry() { return chain->As<TicketRegistry>(registry_id); }
+
+  std::unique_ptr<World> world;
+  PartyId p, q, r;
+  Blockchain* chain = nullptr;
+  ContractId token_id, registry_id;
+  Holder escrow_holder;
+  std::unique_ptr<GasMeter> gas;
+  CallContext ctx;
+};
+
+TEST_F(EscrowFixture, EscrowPostConditions) {
+  // Pre: Owns(P, a).  Post: Owns(D, a) ∧ OwnsC(P, a) ∧ OwnsA(P, a).
+  token()->Mint(Holder::Party(p), 100);
+  token()->Approve(ctx, Holder::Party(p), Holder::Party(p), escrow_holder,
+                   100);
+  EscrowCore core;
+  core.Bind(AssetKind::kFungible, token_id);
+  ASSERT_TRUE(core.EscrowIn(ctx, escrow_holder, p, 100).ok());
+
+  EXPECT_EQ(token()->BalanceOf(escrow_holder), 100u);  // Owns(D, a)
+  EXPECT_EQ(token()->BalanceOf(Holder::Party(p)), 0u);
+  EXPECT_EQ(core.OnCommitOf(p), 100u);   // OwnsC(P, a)
+  EXPECT_EQ(core.EscrowedOf(p), 100u);   // OwnsA(P, a)
+}
+
+TEST_F(EscrowFixture, EscrowPreconditionOwnershipEnforced) {
+  // P cannot escrow what it does not own (no balance, or no approval).
+  EscrowCore core;
+  core.Bind(AssetKind::kFungible, token_id);
+  EXPECT_FALSE(core.EscrowIn(ctx, escrow_holder, p, 50).ok());
+
+  token()->Mint(Holder::Party(p), 50);
+  // Still no approval:
+  EXPECT_FALSE(core.EscrowIn(ctx, escrow_holder, p, 50).ok());
+}
+
+TEST_F(EscrowFixture, TentativeTransferMovesCommitOwnershipOnly) {
+  token()->Mint(Holder::Party(p), 100);
+  token()->Approve(ctx, Holder::Party(p), Holder::Party(p), escrow_holder,
+                   100);
+  EscrowCore core;
+  core.Bind(AssetKind::kFungible, token_id);
+  ASSERT_TRUE(core.EscrowIn(ctx, escrow_holder, p, 100).ok());
+
+  ASSERT_TRUE(core.TentativeTransfer(ctx, p, q, 60).ok());
+  EXPECT_EQ(core.OnCommitOf(p), 40u);
+  EXPECT_EQ(core.OnCommitOf(q), 60u);
+  // Abort-ownership unchanged; the real tokens still sit with the escrow.
+  EXPECT_EQ(core.EscrowedOf(p), 100u);
+  EXPECT_EQ(token()->BalanceOf(escrow_holder), 100u);
+}
+
+TEST_F(EscrowFixture, TransferPreconditionOwnsC) {
+  token()->Mint(Holder::Party(p), 100);
+  token()->Approve(ctx, Holder::Party(p), Holder::Party(p), escrow_holder,
+                   100);
+  EscrowCore core;
+  core.Bind(AssetKind::kFungible, token_id);
+  ASSERT_TRUE(core.EscrowIn(ctx, escrow_holder, p, 100).ok());
+
+  // Q holds nothing tentatively; cannot transfer.
+  EXPECT_EQ(core.TentativeTransfer(ctx, q, r, 10).code(),
+            StatusCode::kFailedPrecondition);
+  // P cannot over-transfer (double spend within the deal).
+  ASSERT_TRUE(core.TentativeTransfer(ctx, p, q, 100).ok());
+  EXPECT_EQ(core.TentativeTransfer(ctx, p, r, 1).code(),
+            StatusCode::kFailedPrecondition);
+  // But Q can pass the received tentative ownership on (multi-hop).
+  EXPECT_TRUE(core.TentativeTransfer(ctx, q, r, 100).ok());
+  EXPECT_EQ(core.OnCommitOf(r), 100u);
+}
+
+TEST_F(EscrowFixture, ReleasePaysCommitOwners) {
+  token()->Mint(Holder::Party(p), 100);
+  token()->Approve(ctx, Holder::Party(p), Holder::Party(p), escrow_holder,
+                   100);
+  EscrowCore core;
+  core.Bind(AssetKind::kFungible, token_id);
+  ASSERT_TRUE(core.EscrowIn(ctx, escrow_holder, p, 100).ok());
+  ASSERT_TRUE(core.TentativeTransfer(ctx, p, q, 70).ok());
+
+  ASSERT_TRUE(core.ReleaseAll(ctx, escrow_holder).ok());
+  EXPECT_TRUE(core.settled());
+  EXPECT_EQ(token()->BalanceOf(Holder::Party(p)), 30u);
+  EXPECT_EQ(token()->BalanceOf(Holder::Party(q)), 70u);
+  EXPECT_EQ(token()->BalanceOf(escrow_holder), 0u);
+
+  // Idempotent; further ops rejected.
+  EXPECT_TRUE(core.ReleaseAll(ctx, escrow_holder).ok());
+  EXPECT_EQ(core.TentativeTransfer(ctx, q, p, 1).code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(core.EscrowIn(ctx, escrow_holder, p, 1).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST_F(EscrowFixture, RefundRestoresOriginalOwners) {
+  token()->Mint(Holder::Party(p), 100);
+  token()->Approve(ctx, Holder::Party(p), Holder::Party(p), escrow_holder,
+                   100);
+  EscrowCore core;
+  core.Bind(AssetKind::kFungible, token_id);
+  ASSERT_TRUE(core.EscrowIn(ctx, escrow_holder, p, 100).ok());
+  ASSERT_TRUE(core.TentativeTransfer(ctx, p, q, 70).ok());
+
+  // Abort: tentative transfers never happened.
+  ASSERT_TRUE(core.RefundAll(ctx, escrow_holder).ok());
+  EXPECT_EQ(token()->BalanceOf(Holder::Party(p)), 100u);
+  EXPECT_EQ(token()->BalanceOf(Holder::Party(q)), 0u);
+}
+
+TEST_F(EscrowFixture, NftEscrowTransferRelease) {
+  uint64_t t1 = registry()->Mint(Holder::Party(p), {"play", "A1", 90});
+  registry()->Approve(ctx, Holder::Party(p), t1, escrow_holder);
+
+  EscrowCore core;
+  core.Bind(AssetKind::kNft, registry_id);
+  ASSERT_TRUE(core.EscrowIn(ctx, escrow_holder, p, t1).ok());
+  EXPECT_EQ(registry()->OwnerOf(t1), escrow_holder);
+  EXPECT_EQ(core.NftCommitOwner(t1), p);
+  EXPECT_EQ(core.NftRefundOwner(t1), p);
+
+  // Tentative hop p -> q -> r.
+  ASSERT_TRUE(core.TentativeTransfer(ctx, p, q, t1).ok());
+  ASSERT_TRUE(core.TentativeTransfer(ctx, q, r, t1).ok());
+  // p can no longer move it (double-spend within deal prevented).
+  EXPECT_FALSE(core.TentativeTransfer(ctx, p, q, t1).ok());
+
+  ASSERT_TRUE(core.ReleaseAll(ctx, escrow_holder).ok());
+  EXPECT_EQ(registry()->OwnerOf(t1), Holder::Party(r));
+}
+
+TEST_F(EscrowFixture, NftRefund) {
+  uint64_t t1 = registry()->Mint(Holder::Party(p), {"play", "A1", 90});
+  registry()->Approve(ctx, Holder::Party(p), t1, escrow_holder);
+  EscrowCore core;
+  core.Bind(AssetKind::kNft, registry_id);
+  ASSERT_TRUE(core.EscrowIn(ctx, escrow_holder, p, t1).ok());
+  ASSERT_TRUE(core.TentativeTransfer(ctx, p, q, t1).ok());
+  ASSERT_TRUE(core.RefundAll(ctx, escrow_holder).ok());
+  EXPECT_EQ(registry()->OwnerOf(t1), Holder::Party(p));
+}
+
+TEST_F(EscrowFixture, EscrowChargesFourWrites) {
+  // Figure 3 / §7.1: escrow = 4 storage writes (2 in transferFrom + escrow
+  // map + onCommit map).
+  token()->Mint(Holder::Party(p), 10);
+  token()->Approve(ctx, Holder::Party(p), Holder::Party(p), escrow_holder,
+                   10);
+  EscrowCore core;
+  core.Bind(AssetKind::kFungible, token_id);
+  uint64_t writes_before = gas->storage_writes();
+  ASSERT_TRUE(core.EscrowIn(ctx, escrow_holder, p, 10).ok());
+  EXPECT_EQ(gas->storage_writes() - writes_before, 4u);
+}
+
+TEST_F(EscrowFixture, TransferChargesTwoWrites) {
+  token()->Mint(Holder::Party(p), 10);
+  token()->Approve(ctx, Holder::Party(p), Holder::Party(p), escrow_holder,
+                   10);
+  EscrowCore core;
+  core.Bind(AssetKind::kFungible, token_id);
+  ASSERT_TRUE(core.EscrowIn(ctx, escrow_holder, p, 10).ok());
+  uint64_t writes_before = gas->storage_writes();
+  ASSERT_TRUE(core.TentativeTransfer(ctx, p, q, 5).ok());
+  EXPECT_EQ(gas->storage_writes() - writes_before, 2u);
+}
+
+TEST_F(EscrowFixture, MultipleDepositors) {
+  token()->Mint(Holder::Party(p), 50);
+  token()->Mint(Holder::Party(q), 30);
+  token()->Approve(ctx, Holder::Party(p), Holder::Party(p), escrow_holder, 50);
+  token()->Approve(ctx, Holder::Party(q), Holder::Party(q), escrow_holder, 30);
+  EscrowCore core;
+  core.Bind(AssetKind::kFungible, token_id);
+  ASSERT_TRUE(core.EscrowIn(ctx, escrow_holder, p, 50).ok());
+  ASSERT_TRUE(core.EscrowIn(ctx, escrow_holder, q, 30).ok());
+  EXPECT_EQ(core.Depositors().size(), 2u);
+
+  ASSERT_TRUE(core.TentativeTransfer(ctx, p, q, 50).ok());
+  ASSERT_TRUE(core.TentativeTransfer(ctx, q, p, 30).ok());
+  ASSERT_TRUE(core.ReleaseAll(ctx, escrow_holder).ok());
+  EXPECT_EQ(token()->BalanceOf(Holder::Party(p)), 30u);
+  EXPECT_EQ(token()->BalanceOf(Holder::Party(q)), 50u);
+}
+
+}  // namespace
+}  // namespace xdeal

@@ -1,0 +1,212 @@
+// Baseline HTLC atomic swap (§8): 2-party and k-cycle swaps commit with
+// compliant parties; crash adversaries trigger refunds protecting everyone
+// who follows the decreasing-timeout discipline; secrets propagate through
+// on-chain claims.
+
+#include <gtest/gtest.h>
+
+#include "baseline/htlc_swap.h"
+#include "core/env.h"
+
+namespace xdeal {
+namespace {
+
+struct SwapFixture {
+  std::unique_ptr<DealEnv> env;
+  DealSpec deal;           // the equivalent deal spec (for conversion tests)
+  SwapSpec swap;
+  std::vector<PartyId> parties;
+  std::vector<uint64_t> initial = {};
+};
+
+/// Builds a k-party cycle swap: party i pays 100 of token i to party i+1.
+SwapFixture MakeCycleSwap(size_t k, uint64_t seed) {
+  SwapFixture f;
+  EnvConfig config;
+  config.seed = seed;
+  f.env = std::make_unique<DealEnv>(std::move(config));
+  f.deal.deal_id = MakeDealId("cycle-swap", seed);
+  for (size_t i = 0; i < k; ++i) {
+    f.parties.push_back(f.env->AddParty("p" + std::to_string(i)));
+  }
+  f.deal.parties = f.parties;
+  for (size_t i = 0; i < k; ++i) {
+    ChainId chain = f.env->AddChain("chain-" + std::to_string(i));
+    uint32_t asset = f.env->AddFungibleAsset(&f.deal, chain,
+                                             "tok" + std::to_string(i),
+                                             f.parties[i]);
+    f.env->Mint(f.deal, asset, f.parties[i], 100);
+    f.deal.escrows.push_back({asset, f.parties[i], 100});
+    f.deal.transfers.push_back(
+        {asset, f.parties[i], f.parties[(i + 1) % k], 100});
+  }
+  auto swap = ToSwapSpec(f.deal);
+  EXPECT_TRUE(swap.ok());
+  f.swap = swap.value();
+  return f;
+}
+
+TEST(HtlcSwapTest, TwoPartySwapCommits) {
+  SwapFixture f = MakeCycleSwap(2, 11);
+  HtlcSwapRun run(&f.env->world(), f.swap, SwapConfig{});
+  ASSERT_TRUE(run.Start().ok());
+  f.env->world().scheduler().Run();
+  SwapResult result = run.Collect();
+
+  EXPECT_TRUE(result.all_claimed);
+  EXPECT_EQ(result.claimed_legs, 2u);
+  EXPECT_EQ(result.refunded_legs, 0u);
+  // Each party ends with the other's tokens.
+  auto* tok0 = f.env->TokenOf(f.deal, 0);
+  auto* tok1 = f.env->TokenOf(f.deal, 1);
+  EXPECT_EQ(tok0->BalanceOf(Holder::Party(f.parties[1])), 100u);
+  EXPECT_EQ(tok1->BalanceOf(Holder::Party(f.parties[0])), 100u);
+}
+
+TEST(HtlcSwapTest, CycleSwapsCommitAcrossSizes) {
+  for (size_t k : {3u, 4u, 5u, 7u}) {
+    SwapFixture f = MakeCycleSwap(k, 20 + k);
+    HtlcSwapRun run(&f.env->world(), f.swap, SwapConfig{});
+    ASSERT_TRUE(run.Start().ok());
+    f.env->world().scheduler().Run();
+    SwapResult result = run.Collect();
+    EXPECT_TRUE(result.all_claimed) << "k=" << k;
+    for (size_t i = 0; i < k; ++i) {
+      auto* token = f.env->TokenOf(f.deal, static_cast<uint32_t>(i));
+      EXPECT_EQ(token->BalanceOf(Holder::Party(f.parties[(i + 1) % k])), 100u)
+          << "k=" << k << " leg " << i;
+    }
+  }
+}
+
+TEST(HtlcSwapTest, SecretRevealedOnChain) {
+  SwapFixture f = MakeCycleSwap(3, 31);
+  HtlcSwapRun run(&f.env->world(), f.swap, SwapConfig{});
+  ASSERT_TRUE(run.Start().ok());
+  f.env->world().scheduler().Run();
+  // Every claimed HTLC publishes the same preimage, and it hashes to the
+  // hashlock.
+  for (size_t i = 0; i < 3; ++i) {
+    const HtlcContract* c = run.ContractOfLeg(i);
+    ASSERT_TRUE(c->claimed());
+    ASSERT_TRUE(c->revealed_secret().has_value());
+    EXPECT_EQ(Sha256Digest(*c->revealed_secret()), run.hashlock());
+  }
+}
+
+TEST(HtlcSwapTest, TimeoutsStrictlyDecreaseAlongCycle) {
+  SwapFixture f = MakeCycleSwap(5, 32);
+  HtlcSwapRun run(&f.env->world(), f.swap, SwapConfig{});
+  ASSERT_TRUE(run.Start().ok());
+  for (size_t i = 0; i + 1 < 5; ++i) {
+    EXPECT_GT(run.TimeoutOfLeg(i), run.TimeoutOfLeg(i + 1));
+  }
+}
+
+/// Crashes after funding: never claims anything.
+class CrashAfterFundSwapParty : public SwapParty {
+ public:
+  void OnObservedReceipt(const Receipt& receipt) override {
+    if (receipt.function == "deposit") {
+      SwapParty::OnObservedReceipt(receipt);  // still funds on schedule
+    }
+    // Ignores claims: never learns/uses the secret.
+  }
+};
+
+/// Never funds its own leg at all.
+class NeverFundSwapParty : public SwapParty {
+ public:
+  void OnStart() override {}
+  void OnObservedReceipt(const Receipt&) override {}
+};
+
+TEST(HtlcSwapTest, MissingFundingRefundsEveryone) {
+  SwapFixture f = MakeCycleSwap(3, 33);
+  PartyId deviant = f.parties[1];
+  HtlcSwapRun run(&f.env->world(), f.swap, SwapConfig{},
+                  [deviant](PartyId p) -> std::unique_ptr<SwapParty> {
+                    if (p == deviant) {
+                      return std::make_unique<NeverFundSwapParty>();
+                    }
+                    return nullptr;
+                  });
+  ASSERT_TRUE(run.Start().ok());
+  f.env->world().scheduler().Run();
+  SwapResult result = run.Collect();
+
+  // Deployment stalls at the deviant; nothing downstream funds, the leader
+  // never claims, every funded leg refunds.
+  EXPECT_EQ(result.claimed_legs, 0u);
+  EXPECT_GE(result.refunded_legs, 1u);
+  for (size_t i = 0; i < 3; ++i) {
+    auto* token = f.env->TokenOf(f.deal, static_cast<uint32_t>(i));
+    EXPECT_EQ(token->BalanceOf(Holder::Party(f.parties[i])), 100u)
+        << "leg " << i;
+  }
+}
+
+TEST(HtlcSwapTest, CrashAfterFundLosesOnlyItsOwnAsset) {
+  // The classic HTLC hazard: a party that funds but never claims its
+  // incoming asset pays without being paid — but only the *deviating*
+  // party suffers; compliant parties end whole or better.
+  SwapFixture f = MakeCycleSwap(3, 34);
+  PartyId deviant = f.parties[1];
+  HtlcSwapRun run(&f.env->world(), f.swap, SwapConfig{},
+                  [deviant](PartyId p) -> std::unique_ptr<SwapParty> {
+                    if (p == deviant) {
+                      return std::make_unique<CrashAfterFundSwapParty>();
+                    }
+                    return nullptr;
+                  });
+  ASSERT_TRUE(run.Start().ok());
+  f.env->world().scheduler().Run();
+
+  // Leader (p0) claimed its incoming leg (leg 2, from p2). p2 learned the
+  // secret and claimed leg 1 (from p1). p1 crashed and never claimed leg 0;
+  // leg 0 refunds to p0.
+  EXPECT_TRUE(run.ContractOfLeg(2)->claimed());
+  EXPECT_TRUE(run.ContractOfLeg(1)->claimed());
+  EXPECT_TRUE(run.ContractOfLeg(0)->refunded());
+
+  auto* tok0 = f.env->TokenOf(f.deal, 0);
+  auto* tok1 = f.env->TokenOf(f.deal, 1);
+  auto* tok2 = f.env->TokenOf(f.deal, 2);
+  // p0: got tok2, kept tok0 (refund) — better off (deviant's loss).
+  EXPECT_EQ(tok0->BalanceOf(Holder::Party(f.parties[0])), 100u);
+  EXPECT_EQ(tok2->BalanceOf(Holder::Party(f.parties[0])), 100u);
+  // p2 (compliant): paid tok2, received tok1 — whole.
+  EXPECT_EQ(tok1->BalanceOf(Holder::Party(f.parties[2])), 100u);
+  // p1 (deviant): paid tok1, claimed nothing.
+  EXPECT_EQ(tok1->BalanceOf(Holder::Party(f.parties[1])), 0u);
+  EXPECT_EQ(tok0->BalanceOf(Holder::Party(f.parties[1])), 0u);
+}
+
+TEST(HtlcSwapTest, WrongPreimageRejected) {
+  SwapFixture f = MakeCycleSwap(2, 35);
+  HtlcSwapRun run(&f.env->world(), f.swap, SwapConfig{});
+  ASSERT_TRUE(run.Start().ok());
+  // Inject a bogus claim racing the real protocol.
+  ByteWriter w;
+  w.Blob(ToBytes("not-the-secret"));
+  f.env->world().Submit(f.parties[1], f.swap.legs[0].asset.chain,
+                        run.ContractIdOfLeg(0), CallData{"claim", w.Take()},
+                        "attack");
+  f.env->world().scheduler().Run();
+
+  // The bogus claim failed; the swap still completed.
+  size_t bad = 0;
+  for (uint32_t c = 0; c < f.env->world().num_chains(); ++c) {
+    for (const Receipt& r : f.env->world().chain(ChainId{c})->receipts()) {
+      if (r.tag == "attack") {
+        EXPECT_FALSE(r.status.ok());
+        ++bad;
+      }
+    }
+  }
+  EXPECT_EQ(bad, 1u);
+  EXPECT_TRUE(run.Collect().all_claimed);
+}
+
+}  // namespace
+}  // namespace xdeal

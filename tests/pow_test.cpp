@@ -1,0 +1,181 @@
+// Proof-of-work CBC (§6.2): mining, segment verification, the structural
+// validity of a fake proof-of-abort, and the confirmation-depth economics.
+
+#include <gtest/gtest.h>
+
+#include "cbc/pow.h"
+
+namespace xdeal {
+namespace {
+
+constexpr unsigned kTestDifficulty = 10;  // ~1k hashes per block
+
+TEST(PowTest, MiningMeetsDifficulty) {
+  Hash256 genesis{};
+  PowBlock block = MineBlock(genesis, Sha256Digest("entries"), 0,
+                             kTestDifficulty, /*nonce_seed=*/0);
+  EXPECT_TRUE(MeetsDifficulty(block.hash, kTestDifficulty));
+  EXPECT_EQ(block.hash, PowBlock::ComputeHash(block.parent,
+                                              block.entries_digest,
+                                              block.height, block.nonce));
+}
+
+TEST(PowTest, DifficultyZeroAlwaysPasses) {
+  EXPECT_TRUE(MeetsDifficulty(Sha256Digest("anything"), 0));
+}
+
+TEST(PowTest, HarderDifficultyImpliesEasier) {
+  Hash256 h = MineBlock(Hash256{}, Sha256Digest("x"), 0, 12, 0).hash;
+  EXPECT_TRUE(MeetsDifficulty(h, 12));
+  EXPECT_TRUE(MeetsDifficulty(h, 8));  // 12 leading zero bits imply 8
+}
+
+TEST(PowTest, ChainExtendsAndVerifies) {
+  PowChain chain(kTestDifficulty);
+  for (int i = 0; i < 5; ++i) {
+    chain.Extend(Sha256Digest("block-" + std::to_string(i)), i * 1000);
+  }
+  EXPECT_EQ(chain.length(), 5u);
+  EXPECT_TRUE(
+      PowChain::VerifySegment(chain.blocks(), kTestDifficulty).ok());
+
+  auto proof = chain.ProofSuffix(/*k_confirmations=*/3);
+  ASSERT_TRUE(proof.ok());
+  EXPECT_EQ(proof.value().size(), 4u);
+  EXPECT_TRUE(PowChain::VerifySegment(proof.value(), kTestDifficulty).ok());
+
+  EXPECT_FALSE(chain.ProofSuffix(5).ok());  // not enough confirmations
+}
+
+TEST(PowTest, TamperedSegmentRejected) {
+  PowChain chain(kTestDifficulty);
+  for (int i = 0; i < 4; ++i) {
+    chain.Extend(Sha256Digest("b" + std::to_string(i)), i * 1000);
+  }
+  auto blocks = chain.blocks();
+
+  auto swapped_entries = blocks;
+  swapped_entries[2].entries_digest = Sha256Digest("evil");
+  EXPECT_FALSE(
+      PowChain::VerifySegment(swapped_entries, kTestDifficulty).ok());
+
+  auto broken_link = blocks;
+  broken_link[2].parent = Sha256Digest("elsewhere");
+  EXPECT_FALSE(PowChain::VerifySegment(broken_link, kTestDifficulty).ok());
+
+  auto wrong_height = blocks;
+  wrong_height[3].height = 7;
+  EXPECT_FALSE(PowChain::VerifySegment(wrong_height, kTestDifficulty).ok());
+}
+
+TEST(PowTest, FakeAbortProofIsStructurallyValid) {
+  // The §6.2 attack: Alice privately mines a fork whose blocks contain her
+  // abort vote. The resulting segment passes every check a contract can
+  // perform — PoW proofs are only economically, not cryptographically,
+  // final. (Contrast with the BFT certificate tests in cbc_test.cc where a
+  // minority fork is *rejected*.)
+  PowChain honest(kTestDifficulty);
+  honest.Extend(Sha256Digest("startDeal+commit-votes"), 1);
+  for (int i = 0; i < 3; ++i) {
+    honest.Extend(Sha256Digest("honest-" + std::to_string(i)), 100 + i);
+  }
+
+  PowChain private_fork(kTestDifficulty);
+  private_fork.Extend(Sha256Digest("startDeal+ABORT-vote-by-alice"), 50);
+  for (int i = 0; i < 3; ++i) {
+    private_fork.Extend(Sha256Digest("private-" + std::to_string(i)),
+                        500 + i);
+  }
+
+  auto honest_proof = honest.ProofSuffix(3);
+  auto fake_proof = private_fork.ProofSuffix(3);
+  ASSERT_TRUE(honest_proof.ok());
+  ASSERT_TRUE(fake_proof.ok());
+  // Both verify: a contract cannot tell which chain is canonical.
+  EXPECT_TRUE(
+      PowChain::VerifySegment(honest_proof.value(), kTestDifficulty).ok());
+  EXPECT_TRUE(
+      PowChain::VerifySegment(fake_proof.value(), kTestDifficulty).ok());
+}
+
+TEST(PowTest, AttackSimulationDeterministic) {
+  PowAttackParams params;
+  params.adversary_power = 0.3;
+  params.confirmations = 4;
+  params.seed = 99;
+  PowAttackResult r1 = SimulatePrivateMiningAttack(params);
+  PowAttackResult r2 = SimulatePrivateMiningAttack(params);
+  EXPECT_EQ(r1.success, r2.success);
+  EXPECT_EQ(r1.honest_blocks, r2.honest_blocks);
+  EXPECT_EQ(r1.adversary_blocks, r2.adversary_blocks);
+  // Exactly one side reached confirmations+1 first.
+  EXPECT_TRUE((r1.adversary_blocks == 5) != (r1.honest_blocks == 5));
+}
+
+TEST(PowTest, AttackSuccessDecreasesWithConfirmations) {
+  auto success_rate = [](double alpha, unsigned k) {
+    int wins = 0;
+    const int trials = 3000;
+    for (int t = 0; t < trials; ++t) {
+      PowAttackParams params;
+      params.adversary_power = alpha;
+      params.confirmations = k;
+      params.seed = 1000 + t;
+      if (SimulatePrivateMiningAttack(params).success) ++wins;
+    }
+    return static_cast<double>(wins) / trials;
+  };
+
+  double at1 = success_rate(0.3, 1);
+  double at4 = success_rate(0.3, 4);
+  double at8 = success_rate(0.3, 8);
+  EXPECT_GT(at1, at4);
+  EXPECT_GT(at4, at8);
+  EXPECT_LT(at8, 0.05);
+}
+
+TEST(PowTest, AttackSuccessIncreasesWithPower) {
+  auto success_rate = [](double alpha) {
+    int wins = 0;
+    const int trials = 3000;
+    for (int t = 0; t < trials; ++t) {
+      PowAttackParams params;
+      params.adversary_power = alpha;
+      params.confirmations = 3;
+      params.seed = 5000 + t;
+      if (SimulatePrivateMiningAttack(params).success) ++wins;
+    }
+    return static_cast<double>(wins) / trials;
+  };
+  EXPECT_LT(success_rate(0.1), success_rate(0.3));
+  EXPECT_LT(success_rate(0.3), success_rate(0.45));
+}
+
+TEST(PowTest, AnalyticProbability) {
+  EXPECT_DOUBLE_EQ(AnalyticAttackProbability(0.0, 3), 0.0);
+  EXPECT_DOUBLE_EQ(AnalyticAttackProbability(0.5, 3), 1.0);
+  EXPECT_DOUBLE_EQ(AnalyticAttackProbability(0.6, 3), 1.0);
+  // (0.25/0.75)^(k+1), k=2 -> (1/3)^3.
+  EXPECT_NEAR(AnalyticAttackProbability(0.25, 2), 1.0 / 27.0, 1e-12);
+  // Monotone decreasing in k.
+  for (unsigned k = 0; k < 10; ++k) {
+    EXPECT_GT(AnalyticAttackProbability(0.3, k),
+              AnalyticAttackProbability(0.3, k + 1));
+  }
+}
+
+TEST(PowTest, ConfirmationsScaleWithDealValue) {
+  // "the number of confirmations required should vary depending on the
+  //  value of the deal" (§6.2).
+  unsigned small = ConfirmationsForValue(100.0, 0.25, 1.0);
+  unsigned medium = ConfirmationsForValue(10000.0, 0.25, 1.0);
+  unsigned large = ConfirmationsForValue(1000000.0, 0.25, 1.0);
+  EXPECT_LE(small, medium);
+  EXPECT_LE(medium, large);
+  EXPECT_GT(large, small);
+  // Against a majority adversary no depth suffices.
+  EXPECT_EQ(ConfirmationsForValue(100.0, 0.5, 1.0), ~0u);
+}
+
+}  // namespace
+}  // namespace xdeal

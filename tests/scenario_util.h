@@ -1,0 +1,76 @@
+// Shared scenario builders for integration tests: the paper's Figure 1
+// broker deal (Alice brokers Bob's tickets to Carol) and small helpers.
+
+#ifndef XDEAL_TESTS_SCENARIO_UTIL_H_
+#define XDEAL_TESTS_SCENARIO_UTIL_H_
+
+#include <memory>
+#include <string>
+
+#include "core/deal_spec.h"
+#include "core/env.h"
+
+namespace xdeal {
+
+struct BrokerScenario {
+  std::unique_ptr<DealEnv> env;
+  DealSpec spec;
+  PartyId alice, bob, carol;
+  uint32_t tickets_asset = 0;
+  uint32_t coins_asset = 0;
+  uint64_t ticket1 = 0, ticket2 = 0;
+};
+
+/// Builds Figure 1: Bob sells two tickets for 100 coins via Alice, who
+/// keeps a 1-coin commission out of Carol's 101 coins.
+inline BrokerScenario MakeBrokerScenario(uint64_t seed,
+                                         std::unique_ptr<NetworkModel> net =
+                                             nullptr) {
+  BrokerScenario s;
+  EnvConfig config;
+  config.seed = seed;
+  config.network = std::move(net);
+  s.env = std::make_unique<DealEnv>(std::move(config));
+
+  s.alice = s.env->AddParty("alice");
+  s.bob = s.env->AddParty("bob");
+  s.carol = s.env->AddParty("carol");
+
+  ChainId ticket_chain = s.env->AddChain("ticket-chain");
+  ChainId coin_chain = s.env->AddChain("coin-chain");
+
+  s.spec.deal_id = MakeDealId("broker", seed);
+  s.spec.parties = {s.alice, s.bob, s.carol};
+  s.tickets_asset =
+      s.env->AddNftAsset(&s.spec, ticket_chain, "tickets", s.bob);
+  s.coins_asset =
+      s.env->AddFungibleAsset(&s.spec, coin_chain, "coins", s.carol);
+
+  s.ticket1 = s.env->MintTicket(s.spec, s.tickets_asset, s.bob, "hit-play",
+                                "orch-A1", 95);
+  s.ticket2 = s.env->MintTicket(s.spec, s.tickets_asset, s.bob, "hit-play",
+                                "orch-A2", 95);
+  s.env->Mint(s.spec, s.coins_asset, s.carol, 101);
+
+  // Escrow phase: Bob escrows tickets, Carol escrows coins.
+  s.spec.escrows = {
+      {s.tickets_asset, s.bob, s.ticket1},
+      {s.tickets_asset, s.bob, s.ticket2},
+      {s.coins_asset, s.carol, 101},
+  };
+  // Transfer phase: tickets Bob -> Alice -> Carol; coins Carol -> Alice,
+  // then Alice keeps 1 and sends 100 to Bob.
+  s.spec.transfers = {
+      {s.tickets_asset, s.bob, s.alice, s.ticket1},
+      {s.tickets_asset, s.bob, s.alice, s.ticket2},
+      {s.coins_asset, s.carol, s.alice, 101},
+      {s.tickets_asset, s.alice, s.carol, s.ticket1},
+      {s.tickets_asset, s.alice, s.carol, s.ticket2},
+      {s.coins_asset, s.alice, s.bob, 100},
+  };
+  return s;
+}
+
+}  // namespace xdeal
+
+#endif  // XDEAL_TESTS_SCENARIO_UTIL_H_

@@ -1,0 +1,160 @@
+// Discrete-event scheduler and network model unit tests.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/network.h"
+#include "sim/scheduler.h"
+#include "util/rng.h"
+
+namespace xdeal {
+namespace {
+
+TEST(SchedulerTest, RunsInTimeOrder) {
+  Scheduler sched;
+  std::vector<int> order;
+  sched.ScheduleAt(30, [&] { order.push_back(3); });
+  sched.ScheduleAt(10, [&] { order.push_back(1); });
+  sched.ScheduleAt(20, [&] { order.push_back(2); });
+  sched.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sched.now(), 30u);
+}
+
+TEST(SchedulerTest, FifoAtEqualTimes) {
+  Scheduler sched;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sched.ScheduleAt(5, [&order, i] { order.push_back(i); });
+  }
+  sched.Run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(SchedulerTest, CallbacksCanScheduleMore) {
+  Scheduler sched;
+  std::vector<Tick> fire_times;
+  std::function<void()> chain = [&] {
+    fire_times.push_back(sched.now());
+    if (fire_times.size() < 5) sched.ScheduleAfter(10, chain);
+  };
+  sched.ScheduleAt(0, chain);
+  sched.Run();
+  EXPECT_EQ(fire_times, (std::vector<Tick>{0, 10, 20, 30, 40}));
+}
+
+TEST(SchedulerTest, PastEventsClampToNow) {
+  Scheduler sched;
+  Tick fired_at = 0;
+  sched.ScheduleAt(100, [&] {
+    sched.ScheduleAt(50, [&] { fired_at = sched.now(); });  // in the past
+  });
+  sched.Run();
+  EXPECT_EQ(fired_at, 100u);
+}
+
+TEST(SchedulerTest, RunWithLimitStops) {
+  Scheduler sched;
+  int count = 0;
+  for (Tick t = 0; t < 100; t += 10) {
+    sched.ScheduleAt(t, [&] { ++count; });
+  }
+  sched.Run(45);
+  EXPECT_EQ(count, 5);  // 0,10,20,30,40
+  EXPECT_EQ(sched.pending(), 5u);
+  sched.Run();
+  EXPECT_EQ(count, 10);
+}
+
+TEST(SchedulerTest, StepReturnsFalseWhenEmpty) {
+  Scheduler sched;
+  EXPECT_FALSE(sched.Step());
+  sched.ScheduleAt(1, [] {});
+  EXPECT_TRUE(sched.Step());
+  EXPECT_FALSE(sched.Step());
+}
+
+TEST(SchedulerTest, SaturatingScheduleAfter) {
+  Scheduler sched;
+  bool fired = false;
+  sched.ScheduleAfter(kTickMax, [&] { fired = true; });
+  sched.ScheduleAt(5, [] {});
+  sched.Run(1000);
+  EXPECT_FALSE(fired);  // "never" event does not fire within the limit
+}
+
+TEST(SynchronousNetworkTest, DelaysWithinBounds) {
+  SynchronousNetwork net(2, 9);
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    Tick d = net.SampleDelay(0, Endpoint{0}, Endpoint{1}, &rng);
+    EXPECT_GE(d, 2u);
+    EXPECT_LE(d, 9u);
+  }
+}
+
+TEST(SynchronousNetworkTest, DegenerateRange) {
+  SynchronousNetwork net(5, 5);
+  Rng rng(1);
+  EXPECT_EQ(net.SampleDelay(0, Endpoint{0}, Endpoint{1}, &rng), 5u);
+}
+
+TEST(SemiSynchronousNetworkTest, PostGstBounded) {
+  SemiSynchronousNetwork net(/*gst=*/1000, /*pre_gst_max=*/5000,
+                             /*min=*/1, /*max=*/10);
+  Rng rng(2);
+  for (int i = 0; i < 500; ++i) {
+    Tick d = net.SampleDelay(1000, Endpoint{0}, Endpoint{1}, &rng);
+    EXPECT_LE(d, 10u);
+  }
+}
+
+TEST(SemiSynchronousNetworkTest, PreGstDeliversByGstPlusBound) {
+  SemiSynchronousNetwork net(/*gst=*/1000, /*pre_gst_max=*/100000,
+                             /*min=*/1, /*max=*/10);
+  Rng rng(3);
+  for (Tick now : {0u, 400u, 990u}) {
+    for (int i = 0; i < 200; ++i) {
+      Tick d = net.SampleDelay(now, Endpoint{0}, Endpoint{1}, &rng);
+      EXPECT_LE(now + d, 1010u) << "sent at " << now;
+    }
+  }
+}
+
+TEST(SemiSynchronousNetworkTest, PreGstCanExceedSyncBound) {
+  SemiSynchronousNetwork net(/*gst=*/100000, /*pre_gst_max=*/50000,
+                             /*min=*/1, /*max=*/10);
+  Rng rng(4);
+  bool saw_large = false;
+  for (int i = 0; i < 200; ++i) {
+    if (net.SampleDelay(0, Endpoint{0}, Endpoint{1}, &rng) > 10) {
+      saw_large = true;
+    }
+  }
+  EXPECT_TRUE(saw_large);
+}
+
+TEST(TargetedDosNetworkTest, TargetedMessagesHeldUntilAttackEnds) {
+  auto base = std::make_unique<SynchronousNetwork>(1, 5);
+  TargetedDosNetwork net(std::move(base), /*start=*/100, /*end=*/200);
+  net.AddTarget(Endpoint{7});
+  Rng rng(5);
+
+  // Inside the window, targeted messages arrive only after the attack.
+  Tick d = net.SampleDelay(150, Endpoint{7}, Endpoint{1}, &rng);
+  EXPECT_GE(150 + d, 200u);
+  d = net.SampleDelay(150, Endpoint{1}, Endpoint{7}, &rng);
+  EXPECT_GE(150 + d, 200u);
+
+  // Untargeted traffic is unaffected.
+  d = net.SampleDelay(150, Endpoint{2}, Endpoint{3}, &rng);
+  EXPECT_LE(d, 5u);
+
+  // Outside the window, targeted endpoints behave normally.
+  d = net.SampleDelay(300, Endpoint{7}, Endpoint{1}, &rng);
+  EXPECT_LE(d, 5u);
+}
+
+}  // namespace
+}  // namespace xdeal
