@@ -195,8 +195,12 @@ void CbcParty::OnObservedCbcReceipt(const Receipt& receipt) {
       }
       // If the escrow phase already passed while we were partitioned,
       // escrow now — late escrows at worst make validation fail and the
-      // deal abort consistently.
-      if (world().now() >= run_->config().escrow_time && !escrowed_) {
+      // deal abort consistently. But never escrow into a deal that is
+      // already decided: under pre-GST asynchrony the decisive outcome can
+      // be observed before startDeal, and a deposit made after everyone
+      // else claimed would have no one left to refund it.
+      if (world().now() >= run_->config().escrow_time && !escrowed_ &&
+          log->OutcomeOf(deployment().deal_id) == kDealActive) {
         OnEscrowPhase();
       }
     }

@@ -1,0 +1,640 @@
+#include "core/scenario_sweep.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <tuple>
+
+#include "baseline/htlc_swap.h"
+#include "core/adversaries.h"
+#include "core/cbc_run.h"
+#include "core/checker.h"
+#include "core/deal_gen.h"
+#include "core/env.h"
+#include "core/timelock_run.h"
+#include "sim/worker_pool.h"
+#include "util/rng.h"
+
+namespace xdeal {
+namespace {
+
+// Δ for the benign sweeps (matches the bench defaults: ample headroom over
+// the [1, 10] delay bound plus block inclusion).
+constexpr Tick kSweepDelta = 120;
+// Δ for the §5.3 DoS window: deliberately small enough that the attack can
+// outlast the forwarding deadlines, as in the adversary_gallery example.
+constexpr Tick kDosDelta = 80;
+
+uint64_t MixFingerprint(uint64_t h, uint64_t v) {
+  SplitMix64 sm(h ^ (v + 0x9E3779B97F4A7C15ULL));
+  return sm.Next();
+}
+
+uint64_t HashString(const std::string& s) {
+  uint64_t h = 0xcbf29ce484222325ULL;  // FNV-1a
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+uint64_t CountReceipts(const World& world) {
+  uint64_t n = 0;
+  for (uint32_t c = 0; c < world.num_chains(); ++c) {
+    n += world.chain(ChainId{c})->receipts().size();
+  }
+  return n;
+}
+
+bool BenignNetwork(SweepNetwork n) {
+  return n == SweepNetwork::kSynchronous || n == SweepNetwork::kPostGstSync;
+}
+
+std::unique_ptr<NetworkModel> MakeBenignNetwork(SweepNetwork kind) {
+  switch (kind) {
+    case SweepNetwork::kSynchronous:
+      return nullptr;  // DealEnv's default: SynchronousNetwork(1, 10)
+    case SweepNetwork::kPostGstSync:
+      return std::make_unique<SemiSynchronousNetwork>(
+          /*gst=*/0, /*pre_gst_max=*/3000, /*min_delay=*/1, /*max_delay=*/10);
+    case SweepNetwork::kPreGstAsync:
+      return std::make_unique<SemiSynchronousNetwork>(
+          /*gst=*/4000, /*pre_gst_max=*/3000, /*min_delay=*/1,
+          /*max_delay=*/10);
+    case SweepNetwork::kDosWindow:
+      return nullptr;  // built by the timelock runner (window depends on t0)
+  }
+  return nullptr;
+}
+
+std::unique_ptr<TimelockParty> MakeTimelockAdversary(SweepAdversary kind) {
+  switch (kind) {
+    case SweepAdversary::kCrashAtEscrow:
+      return std::make_unique<CrashingTimelockParty>(TlPhase::kEscrow);
+    case SweepAdversary::kCrashAtTransfer:
+      return std::make_unique<CrashingTimelockParty>(TlPhase::kTransfer);
+    case SweepAdversary::kCrashAtCommit:
+      return std::make_unique<CrashingTimelockParty>(TlPhase::kCommit);
+    case SweepAdversary::kVoteWithholding:
+      return std::make_unique<VoteWithholdingParty>();
+    case SweepAdversary::kNonForwarding:
+      return std::make_unique<NonForwardingParty>();
+    case SweepAdversary::kOfflineAfterVote:
+      return std::make_unique<OfflineAfterVoteParty>();
+    case SweepAdversary::kDoubleSpend:
+      return std::make_unique<DoubleSpendingParty>();
+    case SweepAdversary::kShortTransfer:
+      return std::make_unique<ShortTransferParty>();
+    case SweepAdversary::kLateVote:
+      return std::make_unique<LateVotingParty>(100000);
+    default:
+      return nullptr;
+  }
+}
+
+std::unique_ptr<CbcParty> MakeCbcAdversary(SweepAdversary kind) {
+  switch (kind) {
+    case SweepAdversary::kCbcCrashBeforeVote:
+      return std::make_unique<CbcCrashBeforeVoteParty>();
+    case SweepAdversary::kCbcAlwaysAbort:
+      return std::make_unique<CbcAlwaysAbortParty>();
+    case SweepAdversary::kCbcRescindRacer:
+      return std::make_unique<CbcRescindRacerParty>();
+    case SweepAdversary::kCbcFakeProof:
+      return std::make_unique<CbcFakeProofParty>();
+    default:
+      return nullptr;
+  }
+}
+
+GenParams GenParamsFor(const ScenarioSpec& sc) {
+  GenParams gen;
+  gen.n_parties = sc.shape.n_parties;
+  gen.m_assets = sc.shape.m_assets;
+  gen.t_transfers = sc.shape.t_transfers;
+  gen.num_chains = sc.shape.num_chains;
+  gen.nft_every = sc.shape.nft_every;
+  gen.seed = sc.seed;
+  return gen;
+}
+
+/// Failed properties -> the scenario's violation string (empty = clean).
+void FillViolation(ScenarioOutcome* out) {
+  std::string v;
+  if (!out->safety_ok) v += "property1-safety ";
+  if (!out->weak_liveness_ok) v += "property2-weak-liveness ";
+  if (!out->strong_liveness_ok) v += "property3-strong-liveness ";
+  if (!out->atomic) v += "atomicity ";
+  if (!v.empty()) {
+    v.pop_back();
+    out->violation = v;
+  }
+}
+
+ScenarioOutcome RunTimelockScenario(const ScenarioSpec& sc) {
+  ScenarioOutcome out;
+  out.index = sc.index;
+  out.seed = sc.seed;
+
+  GenParams gen = GenParamsFor(sc);
+  TimelockConfig config;
+  config.delta =
+      sc.network == SweepNetwork::kDosWindow ? kDosDelta : kSweepDelta;
+
+  std::unique_ptr<NetworkModel> net;
+  TargetedDosNetwork* dos = nullptr;
+  if (sc.network == SweepNetwork::kDosWindow) {
+    // The attack window opens just after votes are cast at t0 and closes
+    // past every forwarding deadline and refund watchdog. t0 depends only on
+    // the transfer count, which we learn from a scratch generation (the
+    // generator is deterministic in its params, so the real run below
+    // produces the same spec).
+    size_t steps;
+    {
+      EnvConfig scratch_config;
+      scratch_config.seed = sc.seed;
+      DealEnv scratch(std::move(scratch_config));
+      steps = GenerateRandomDeal(&scratch, gen).NumTransfers();
+    }
+    Tick t0 = config.transfer_start +
+              static_cast<Tick>(steps) * config.step_gap +
+              config.validation_slack;
+    Tick attack_start = t0 + 10;
+    Tick attack_end =
+        t0 + static_cast<Tick>(sc.shape.n_parties + 2) * config.delta + 1000;
+    auto dos_net = std::make_unique<TargetedDosNetwork>(
+        std::make_unique<SynchronousNetwork>(1, 10), attack_start, attack_end);
+    dos = dos_net.get();
+    net = std::move(dos_net);
+  } else {
+    net = MakeBenignNetwork(sc.network);
+  }
+
+  EnvConfig env_config;
+  env_config.seed = sc.seed;
+  env_config.network = std::move(net);
+  DealEnv env(std::move(env_config));
+  DealSpec spec = GenerateRandomDeal(&env, gen);
+
+  // The "special" party: the deviator for adversarial runs, the untargeted
+  // beneficiary for the DoS window.
+  uint32_t special = spec.parties[sc.position % spec.parties.size()].v;
+  if (dos != nullptr) {
+    for (PartyId p : spec.parties) {
+      if (p.v != special) dos->AddTarget(env.world().PartyEndpoint(p));
+    }
+  }
+
+  const bool adversarial = sc.adversary != SweepAdversary::kNone;
+  // A wiring mismatch (an adversary kind this protocol's factory does not
+  // know) must fail the scenario, not silently degrade into an honest run.
+  if (adversarial && MakeTimelockAdversary(sc.adversary) == nullptr) {
+    out.violation = "adversary-protocol-mismatch";
+    return out;
+  }
+  TimelockRun run(&env.world(), spec, config,
+                  [&](PartyId p) -> std::unique_ptr<TimelockParty> {
+                    if (adversarial && p.v == special) {
+                      return MakeTimelockAdversary(sc.adversary);
+                    }
+                    return nullptr;
+                  });
+  if (!run.Start().ok()) {
+    out.violation = "timelock-start-failed";
+    return out;
+  }
+  out.started = true;
+  DealChecker checker(&env.world(), spec, run.deployment().escrow_contracts);
+  checker.CaptureInitial();
+  env.world().scheduler().Run();
+  TimelockResult result = run.Collect();
+
+  out.committed = result.released_contracts == spec.NumAssets();
+  out.aborted = result.released_contracts == 0;
+  out.mixed = !out.committed && !out.aborted;
+  out.all_settled = result.all_settled;
+  out.settle_time = result.settle_time;
+  out.total_gas = env.world().TotalGas();
+  out.messages = CountReceipts(env.world());
+
+  // Under the DoS window no *party* deviates, so everyone counts as
+  // compliant — which is exactly how the §5.3 mixed outcome surfaces as a
+  // Property 1 violation.
+  std::vector<PartyId> compliant;
+  for (PartyId p : spec.parties) {
+    if (!adversarial || p.v != special) compliant.push_back(p);
+  }
+  out.safety_ok = checker.SafetyHolds(compliant);
+  out.weak_liveness_ok = checker.WeakLivenessHolds(compliant);
+  if (!adversarial && BenignNetwork(sc.network)) {
+    out.strong_liveness_ok = checker.StrongLivenessHolds();
+  }
+  FillViolation(&out);
+  return out;
+}
+
+ScenarioOutcome RunCbcScenario(const ScenarioSpec& sc) {
+  ScenarioOutcome out;
+  out.index = sc.index;
+  out.seed = sc.seed;
+
+  EnvConfig env_config;
+  env_config.seed = sc.seed;
+  env_config.network = MakeBenignNetwork(sc.network);
+  DealEnv env(std::move(env_config));
+  DealSpec spec = GenerateRandomDeal(&env, GenParamsFor(sc));
+
+  ChainId cbc_chain = env.AddChain("cbc");
+  ValidatorSet validators =
+      ValidatorSet::Create(/*f=*/1, "sweep-" + std::to_string(sc.seed));
+
+  uint32_t special = spec.parties[sc.position % spec.parties.size()].v;
+  const bool adversarial = sc.adversary != SweepAdversary::kNone;
+  if (adversarial && MakeCbcAdversary(sc.adversary) == nullptr) {
+    out.violation = "adversary-protocol-mismatch";
+    return out;
+  }
+  CbcRun run(&env.world(), spec, CbcConfig{}, cbc_chain, &validators,
+             [&](PartyId p) -> std::unique_ptr<CbcParty> {
+               if (adversarial && p.v == special) {
+                 return MakeCbcAdversary(sc.adversary);
+               }
+               return nullptr;
+             });
+  if (!run.Start().ok()) {
+    out.violation = "cbc-start-failed";
+    return out;
+  }
+  out.started = true;
+  DealChecker checker(&env.world(), spec, run.deployment().escrow_contracts);
+  checker.CaptureInitial();
+  env.world().scheduler().Run();
+  CbcResult result = run.Collect();
+
+  out.committed = result.outcome == kDealCommitted;
+  out.aborted = result.outcome == kDealAborted;
+  // Exclusive so committed/aborted/mixed partition the runs; a non-atomic
+  // settle under a decisive certificate still surfaces via `atomic` below.
+  out.mixed = !out.committed && !out.aborted &&
+              result.released_contracts > 0 && result.refunded_contracts > 0;
+  out.all_settled = result.all_settled;
+  out.atomic = result.atomic && checker.Atomic();
+  out.settle_time = result.settle_time;
+  out.total_gas = env.world().TotalGas();
+  out.messages = CountReceipts(env.world());
+
+  std::vector<PartyId> compliant;
+  for (PartyId p : spec.parties) {
+    if (!adversarial || p.v != special) compliant.push_back(p);
+  }
+  out.safety_ok = checker.SafetyHolds(compliant);
+  out.weak_liveness_ok = checker.WeakLivenessHolds(compliant);
+  if (!adversarial && BenignNetwork(sc.network)) {
+    // Under synchrony an all-compliant CBC deal must commit outright.
+    out.strong_liveness_ok = out.committed && checker.StrongLivenessHolds();
+  }
+  FillViolation(&out);
+  return out;
+}
+
+ScenarioOutcome RunHtlcScenario(const ScenarioSpec& sc) {
+  ScenarioOutcome out;
+  out.index = sc.index;
+  out.seed = sc.seed;
+
+  EnvConfig env_config;
+  env_config.seed = sc.seed;
+  env_config.network = MakeBenignNetwork(sc.network);
+  DealEnv env(std::move(env_config));
+
+  // Swaps only express direct pairwise exchanges, so the baseline runs a
+  // k-party cycle: asset i (on its own chain) moves from party i to i+1.
+  size_t k = std::max<size_t>(2, sc.shape.n_parties);
+  DealSpec deal;
+  deal.deal_id = MakeDealId("sweep-ring", sc.seed);
+  std::vector<PartyId> parties;
+  for (size_t i = 0; i < k; ++i) {
+    parties.push_back(env.AddParty("p" + std::to_string(i)));
+  }
+  deal.parties = parties;
+  for (size_t i = 0; i < k; ++i) {
+    ChainId chain = env.AddChain("chain-" + std::to_string(i));
+    uint32_t asset = env.AddFungibleAsset(&deal, chain,
+                                          "tok" + std::to_string(i),
+                                          parties[i]);
+    env.Mint(deal, asset, parties[i], 100);
+    deal.escrows.push_back({asset, parties[i], 100});
+    deal.transfers.push_back({asset, parties[i], parties[(i + 1) % k], 100});
+  }
+
+  Result<SwapSpec> swap = ToSwapSpec(deal);
+  if (!swap.ok()) {
+    out.violation = "htlc-not-swap-expressible";
+    return out;
+  }
+  HtlcSwapRun run(&env.world(), swap.value(), SwapConfig{});
+  if (!run.Start().ok()) {
+    out.violation = "htlc-start-failed";
+    return out;
+  }
+  out.started = true;
+  env.world().scheduler().Run();
+  SwapResult result = run.Collect();
+
+  out.committed = result.all_claimed;
+  out.aborted = result.all_refunded;
+  out.mixed = result.claimed_legs > 0 && result.refunded_legs > 0;
+  out.all_settled = result.claimed_legs + result.refunded_legs == k;
+  out.settle_time = result.settle_time;
+  out.total_gas = env.world().TotalGas();
+  out.messages = CountReceipts(env.world());
+
+  // All parties are compliant: the decreasing-timeout discipline must claim
+  // every leg under synchrony, and a mixed outcome is never acceptable.
+  out.safety_ok = !out.mixed;
+  out.weak_liveness_ok = out.all_settled;
+  out.strong_liveness_ok = out.committed;
+  FillViolation(&out);
+  return out;
+}
+
+}  // namespace
+
+const char* ToString(SweepProtocol p) {
+  switch (p) {
+    case SweepProtocol::kTimelock: return "timelock";
+    case SweepProtocol::kCbc: return "cbc";
+    case SweepProtocol::kHtlc: return "htlc";
+  }
+  return "?";
+}
+
+const char* ToString(SweepAdversary a) {
+  switch (a) {
+    case SweepAdversary::kNone: return "none";
+    case SweepAdversary::kCrashAtEscrow: return "crash-escrow";
+    case SweepAdversary::kCrashAtTransfer: return "crash-transfer";
+    case SweepAdversary::kCrashAtCommit: return "crash-commit";
+    case SweepAdversary::kVoteWithholding: return "vote-withholding";
+    case SweepAdversary::kNonForwarding: return "non-forwarding";
+    case SweepAdversary::kOfflineAfterVote: return "offline-after-vote";
+    case SweepAdversary::kDoubleSpend: return "double-spend";
+    case SweepAdversary::kShortTransfer: return "short-transfer";
+    case SweepAdversary::kLateVote: return "late-vote";
+    case SweepAdversary::kCbcCrashBeforeVote: return "cbc-crash-before-vote";
+    case SweepAdversary::kCbcAlwaysAbort: return "cbc-always-abort";
+    case SweepAdversary::kCbcRescindRacer: return "cbc-rescind-racer";
+    case SweepAdversary::kCbcFakeProof: return "cbc-fake-proof";
+  }
+  return "?";
+}
+
+const char* ToString(SweepNetwork n) {
+  switch (n) {
+    case SweepNetwork::kSynchronous: return "sync";
+    case SweepNetwork::kPostGstSync: return "post-gst";
+    case SweepNetwork::kPreGstAsync: return "pre-gst-async";
+    case SweepNetwork::kDosWindow: return "dos-window";
+  }
+  return "?";
+}
+
+bool AdversaryAppliesTo(SweepAdversary a, SweepProtocol p) {
+  if (a == SweepAdversary::kNone) return true;
+  const bool timelock_kind = a >= SweepAdversary::kCrashAtEscrow &&
+                             a <= SweepAdversary::kLateVote;
+  switch (p) {
+    case SweepProtocol::kTimelock: return timelock_kind;
+    case SweepProtocol::kCbc: return !timelock_kind;
+    case SweepProtocol::kHtlc: return false;  // no swap deviators (yet)
+  }
+  return false;
+}
+
+bool NetworkAppliesTo(SweepNetwork n, SweepProtocol p) {
+  switch (n) {
+    case SweepNetwork::kSynchronous:
+    case SweepNetwork::kPostGstSync:
+      return true;
+    case SweepNetwork::kPreGstAsync:
+      // Only the CBC protocol tolerates pre-GST asynchrony (§6); the
+      // timelock protocol and HTLC timeouts assume synchrony outright.
+      return p == SweepProtocol::kCbc;
+    case SweepNetwork::kDosWindow:
+      return p == SweepProtocol::kTimelock;
+  }
+  return false;
+}
+
+bool SweepCellKey::operator<(const SweepCellKey& o) const {
+  return std::tie(protocol, adversary, network) <
+         std::tie(o.protocol, o.adversary, o.network);
+}
+
+uint64_t ScenarioSeed(uint64_t base_seed, uint64_t scenario_index) {
+  SplitMix64 base(base_seed);
+  SplitMix64 mixed(base.Next() ^
+                   (scenario_index * 0x9E3779B97F4A7C15ULL +
+                    0xD1B54A32D192ED03ULL));
+  uint64_t seed = mixed.Next();
+  return seed == 0 ? 1 : seed;
+}
+
+std::vector<ScenarioSpec> BuildScenarioMatrix(const SweepAxes& axes,
+                                              uint64_t base_seed) {
+  std::vector<ScenarioSpec> specs;
+  const std::vector<uint32_t> kPositionZero = {0};
+  const size_t replicates = std::max<size_t>(1, axes.seeds_per_cell);
+  for (const SweepShape& shape : axes.shapes) {
+    for (SweepProtocol protocol : axes.protocols) {
+      for (SweepNetwork network : axes.networks) {
+        if (!NetworkAppliesTo(network, protocol)) continue;
+        for (SweepAdversary adversary : axes.adversaries) {
+          if (!AdversaryAppliesTo(adversary, protocol)) continue;
+          // The DoS window is itself the attack; parties stay compliant.
+          if (network == SweepNetwork::kDosWindow &&
+              adversary != SweepAdversary::kNone) {
+            continue;
+          }
+          const bool uses_position =
+              adversary != SweepAdversary::kNone ||
+              network == SweepNetwork::kDosWindow;
+          const std::vector<uint32_t>& positions =
+              uses_position && !axes.positions.empty() ? axes.positions
+                                                       : kPositionZero;
+          for (uint32_t position : positions) {
+            for (uint64_t r = 0; r < replicates; ++r) {
+              ScenarioSpec sc;
+              sc.index = specs.size();
+              sc.seed = ScenarioSeed(base_seed, sc.index);
+              sc.shape = shape;
+              sc.protocol = protocol;
+              sc.adversary = adversary;
+              sc.network = network;
+              sc.position = position;
+              sc.replicate = r;
+              specs.push_back(sc);
+            }
+          }
+        }
+      }
+    }
+  }
+  return specs;
+}
+
+ScenarioOutcome RunScenario(const ScenarioSpec& spec) {
+  switch (spec.protocol) {
+    case SweepProtocol::kTimelock: return RunTimelockScenario(spec);
+    case SweepProtocol::kCbc: return RunCbcScenario(spec);
+    case SweepProtocol::kHtlc: return RunHtlcScenario(spec);
+  }
+  return {};
+}
+
+SweepReport AggregateOutcomes(const std::vector<ScenarioSpec>& specs,
+                              const std::vector<ScenarioOutcome>& outcomes) {
+  SweepReport report;
+  report.num_scenarios = specs.size();
+  uint64_t fp = 0x243F6A8885A308D3ULL;
+  for (size_t i = 0; i < specs.size(); ++i) {
+    const ScenarioSpec& sc = specs[i];
+    const ScenarioOutcome& o = outcomes[i];
+
+    const bool honest = sc.adversary == SweepAdversary::kNone &&
+                        BenignNetwork(sc.network);
+    if (honest) {
+      ++report.honest_runs;
+    } else {
+      ++report.adversarial_runs;
+    }
+    if (o.committed) ++report.committed;
+    if (o.aborted) ++report.aborted;
+    if (o.mixed) ++report.mixed;
+    report.total_gas += o.total_gas;
+    report.total_messages += o.messages;
+
+    SweepCellStats& cell =
+        report.cells[SweepCellKey{sc.protocol, sc.adversary, sc.network}];
+    ++cell.runs;
+    if (o.committed) ++cell.committed;
+    if (o.aborted) ++cell.aborted;
+    if (o.mixed) ++cell.mixed;
+    cell.gas += o.total_gas;
+    cell.messages += o.messages;
+    if (!o.violation.empty()) {
+      ++cell.violations;
+      report.violations.push_back(SweepViolation{
+          sc.index, sc.seed, sc.protocol, sc.adversary, sc.network,
+          o.violation});
+    }
+
+    fp = MixFingerprint(fp, o.index);
+    fp = MixFingerprint(fp, o.seed);
+    fp = MixFingerprint(fp, static_cast<uint64_t>(o.started) |
+                                static_cast<uint64_t>(o.committed) << 1 |
+                                static_cast<uint64_t>(o.aborted) << 2 |
+                                static_cast<uint64_t>(o.mixed) << 3 |
+                                static_cast<uint64_t>(o.all_settled) << 4 |
+                                static_cast<uint64_t>(o.atomic) << 5 |
+                                static_cast<uint64_t>(o.safety_ok) << 6 |
+                                static_cast<uint64_t>(o.weak_liveness_ok)
+                                    << 7 |
+                                static_cast<uint64_t>(o.strong_liveness_ok)
+                                    << 8);
+    fp = MixFingerprint(fp, o.total_gas);
+    fp = MixFingerprint(fp, o.messages);
+    fp = MixFingerprint(fp, o.settle_time);
+    fp = MixFingerprint(fp, HashString(o.violation));
+  }
+  report.fingerprint = fp;
+  return report;
+}
+
+SweepReport RunSweep(const SweepAxes& axes, const SweepOptions& options) {
+  std::vector<ScenarioSpec> specs = BuildScenarioMatrix(axes,
+                                                        options.base_seed);
+  std::vector<ScenarioOutcome> outcomes(specs.size());
+  WorkerPool pool(options.num_threads);
+  pool.ParallelFor(specs.size(), [&specs, &outcomes](size_t i) {
+    outcomes[i] = RunScenario(specs[i]);
+  });
+  return AggregateOutcomes(specs, outcomes);
+}
+
+std::string SweepReport::Summary() const {
+  std::string s;
+  char line[256];
+  std::snprintf(line, sizeof(line),
+                "scenarios=%zu honest=%zu adversarial=%zu committed=%zu "
+                "aborted=%zu mixed=%zu violations=%zu\n"
+                "total_gas=%llu total_messages=%llu fingerprint=%016llx\n",
+                num_scenarios, honest_runs, adversarial_runs, committed,
+                aborted, mixed, violations.size(),
+                static_cast<unsigned long long>(total_gas),
+                static_cast<unsigned long long>(total_messages),
+                static_cast<unsigned long long>(fingerprint));
+  s += line;
+  std::snprintf(line, sizeof(line), "%-9s %-22s %-14s %5s %5s %5s %5s %5s\n",
+                "protocol", "adversary", "network", "runs", "commt", "abort",
+                "mixed", "viol");
+  s += line;
+  for (const auto& [key, cell] : cells) {
+    std::snprintf(line, sizeof(line),
+                  "%-9s %-22s %-14s %5zu %5zu %5zu %5zu %5zu\n",
+                  ToString(key.protocol), ToString(key.adversary),
+                  ToString(key.network), cell.runs, cell.committed,
+                  cell.aborted, cell.mixed, cell.violations);
+    s += line;
+  }
+  for (const SweepViolation& v : violations) {
+    std::snprintf(line, sizeof(line),
+                  "VIOLATION scenario=%zu seed=%llu %s/%s/%s: %s\n",
+                  v.scenario_index, static_cast<unsigned long long>(v.seed),
+                  ToString(v.protocol), ToString(v.adversary),
+                  ToString(v.network), v.what.c_str());
+    s += line;
+  }
+  return s;
+}
+
+SweepAxes DefaultSweepAxes() {
+  SweepAxes axes;
+  axes.shapes = {
+      {2, 1, 2, 1, 0},
+      {3, 2, 5, 2, 0},
+      {4, 3, 8, 2, 3},   // every 3rd asset an NFT
+      {5, 4, 10, 3, 0},
+  };
+  axes.protocols = {SweepProtocol::kTimelock, SweepProtocol::kCbc,
+                    SweepProtocol::kHtlc};
+  axes.adversaries = {
+      SweepAdversary::kNone,
+      SweepAdversary::kCrashAtEscrow,
+      SweepAdversary::kCrashAtTransfer,
+      SweepAdversary::kCrashAtCommit,
+      SweepAdversary::kVoteWithholding,
+      SweepAdversary::kNonForwarding,
+      SweepAdversary::kOfflineAfterVote,
+      SweepAdversary::kDoubleSpend,
+      SweepAdversary::kShortTransfer,
+      SweepAdversary::kLateVote,
+      SweepAdversary::kCbcCrashBeforeVote,
+      SweepAdversary::kCbcAlwaysAbort,
+      SweepAdversary::kCbcRescindRacer,
+      SweepAdversary::kCbcFakeProof,
+  };
+  // kPreGstAsync applies to the CBC protocol only (the matrix filter skips
+  // it elsewhere): deals may abort under pre-GST asynchrony, but atomically
+  // and without hurting compliant parties.
+  axes.networks = {SweepNetwork::kSynchronous, SweepNetwork::kPostGstSync,
+                   SweepNetwork::kPreGstAsync};
+  // {0, 1} stays distinct modulo every shape's party count (positions are
+  // taken mod n, so {0, 2} would collapse to party 0 on 2-party deals).
+  axes.positions = {0, 1};
+  axes.seeds_per_cell = 3;
+  return axes;
+}
+
+}  // namespace xdeal

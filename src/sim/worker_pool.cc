@@ -1,0 +1,87 @@
+#include "sim/worker_pool.h"
+
+#include <atomic>
+
+namespace xdeal {
+
+WorkerPool::WorkerPool(size_t num_threads) {
+  if (num_threads == 0) {
+    num_threads = std::thread::hardware_concurrency();
+    if (num_threads == 0) num_threads = 1;
+  }
+  num_threads_ = num_threads;
+  if (num_threads_ <= 1) return;  // inline mode
+  threads_.reserve(num_threads_);
+  for (size_t i = 0; i < num_threads_; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    shutting_down_ = true;
+  }
+  work_available_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void WorkerPool::Submit(std::function<void()> task) {
+  if (threads_.empty()) {
+    task();
+    return;
+  }
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    queue_.push(std::move(task));
+    ++in_flight_;
+  }
+  work_available_.notify_one();
+}
+
+void WorkerPool::Wait() {
+  if (threads_.empty()) return;
+  std::unique_lock<std::mutex> lock(mu_);
+  all_done_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void WorkerPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
+  if (threads_.empty() || n <= 1) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  // One shared cursor; each worker task drains indices until exhausted.
+  // Dynamic scheduling keeps cores busy even when item costs are skewed
+  // (scenario run times vary by an order of magnitude across shapes).
+  auto next = std::make_shared<std::atomic<size_t>>(0);
+  size_t tasks = std::min(num_threads_, n);
+  for (size_t t = 0; t < tasks; ++t) {
+    Submit([next, n, &fn] {
+      for (size_t i = next->fetch_add(1); i < n; i = next->fetch_add(1)) {
+        fn(i);
+      }
+    });
+  }
+  Wait();
+}
+
+void WorkerPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_available_.wait(
+          lock, [this] { return shutting_down_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // shutting down
+      task = std::move(queue_.front());
+      queue_.pop();
+    }
+    task();
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      if (--in_flight_ == 0) all_done_.notify_all();
+    }
+  }
+}
+
+}  // namespace xdeal

@@ -1,0 +1,66 @@
+// WorkerPool: a fixed-size thread pool for fanning independent simulations
+// across cores.
+//
+// Each simulated World is single-threaded and self-contained (its own
+// scheduler, RNG, chains), so scenario-level parallelism needs no locking
+// inside the simulation — the pool only hands out disjoint work items.
+// Determinism is preserved by construction: workers write results into
+// caller-owned slots indexed by work item, and any aggregation happens
+// sequentially after Wait()/ParallelFor() returns.
+
+#ifndef XDEAL_SIM_WORKER_POOL_H_
+#define XDEAL_SIM_WORKER_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace xdeal {
+
+class WorkerPool {
+ public:
+  /// Starts `num_threads` workers; 0 means std::thread::hardware_concurrency
+  /// (itself falling back to 1 if the runtime reports 0). `num_threads == 1`
+  /// starts no threads at all — tasks run inline on the submitting thread,
+  /// which keeps single-threaded runs exactly as debuggable as a plain loop.
+  explicit WorkerPool(size_t num_threads);
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  size_t num_threads() const { return num_threads_; }
+
+  /// Enqueues one task. Tasks must not throw.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished.
+  void Wait();
+
+  /// Runs fn(0) ... fn(n-1), distributing indices across the pool's workers
+  /// (or inline when the pool is single-threaded). Returns when all calls
+  /// have completed. `fn` must be safe to invoke concurrently for distinct
+  /// indices.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  size_t num_threads_;
+  std::vector<std::thread> threads_;
+
+  std::mutex mu_;
+  std::condition_variable work_available_;
+  std::condition_variable all_done_;
+  std::queue<std::function<void()>> queue_;
+  size_t in_flight_ = 0;  // queued + currently executing
+  bool shutting_down_ = false;
+};
+
+}  // namespace xdeal
+
+#endif  // XDEAL_SIM_WORKER_POOL_H_
