@@ -1,6 +1,6 @@
 // Parallel scenario-sweep benchmark: the full conformance matrix
 // (shapes × {timelock, CBC, HTLC} × adversary gallery × networks, ≥ 500
-// scenarios) at 1/2/4/8 worker threads.
+// scenarios) across a configurable list of worker-thread counts.
 //
 // Reports wall-clock per thread count and the speedup over single-threaded,
 // and verifies the two sweep invariants on every configuration:
@@ -11,23 +11,44 @@
 // Exit status is nonzero if either invariant fails, so this binary doubles
 // as a conformance gate.
 //
-// Build & run:  ./build/bench/bench_sweep
+// Usage:  bench_sweep [--threads=1,2,4,8] [--json=BENCH_sweep.json]
+//                     [--seed=1]
+//
+// --json writes the machine-readable report (schema in bench_util.h) that
+// CI uploads as an artifact; diff two files by metric name + labels.
 
 #include <chrono>
 #include <cinttypes>
 #include <cstdio>
+#include <cstdlib>
 #include <thread>
 #include <vector>
 
+#include "bench/bench_util.h"
 #include "core/scenario_sweep.h"
 
 using namespace xdeal;
 
-int main() {
+int main(int argc, char** argv) {
+  std::vector<size_t> thread_counts = bench::ParseSizeList(
+      bench::FlagValue(argc, argv, "threads"), {1, 2, 4, 8});
+  const char* json_path = bench::FlagValue(argc, argv, "json");
+  const char* seed_flag = bench::FlagValue(argc, argv, "seed");
+  uint64_t base_seed = seed_flag != nullptr
+                           ? std::strtoull(seed_flag, nullptr, 10)
+                           : 1;
+  if (base_seed == 0) base_seed = 1;
+
   SweepAxes axes = DefaultSweepAxes();
-  std::vector<ScenarioSpec> specs = BuildScenarioMatrix(axes, /*base_seed=*/1);
+  std::vector<ScenarioSpec> specs = BuildScenarioMatrix(axes, base_seed);
   std::printf("=== scenario sweep: %zu scenarios, hardware threads: %u ===\n",
               specs.size(), std::thread::hardware_concurrency());
+
+  bench::JsonReport json("bench_sweep");
+  json.AddConfig("scenarios", static_cast<uint64_t>(specs.size()));
+  json.AddConfig("base_seed", base_seed);
+  json.AddConfig("hardware_threads",
+                 static_cast<uint64_t>(std::thread::hardware_concurrency()));
 
   struct Row {
     size_t threads;
@@ -35,9 +56,9 @@ int main() {
     SweepReport report;
   };
   std::vector<Row> rows;
-  for (size_t threads : {1u, 2u, 4u, 8u}) {
+  for (size_t threads : thread_counts) {
     SweepOptions opts;
-    opts.base_seed = 1;
+    opts.base_seed = base_seed;
     opts.num_threads = threads;
     auto start = std::chrono::steady_clock::now();
     SweepReport report = RunSweep(axes, opts);
@@ -54,9 +75,9 @@ int main() {
   bool ok = true;
   for (const Row& row : rows) {
     double speedup = rows[0].ms / row.ms;
+    double per_second = specs.size() / (row.ms / 1000.0);
     std::printf("%8zu %12.1f %8.2fx %12.0f %11zu\n", row.threads, row.ms,
-                speedup, specs.size() / (row.ms / 1000.0),
-                row.report.violations.size());
+                speedup, per_second, row.report.violations.size());
     if (row.report.fingerprint != rows[0].report.fingerprint) {
       std::printf("  FINGERPRINT MISMATCH at %zu threads: %016" PRIx64
                   " != %016" PRIx64 "\n",
@@ -65,10 +86,21 @@ int main() {
       ok = false;
     }
     if (!row.report.violations.empty()) ok = false;
-  }
 
-  std::printf("\n--- conformance report (single-threaded run) ---\n%s",
+    bench::JsonReport::Labels labels = {
+        {"threads", std::to_string(row.threads)}};
+    json.AddMetric("wall_ms", row.ms, "ms", labels);
+    json.AddMetric("scenarios_per_sec", per_second, "1/s", labels);
+    json.AddMetric("speedup", speedup, "x", labels);
+    json.AddMetric("violations",
+                   static_cast<double>(row.report.violations.size()), "",
+                   labels);
+  }
+  json.AddMetric("conformance_ok", ok ? 1 : 0);
+
+  std::printf("\n--- conformance report (first configuration) ---\n%s",
               rows[0].report.Summary().c_str());
+  if (json_path != nullptr && !json.WriteFile(json_path)) ok = false;
   if (!ok) {
     std::printf("\nSWEEP FAILED: violations or nondeterminism detected\n");
     return 1;

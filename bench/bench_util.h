@@ -1,12 +1,16 @@
 // Shared helpers for the benchmark binaries: run a generated (n, m, t) deal
-// under either protocol and report per-phase gas and timing.
+// under either protocol and report per-phase gas and timing, plus the
+// machine-readable JSON report writer CI archives as BENCH_*.json artifacts.
 
 #ifndef XDEAL_BENCH_BENCH_UTIL_H_
 #define XDEAL_BENCH_BENCH_UTIL_H_
 
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "core/cbc_run.h"
 #include "core/deal_gen.h"
@@ -14,6 +18,169 @@
 
 namespace xdeal {
 namespace bench {
+
+// ---------------------------------------------------------------------------
+// Machine-readable bench reports
+//
+// Schema (stable; diffing two BENCH files means diffing metrics[] by name
+// and labels):
+//   {
+//     "bench": "<binary name>",
+//     "git_rev": "<GITHUB_SHA / XDEAL_GIT_REV / unknown>",
+//     "config": {"key": "value", ...},
+//     "metrics": [
+//       {"name": "...", "value": 1.5, "unit": "...",
+//        "labels": {"deals": "100", "threads": "8"}},
+//       ...
+//     ]
+//   }
+// ---------------------------------------------------------------------------
+
+inline std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+inline std::string JsonNumber(double value) {
+  char buf[64];
+  // %.12g round-trips every value these benches emit (counts, ticks, ms)
+  // without float noise like 0.30000000000000004.
+  std::snprintf(buf, sizeof(buf), "%.12g", value);
+  return buf;
+}
+
+/// Collects config + metrics and serializes the report above.
+class JsonReport {
+ public:
+  using Labels = std::vector<std::pair<std::string, std::string>>;
+
+  explicit JsonReport(std::string bench_name)
+      : bench_name_(std::move(bench_name)) {}
+
+  void AddConfig(const std::string& key, const std::string& value) {
+    config_.emplace_back(key, "\"" + JsonEscape(value) + "\"");
+  }
+  void AddConfig(const std::string& key, uint64_t value) {
+    config_.emplace_back(key, std::to_string(value));
+  }
+  void AddConfig(const std::string& key, double value) {
+    config_.emplace_back(key, JsonNumber(value));
+  }
+
+  void AddMetric(const std::string& name, double value,
+                 const std::string& unit = "", const Labels& labels = {}) {
+    std::string m = "{\"name\": \"" + JsonEscape(name) +
+                    "\", \"value\": " + JsonNumber(value);
+    if (!unit.empty()) m += ", \"unit\": \"" + JsonEscape(unit) + "\"";
+    if (!labels.empty()) {
+      m += ", \"labels\": {";
+      for (size_t i = 0; i < labels.size(); ++i) {
+        if (i > 0) m += ", ";
+        m += "\"" + JsonEscape(labels[i].first) + "\": \"" +
+             JsonEscape(labels[i].second) + "\"";
+      }
+      m += "}";
+    }
+    m += "}";
+    metrics_.push_back(std::move(m));
+  }
+
+  /// CI exports GITHUB_SHA; local runs may set XDEAL_GIT_REV.
+  static std::string GitRev() {
+    const char* rev = std::getenv("GITHUB_SHA");
+    if (rev == nullptr || rev[0] == '\0') rev = std::getenv("XDEAL_GIT_REV");
+    return rev != nullptr && rev[0] != '\0' ? rev : "unknown";
+  }
+
+  std::string ToJson() const {
+    std::string out = "{\n  \"bench\": \"" + JsonEscape(bench_name_) +
+                      "\",\n  \"git_rev\": \"" + JsonEscape(GitRev()) +
+                      "\",\n  \"config\": {";
+    for (size_t i = 0; i < config_.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += "\"" + JsonEscape(config_[i].first) +
+             "\": " + config_[i].second;
+    }
+    out += "},\n  \"metrics\": [\n";
+    for (size_t i = 0; i < metrics_.size(); ++i) {
+      out += "    " + metrics_[i];
+      if (i + 1 < metrics_.size()) out += ",";
+      out += "\n";
+    }
+    out += "  ]\n}\n";
+    return out;
+  }
+
+  bool WriteFile(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", path.c_str());
+      return false;
+    }
+    std::string json = ToJson();
+    bool ok = std::fwrite(json.data(), 1, json.size(), f) == json.size();
+    ok = std::fclose(f) == 0 && ok;
+    return ok;
+  }
+
+ private:
+  std::string bench_name_;
+  std::vector<std::pair<std::string, std::string>> config_;  // pre-encoded
+  std::vector<std::string> metrics_;
+};
+
+/// `--flag=` argv helper: returns the value after "--name=" or nullptr.
+inline const char* FlagValue(int argc, char** argv, const char* name) {
+  std::string prefix = std::string("--") + name + "=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]).rfind(prefix, 0) == 0) {
+      return argv[i] + prefix.size();
+    }
+  }
+  return nullptr;
+}
+
+/// Parses "1,2,4,8" into sizes; returns fallback on absence or garbage.
+inline std::vector<size_t> ParseSizeList(const char* value,
+                                         std::vector<size_t> fallback) {
+  if (value == nullptr) return fallback;
+  std::vector<size_t> out;
+  size_t current = 0;
+  bool have_digit = false;
+  for (const char* p = value;; ++p) {
+    if (*p >= '0' && *p <= '9') {
+      current = current * 10 + static_cast<size_t>(*p - '0');
+      have_digit = true;
+    } else if (*p == ',' || *p == '\0') {
+      if (!have_digit) return fallback;
+      out.push_back(current);
+      current = 0;
+      have_digit = false;
+      if (*p == '\0') break;
+    } else {
+      return fallback;
+    }
+  }
+  return out.empty() ? fallback : out;
+}
 
 struct DealShape {
   size_t n = 3;       // parties

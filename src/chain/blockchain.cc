@@ -45,12 +45,13 @@ const Contract* Blockchain::contract(ContractId id) const {
 
 uint64_t Blockchain::SubmitAt(Tick arrival, PartyId sender,
                               ContractId contract, CallData call,
-                              std::string tag) {
+                              std::string tag, uint64_t deal_tag) {
   uint64_t seq = next_seq_++;
   Tick boundary = NextBoundaryAfter(arrival);
   bool schedule = mempool_.find(boundary) == mempool_.end();
-  mempool_[boundary].push_back(
-      PendingTx{seq, sender, contract, std::move(call), std::move(tag)});
+  mempool_[boundary].push_back(PendingTx{seq, sender, contract,
+                                         std::move(call), std::move(tag),
+                                         deal_tag});
   if (schedule) {
     world_->scheduler().ScheduleAt(boundary,
                                    [this, boundary] { ProduceBlock(boundary); });
@@ -80,6 +81,7 @@ Receipt Blockchain::Execute(const PendingTx& tx, Tick now, uint64_t height) {
   receipt.included_at = now;
   receipt.block_height = height;
   receipt.tag = tx.tag;
+  receipt.deal_tag = tx.deal_tag;
 
   Contract* target = contract(tx.contract);
   if (target == nullptr) {
@@ -111,6 +113,26 @@ void Blockchain::ProduceBlock(Tick boundary) {
   if (it == mempool_.end()) return;
   std::vector<PendingTx> txs = std::move(it->second);
   mempool_.erase(it);
+
+  // Finite block capacity: include the first `cap` arrivals, roll the rest
+  // over to the next boundary *ahead of* anything that arrives later (they
+  // were submitted first). This is where heavy traffic turns into queueing
+  // delay that can stretch past protocol deadlines.
+  if (max_txs_per_block_ > 0 && txs.size() > max_txs_per_block_) {
+    Tick next = boundary + block_interval_;
+    auto next_it = mempool_.find(next);
+    bool schedule = next_it == mempool_.end();
+    std::vector<PendingTx>& overflow_queue = mempool_[next];
+    overflow_queue.insert(
+        overflow_queue.begin(),
+        std::make_move_iterator(txs.begin() + max_txs_per_block_),
+        std::make_move_iterator(txs.end()));
+    txs.resize(max_txs_per_block_);
+    if (schedule) {
+      world_->scheduler().ScheduleAt(next,
+                                     [this, next] { ProduceBlock(next); });
+    }
+  }
 
   uint64_t height = blocks_.size();
   Block block;

@@ -42,6 +42,8 @@ struct Receipt {
   Tick included_at = 0;
   uint64_t block_height = 0;
   std::string tag;              // caller-supplied label (phase attribution)
+  uint64_t deal_tag = 0;        // workload label: which deal submitted this
+                                // (0 = untagged / single-deal world)
 };
 
 /// A produced block: header + the receipts of its transactions.
@@ -88,9 +90,17 @@ class Blockchain {
   }
 
   /// Enqueues a transaction arriving at the chain at time `arrival`; it will
-  /// execute in the block at the next interval boundary. Returns the tx seq.
+  /// execute in the block at the next interval boundary (or a later one when
+  /// block capacity is limited and earlier arrivals fill the block). Returns
+  /// the tx seq. `deal_tag` labels the receipt for per-deal accounting.
   uint64_t SubmitAt(Tick arrival, PartyId sender, ContractId contract,
-                    CallData call, std::string tag);
+                    CallData call, std::string tag, uint64_t deal_tag = 0);
+
+  /// Caps how many transactions one block may include; overflow rolls over
+  /// to the next boundary in arrival order. 0 (the default) = unlimited.
+  /// Finite capacity is how traffic workloads create real queueing delay.
+  void set_max_txs_per_block(uint64_t cap) { max_txs_per_block_ = cap; }
+  uint64_t max_txs_per_block() const { return max_txs_per_block_; }
 
   /// Registers an observer endpoint; every future receipt is delivered to it
   /// after an observation delay sampled from the network model.
@@ -117,6 +127,7 @@ class Blockchain {
     ContractId contract;
     CallData call;
     std::string tag;
+    uint64_t deal_tag;
   };
 
   void ProduceBlock(Tick boundary);
@@ -128,6 +139,7 @@ class Blockchain {
   Tick block_interval_;
   uint64_t next_seq_ = 0;
   uint64_t total_gas_ = 0;
+  uint64_t max_txs_per_block_ = 0;  // 0 = unlimited
 
   std::vector<std::unique_ptr<Contract>> contracts_;
   std::map<Tick, std::vector<PendingTx>> mempool_;  // keyed by boundary

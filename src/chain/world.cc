@@ -31,7 +31,7 @@ const Blockchain* World::chain(ChainId id) const {
 }
 
 void World::Submit(PartyId from, ChainId chain_id, ContractId contract,
-                   CallData call, std::string tag) {
+                   CallData call, std::string tag, uint64_t deal_tag) {
   Blockchain* target = chain(chain_id);
   assert(target != nullptr);
   Tick delay =
@@ -40,9 +40,9 @@ void World::Submit(PartyId from, ChainId chain_id, ContractId contract,
   scheduler_.ScheduleAfter(
       arrival_offset,
       [this, target, from, contract, call = std::move(call),
-       tag = std::move(tag)]() mutable {
+       tag = std::move(tag), deal_tag]() mutable {
         target->SubmitAt(scheduler_.now(), from, contract, std::move(call),
-                         std::move(tag));
+                         std::move(tag), deal_tag);
       });
 }
 

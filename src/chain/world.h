@@ -52,8 +52,10 @@ class World {
   /// The message reaches the chain after a sampled network delay and executes
   /// at the following block boundary. Returns immediately (fire and forget);
   /// results arrive through chain subscription or direct state reads.
+  /// `deal_tag` labels the resulting receipt so multi-deal workloads can
+  /// attribute gas/latency per deal (0 = untagged).
   void Submit(PartyId from, ChainId chain_id, ContractId contract,
-              CallData call, std::string tag = "");
+              CallData call, std::string tag = "", uint64_t deal_tag = 0);
 
   /// Samples a one-way delay between two endpoints (exposed for components
   /// like block observation that need the same model).

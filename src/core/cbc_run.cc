@@ -32,7 +32,8 @@ void CbcParty::SubmitStartDeal() {
   w.U32(static_cast<uint32_t>(spec().parties.size()));
   for (PartyId p : spec().parties) w.U32(p.v);
   world().Submit(self_, deployment().cbc_chain, deployment().cbc_log,
-                 CallData{"startDeal", w.Take()}, "cbc-start");
+                 CallData{"startDeal", w.Take()}, "cbc-start",
+                 run_->config().deal_tag);
 }
 
 void CbcParty::SubmitEscrow(const EscrowStep& step) {
@@ -48,7 +49,8 @@ void CbcParty::SubmitEscrow(const EscrowStep& step) {
   w.U64(step.value);
   world().Submit(self_, spec().assets[step.asset].chain,
                  deployment().escrow_contracts[step.asset],
-                 CallData{"escrow", w.Take()}, "escrow");
+                 CallData{"escrow", w.Take()}, "escrow",
+                 run_->config().deal_tag);
 }
 
 void CbcParty::SubmitTransfer(const TransferStep& step) {
@@ -58,7 +60,8 @@ void CbcParty::SubmitTransfer(const TransferStep& step) {
   w.U64(step.value);
   world().Submit(self_, spec().assets[step.asset].chain,
                  deployment().escrow_contracts[step.asset],
-                 CallData{"transfer", w.Take()}, "transfer");
+                 CallData{"transfer", w.Take()}, "transfer",
+                 run_->config().deal_tag);
 }
 
 void CbcParty::SubmitCbcVote(bool abort) {
@@ -69,7 +72,8 @@ void CbcParty::SubmitCbcVote(bool abort) {
   w.Raw(deployment().deal_id.bytes.data(), 32);
   w.Raw(start_hash_.bytes.data(), 32);
   world().Submit(self_, deployment().cbc_chain, deployment().cbc_log,
-                 CallData{abort ? "abort" : "commit", w.Take()}, "cbc-vote");
+                 CallData{abort ? "abort" : "commit", w.Take()}, "cbc-vote",
+                 run_->config().deal_tag);
   if (abort) {
     voted_abort_ = true;
   } else {
@@ -84,7 +88,8 @@ void CbcParty::SubmitDecide(uint32_t asset, const CbcProof& proof) {
   w.Blob(proof.Serialize());
   world().Submit(self_, spec().assets[asset].chain,
                  deployment().escrow_contracts[asset],
-                 CallData{"decide", w.Take()}, "decide");
+                 CallData{"decide", w.Take()}, "decide",
+                 run_->config().deal_tag);
 }
 
 bool CbcParty::RunValidationChecks() const {
@@ -129,28 +134,38 @@ bool CbcParty::RunValidationChecks() const {
 }
 
 void CbcParty::ClaimAll(DealOutcome outcome) {
-  // Build the proof: reconfig chain (if the validators rotated) + a fresh
-  // status certificate from the current validator set.
+  // Collect the escrows still needing a decision before building any proof:
+  // a status certificate costs 2f+1 validator signatures, and on a shared
+  // CBC chain ClaimAll is re-triggered by every observed receipt — including
+  // other deals' — long after everything of ours has settled.
+  std::vector<uint32_t> todo;
+  if (outcome == kDealCommitted) {
+    // Motivated to claim incoming assets.
+    for (uint32_t a : spec().IncomingAssetsOf(self_)) {
+      if (decided_assets_.count(a) > 0) continue;
+      const CbcEscrowContract* esc = EscrowOfAsset(a);
+      if (esc != nullptr && !esc->settled()) todo.push_back(a);
+    }
+  } else {
+    // Motivated to recover deposits.
+    for (uint32_t a = 0; a < spec().NumAssets(); ++a) {
+      if (decided_assets_.count(a) > 0 || !spec().Deposits(self_, a)) {
+        continue;
+      }
+      const CbcEscrowContract* esc = EscrowOfAsset(a);
+      if (esc != nullptr && !esc->settled()) todo.push_back(a);
+    }
+  }
+  if (todo.empty()) return;
+
+  // The proof: reconfig chain (if the validators rotated) + a fresh status
+  // certificate from the current validator set.
   CbcProof proof;
   proof.reconfigs = run_->reconfig_chain();
   proof.status =
       run_->validators().IssueStatus(*Log(), deployment().deal_id);
   if (proof.status.outcome != outcome) return;  // view changed; stale call
-
-  if (outcome == kDealCommitted) {
-    // Motivated to claim incoming assets.
-    for (uint32_t a : spec().IncomingAssetsOf(self_)) {
-      const CbcEscrowContract* esc = EscrowOfAsset(a);
-      if (esc != nullptr && !esc->settled()) SubmitDecide(a, proof);
-    }
-  } else {
-    // Motivated to recover deposits.
-    for (uint32_t a = 0; a < spec().NumAssets(); ++a) {
-      if (!spec().Deposits(self_, a)) continue;
-      const CbcEscrowContract* esc = EscrowOfAsset(a);
-      if (esc != nullptr && !esc->settled()) SubmitDecide(a, proof);
-    }
-  }
+  for (uint32_t a : todo) SubmitDecide(a, proof);
 }
 
 void CbcParty::OnStartDealPhase() { SubmitStartDeal(); }
@@ -310,7 +325,8 @@ void CbcRun::SetupApprovals() {
           config_.setup_time, [this, e, args = w.Take()]() mutable {
             world_->Submit(e.party, spec_.assets[e.asset].chain,
                            spec_.assets[e.asset].token,
-                           CallData{"approve", std::move(args)}, "setup");
+                           CallData{"approve", std::move(args)}, "setup",
+                           config_.deal_tag);
           });
     }
   }
@@ -329,7 +345,8 @@ void CbcRun::SetupApprovals() {
         [this, asset_copy, party_copy, args = w.Take()]() mutable {
           world_->Submit(PartyId{party_copy}, spec_.assets[asset_copy].chain,
                          spec_.assets[asset_copy].token,
-                         CallData{"approve", std::move(args)}, "setup");
+                         CallData{"approve", std::move(args)}, "setup",
+                         config_.deal_tag);
         });
   }
 }
@@ -396,10 +413,17 @@ CbcResult CbcRun::Collect() const {
   }
   result.atomic = !(any_released && any_refunded);
 
-  for (uint32_t c = 0; c < world_->num_chains(); ++c) {
+  // Every transaction this run submits targets an asset chain or the CBC
+  // itself, so only those need scanning — in a multi-deal World iterating
+  // every chain would be quadratic.
+  std::set<uint32_t> deal_chains = {cbc_chain_.v};
+  for (const AssetRef& asset : spec_.assets) deal_chains.insert(asset.chain.v);
+  for (uint32_t c : deal_chains) {
     const Blockchain* chain = world_->chain(ChainId{c});
+    if (chain == nullptr) continue;
     for (const Receipt& r : chain->receipts()) {
       if (!r.status.ok()) continue;
+      if (r.deal_tag != config_.deal_tag) continue;  // another deal's traffic
       if (r.tag == "escrow") result.gas_escrow += r.gas_used;
       if (r.tag == "transfer") result.gas_transfer += r.gas_used;
       if (r.tag == "cbc-vote" || r.tag == "cbc-start") {

@@ -44,6 +44,9 @@ struct CbcConfig {
   /// escrow and claim) — exercises the (k+1)(2f+1) proof chain.
   size_t reconfigs_before_claim = 0;
   Tick reconfig_time = 260;
+  /// Labels every transaction this run submits, so that multi-deal worlds
+  /// can attribute receipts/gas per deal. 0 = untagged (single-deal world).
+  uint64_t deal_tag = 0;
 };
 
 struct CbcDeployment {

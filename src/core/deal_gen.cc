@@ -10,14 +10,16 @@ DealSpec GenerateRandomDeal(DealEnv* env, const GenParams& params) {
   Rng rng(params.seed ^ 0x9E3779B97F4A7C15ULL);
 
   DealSpec spec;
-  spec.deal_id = MakeDealId("generated", params.seed);
+  spec.deal_id = MakeDealId(params.name_prefix + "generated", params.seed);
 
   for (size_t i = 0; i < params.n_parties; ++i) {
-    spec.parties.push_back(env->AddParty("party-" + std::to_string(i)));
+    spec.parties.push_back(
+        env->AddParty(params.name_prefix + "party-" + std::to_string(i)));
   }
-  std::vector<ChainId> chains;
-  for (size_t c = 0; c < params.num_chains; ++c) {
-    chains.push_back(env->AddChain("chain-" + std::to_string(c)));
+  std::vector<ChainId> chains = params.use_chains;
+  for (size_t c = chains.size(); c < params.num_chains; ++c) {
+    chains.push_back(
+        env->AddChain(params.name_prefix + "chain-" + std::to_string(c)));
   }
 
   // Assets round-robin over chains; owner of asset i is party i mod n.
@@ -38,14 +40,17 @@ DealSpec GenerateRandomDeal(DealEnv* env, const GenParams& params) {
     plan.nft = nft;
     plan.walk_end = owner;
     if (nft) {
-      plan.index = env->AddNftAsset(&spec, chain,
-                                    "nft-" + std::to_string(a), owner);
+      plan.index = env->AddNftAsset(
+          &spec, chain, params.name_prefix + "nft-" + std::to_string(a),
+          owner);
       plan.ticket_or_amount = env->MintTicket(
-          spec, plan.index, owner, "event-" + std::to_string(a), "A1",
+          spec, plan.index, owner,
+          params.name_prefix + "event-" + std::to_string(a), "A1",
           /*quality=*/90);
     } else {
-      plan.index = env->AddFungibleAsset(&spec, chain,
-                                         "tok-" + std::to_string(a), owner);
+      plan.index = env->AddFungibleAsset(
+          &spec, chain, params.name_prefix + "tok-" + std::to_string(a),
+          owner);
       plan.ticket_or_amount = params.amount;
       env->Mint(spec, plan.index, owner, params.amount);
     }

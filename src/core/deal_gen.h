@@ -11,6 +11,7 @@
 #define XDEAL_CORE_DEAL_GEN_H_
 
 #include <string>
+#include <vector>
 
 #include "core/env.h"
 
@@ -25,6 +26,13 @@ struct GenParams {
   /// Every `nft_every`-th asset (>=1) is an NFT; 0 disables NFTs.
   size_t nft_every = 0;
   uint64_t seed = 1;
+  /// If non-empty, assets are placed round-robin on these *existing* chains
+  /// instead of creating `num_chains` fresh ones — this is how a traffic
+  /// workload multiplexes many deals over a shared chain pool.
+  std::vector<ChainId> use_chains;
+  /// Prepended to generated party/token names so concurrent deals in one
+  /// World get distinct identities (party keys derive from names).
+  std::string name_prefix;
 };
 
 /// Builds chains/tokens/parties inside `env`, mints initial holdings, and

@@ -13,6 +13,7 @@
 #include "core/env.h"
 #include "core/timelock_run.h"
 #include "sim/worker_pool.h"
+#include "util/fingerprint.h"
 #include "util/rng.h"
 
 namespace xdeal {
@@ -24,20 +25,6 @@ constexpr Tick kSweepDelta = 120;
 // Δ for the §5.3 DoS window: deliberately small enough that the attack can
 // outlast the forwarding deadlines, as in the adversary_gallery example.
 constexpr Tick kDosDelta = 80;
-
-uint64_t MixFingerprint(uint64_t h, uint64_t v) {
-  SplitMix64 sm(h ^ (v + 0x9E3779B97F4A7C15ULL));
-  return sm.Next();
-}
-
-uint64_t HashString(const std::string& s) {
-  uint64_t h = 0xcbf29ce484222325ULL;  // FNV-1a
-  for (unsigned char c : s) {
-    h ^= c;
-    h *= 0x100000001b3ULL;
-  }
-  return h;
-}
 
 uint64_t CountReceipts(const World& world) {
   uint64_t n = 0;
@@ -546,7 +533,7 @@ SweepReport AggregateOutcomes(const std::vector<ScenarioSpec>& specs,
     fp = MixFingerprint(fp, o.total_gas);
     fp = MixFingerprint(fp, o.messages);
     fp = MixFingerprint(fp, o.settle_time);
-    fp = MixFingerprint(fp, HashString(o.violation));
+    fp = MixFingerprint(fp, FingerprintString(o.violation));
   }
   report.fingerprint = fp;
   return report;

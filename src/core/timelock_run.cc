@@ -35,7 +35,7 @@ void TimelockParty::SubmitEscrow(const EscrowStep& step) {
   w.U64(step.value);
   world().Submit(self_, spec().assets[step.asset].chain,
                  deployment().escrow_contracts[step.asset],
-                 CallData{"escrow", w.Take()}, "escrow");
+                 CallData{"escrow", w.Take()}, "escrow", config().deal_tag);
 }
 
 void TimelockParty::SubmitTransfer(const TransferStep& step) {
@@ -45,7 +45,8 @@ void TimelockParty::SubmitTransfer(const TransferStep& step) {
   w.U64(step.value);
   world().Submit(self_, spec().assets[step.asset].chain,
                  deployment().escrow_contracts[step.asset],
-                 CallData{"transfer", w.Take()}, "transfer");
+                 CallData{"transfer", w.Take()}, "transfer",
+                 config().deal_tag);
 }
 
 PathVote TimelockParty::MakeOwnVote() const {
@@ -75,7 +76,7 @@ void TimelockParty::SubmitVote(uint32_t asset, const PathVote& vote) {
   vote.AppendTo(&w);
   world().Submit(self_, spec().assets[asset].chain,
                  deployment().escrow_contracts[asset],
-                 CallData{"commit", w.Take()}, "commit");
+                 CallData{"commit", w.Take()}, "commit", config().deal_tag);
 }
 
 bool TimelockParty::RunValidationChecks() const {
@@ -189,7 +190,8 @@ void TimelockParty::OnRefundWatch() {
     w.Raw(deployment().info.deal_id.bytes.data(), 32);
     world().Submit(self_, spec().assets[a].chain,
                    deployment().escrow_contracts[a],
-                   CallData{"claimRefund", w.Take()}, "refund");
+                   CallData{"claimRefund", w.Take()}, "refund",
+                   config().deal_tag);
   }
 }
 
@@ -282,7 +284,8 @@ void TimelockRun::SetupApprovals() {
           [this, e, args = w.Take()]() mutable {
             world_->Submit(e.party, spec_.assets[e.asset].chain,
                            spec_.assets[e.asset].token,
-                           CallData{"approve", std::move(args)}, "setup");
+                           CallData{"approve", std::move(args)}, "setup",
+                           config_.deal_tag);
           });
     }
   }
@@ -301,7 +304,8 @@ void TimelockRun::SetupApprovals() {
                              args = w.Take()]() mutable {
           world_->Submit(PartyId{party_copy}, spec_.assets[asset_copy].chain,
                          spec_.assets[asset_copy].token,
-                         CallData{"approve", std::move(args)}, "setup");
+                         CallData{"approve", std::move(args)}, "setup",
+                         config_.deal_tag);
         });
   }
 }
@@ -352,11 +356,17 @@ TimelockResult TimelockRun::Collect() const {
     bool vacuous = esc->core().Depositors().empty();
     result.all_settled = result.all_settled && (esc->settled() || vacuous);
   }
-  // Phase gas + timing from receipts.
-  for (uint32_t c = 0; c < world_->num_chains(); ++c) {
+  // Phase gas + timing from receipts. Every transaction this run submits
+  // targets one of the deal's asset chains, so only those need scanning —
+  // in a multi-deal World iterating every chain would be quadratic.
+  std::set<uint32_t> deal_chains;
+  for (const AssetRef& asset : spec_.assets) deal_chains.insert(asset.chain.v);
+  for (uint32_t c : deal_chains) {
     const Blockchain* chain = world_->chain(ChainId{c});
+    if (chain == nullptr) continue;
     for (const Receipt& r : chain->receipts()) {
       if (!r.status.ok()) continue;
+      if (r.deal_tag != config_.deal_tag) continue;  // another deal's traffic
       if (r.tag == "escrow") result.gas_escrow += r.gas_used;
       if (r.tag == "transfer") result.gas_transfer += r.gas_used;
       if (r.tag == "commit") {

@@ -44,6 +44,9 @@ struct TimelockConfig {
   Tick delta = 200;             // the synchrony bound Δ
   bool direct_votes = false;    // altruistic: vote on every asset's chain
   Tick refund_margin = 20;      // watchdog fires at t0 + N·Δ + margin
+  /// Labels every transaction this run submits, so that multi-deal worlds
+  /// can attribute receipts/gas per deal. 0 = untagged (single-deal world).
+  uint64_t deal_tag = 0;
 };
 
 /// Where the deal's contracts live: escrow contract per asset index.

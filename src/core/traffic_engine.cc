@@ -1,0 +1,535 @@
+#include "core/traffic_engine.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <set>
+#include <tuple>
+
+#include "core/cbc_run.h"
+#include "core/checker.h"
+#include "core/deal_gen.h"
+#include "core/env.h"
+#include "core/timelock_run.h"
+#include "sim/worker_pool.h"
+#include "util/fingerprint.h"
+#include "util/rng.h"
+
+namespace xdeal {
+namespace {
+
+// Phase offsets within one deal's schedule, relative to its admission tick.
+// Mirrors the single-deal defaults in TimelockConfig/CbcConfig.
+constexpr Tick kTlEscrowOffset = 50;
+constexpr Tick kTlTransferOffset = 150;
+constexpr Tick kCbcStartOffset = 20;
+constexpr Tick kCbcEscrowOffset = 80;
+constexpr Tick kCbcTransferOffset = 180;
+
+/// Deterministic nearest-rank percentile over a scratch copy: the smallest
+/// value with at least p% of the samples at or below it.
+template <typename T>
+T Percentile(std::vector<T> values, int p) {
+  if (values.empty()) return T{};
+  std::sort(values.begin(), values.end());
+  size_t rank = (values.size() * static_cast<size_t>(p) + 99) / 100;
+  if (rank == 0) rank = 1;
+  if (rank > values.size()) rank = values.size();
+  return values[rank - 1];
+}
+
+/// One deal's full lifetime inside the shared World.
+struct DealSlot {
+  TrafficDealRecord rec;
+  DealSpec spec;
+  std::unique_ptr<TimelockRun> timelock;
+  std::unique_ptr<CbcRun> cbc;
+  std::unique_ptr<DealChecker> checker;
+  /// Set on deals touched by double-spend injection: the over-committing
+  /// party, excluded from this deal's compliant set.
+  bool has_adversary = false;
+  PartyId adversary;
+};
+
+void FillViolation(TrafficDealRecord* rec) {
+  std::string v;
+  if (!rec->safety_ok) v += "property1-safety ";
+  if (!rec->weak_liveness_ok) v += "property2-weak-liveness ";
+  if (!rec->strong_liveness_ok) v += "property3-strong-liveness ";
+  if (!rec->atomic) v += "atomicity ";
+  if (!v.empty()) {
+    v.pop_back();
+    rec->violation = v;
+  }
+}
+
+std::vector<PartyId> CompliantPartiesOf(const DealSlot& slot) {
+  std::vector<PartyId> compliant;
+  for (PartyId p : slot.spec.parties) {
+    if (!slot.has_adversary || p != slot.adversary) compliant.push_back(p);
+  }
+  return compliant;
+}
+
+/// Post-run evaluation of one deal; read-only on the World, safe to run
+/// concurrently for distinct slots.
+void ValidateDeal(DealSlot* slot) {
+  TrafficDealRecord& rec = slot->rec;
+  if (!rec.started) return;
+
+  if (slot->timelock != nullptr) {
+    TimelockResult result = slot->timelock->Collect();
+    rec.committed = result.released_contracts == slot->spec.NumAssets();
+    rec.aborted = result.released_contracts == 0;
+    rec.mixed = !rec.committed && !rec.aborted;
+    rec.all_settled = result.all_settled;
+    rec.settle_time = result.settle_time;
+  } else {
+    CbcResult result = slot->cbc->Collect();
+    rec.committed = result.outcome == kDealCommitted;
+    rec.aborted = result.outcome == kDealAborted;
+    rec.mixed = !rec.committed && !rec.aborted &&
+                result.released_contracts > 0 &&
+                result.refunded_contracts > 0;
+    rec.all_settled = result.all_settled;
+    rec.atomic = result.atomic;
+    rec.settle_time = result.settle_time;
+  }
+  rec.latency =
+      rec.settle_time > rec.admitted_at ? rec.settle_time - rec.admitted_at
+                                        : 0;
+
+  std::vector<PartyId> compliant = CompliantPartiesOf(*slot);
+  rec.safety_ok = slot->checker->SafetyHolds(compliant);
+  rec.weak_liveness_ok = slot->checker->WeakLivenessHolds(compliant);
+  if (slot->cbc != nullptr) {
+    rec.atomic = rec.atomic && slot->checker->Atomic();
+  }
+  // Property 3 presumes every party compliant; injection-touched deals are
+  // exempt (their abort is the expected defense, not a liveness failure).
+  if (!rec.tainted) {
+    if (slot->timelock != nullptr) {
+      rec.strong_liveness_ok = slot->checker->StrongLivenessHolds();
+    } else {
+      rec.strong_liveness_ok =
+          rec.committed && slot->checker->StrongLivenessHolds();
+    }
+  }
+  FillViolation(&rec);
+}
+
+/// Builds the 2-party over-commit swap for an injected double-spend: the
+/// host deal's first escrower re-promises the SAME tokens to a fresh
+/// counterparty. Only one of the two escrow pulls can succeed on-chain.
+DealSpec BuildDoubleSpendSpec(DealEnv* env, const DealSlot& host,
+                              size_t deal_index, uint64_t seed,
+                              size_t num_chains, Rng* rng) {
+  const std::string prefix = "d" + std::to_string(deal_index) + "-";
+  PartyId spender = host.spec.escrows[0].party;
+  uint64_t amount = host.spec.escrows[0].value;
+
+  DealSpec spec;
+  spec.deal_id = MakeDealId(prefix + "doublespend", seed);
+  PartyId mark = env->AddParty(prefix + "mark");
+  spec.parties = {spender, mark};
+  // Asset 0: the host deal's asset 0 — same token contract, same chain.
+  spec.assets.push_back(host.spec.assets[0]);
+  // Asset 1: a fresh token the counterparty actually owns.
+  ChainId chain = ChainId{static_cast<uint32_t>(rng->Below(num_chains))};
+  uint32_t fresh =
+      env->AddFungibleAsset(&spec, chain, prefix + "tok", mark);
+  env->Mint(spec, fresh, mark, amount);
+
+  spec.escrows.push_back(EscrowStep{0, spender, amount});
+  spec.escrows.push_back(EscrowStep{fresh, mark, amount});
+  spec.transfers.push_back(TransferStep{0, spender, mark, amount});
+  spec.transfers.push_back(TransferStep{fresh, mark, spender, amount});
+  return spec;
+}
+
+/// Cross-references escrow receipts between deals: a party whose escrow pull
+/// failed in one deal while the same token funded its escrow in another is
+/// a cross-deal double-spender. Evidence-based — independent of injection.
+std::vector<DoubleSpendIncident> DetectDoubleSpends(
+    const World& world, const std::vector<DealSlot>& slots) {
+  // (chain, escrow contract) -> (deal, asset index).
+  std::map<std::pair<uint32_t, uint32_t>, std::pair<size_t, uint32_t>>
+      escrow_site;
+  for (size_t d = 0; d < slots.size(); ++d) {
+    // A deal whose Start() failed may have deployed only a prefix of its
+    // escrow contracts; it submitted nothing, so it has no evidence to add.
+    if (!slots[d].rec.started) continue;
+    const std::vector<ContractId>& escrows =
+        slots[d].timelock != nullptr
+            ? slots[d].timelock->deployment().escrow_contracts
+            : slots[d].cbc->deployment().escrow_contracts;
+    for (uint32_t a = 0; a < slots[d].spec.NumAssets(); ++a) {
+      escrow_site[{slots[d].spec.assets[a].chain.v, escrows[a].v}] = {d, a};
+    }
+  }
+
+  // (token chain, token contract, party) -> deals where its escrow pull
+  // succeeded / failed.
+  struct Evidence {
+    std::vector<size_t> funded;
+    std::vector<size_t> bounced;
+  };
+  std::map<std::tuple<uint32_t, uint32_t, uint32_t>, Evidence> by_token;
+  for (uint32_t c = 0; c < world.num_chains(); ++c) {
+    for (const Receipt& r : world.chain(ChainId{c})->receipts()) {
+      if (r.tag != "escrow") continue;
+      auto site = escrow_site.find({r.chain.v, r.contract.v});
+      if (site == escrow_site.end()) continue;
+      auto [deal, asset] = site->second;
+      const AssetRef& token = slots[deal].spec.assets[asset];
+      Evidence& ev = by_token[{token.chain.v, token.token.v, r.sender.v}];
+      (r.status.ok() ? ev.funded : ev.bounced).push_back(deal);
+    }
+  }
+
+  std::vector<DoubleSpendIncident> incidents;
+  std::set<std::pair<size_t, size_t>> seen;
+  for (const auto& [key, ev] : by_token) {
+    for (size_t loser : ev.bounced) {
+      for (size_t winner : ev.funded) {
+        if (winner == loser || !seen.insert({loser, winner}).second) continue;
+        DoubleSpendIncident incident;
+        incident.loser_deal = loser;
+        incident.winner_deal = winner;
+        incident.party = std::get<2>(key);
+        incident.seed = slots[loser].rec.seed;
+        incidents.push_back(incident);
+      }
+    }
+  }
+  std::sort(incidents.begin(), incidents.end(),
+            [](const DoubleSpendIncident& a, const DoubleSpendIncident& b) {
+              return std::tie(a.loser_deal, a.winner_deal) <
+                     std::tie(b.loser_deal, b.winner_deal);
+            });
+  return incidents;
+}
+
+}  // namespace
+
+const char* ToString(TrafficProtocol p) {
+  switch (p) {
+    case TrafficProtocol::kTimelock: return "timelock";
+    case TrafficProtocol::kCbc: return "cbc";
+  }
+  return "?";
+}
+
+uint64_t TrafficDealSeed(uint64_t base_seed, uint64_t deal_index) {
+  SplitMix64 base(base_seed ^ 0x7261666669636BULL);  // "traffick" stream
+  SplitMix64 mixed(base.Next() ^
+                   (deal_index * 0xD1B54A32D192ED03ULL +
+                    0x9E3779B97F4A7C15ULL));
+  uint64_t seed = mixed.Next();
+  return seed == 0 ? 1 : seed;
+}
+
+TrafficReport RunTraffic(const TrafficOptions& options) {
+  const size_t num_deals = options.num_deals;
+  const size_t num_chains = std::max<size_t>(1, options.num_chains);
+
+  EnvConfig env_config;
+  env_config.seed = options.base_seed;
+  env_config.block_interval = options.block_interval;
+  DealEnv env(std::move(env_config));
+
+  // The shared chain pool every deal's assets are multiplexed onto.
+  std::vector<ChainId> pool;
+  for (size_t c = 0; c < num_chains; ++c) {
+    ChainId id = env.AddChain("pool-" + std::to_string(c));
+    env.world().chain(id)->set_max_txs_per_block(options.block_capacity);
+    pool.push_back(id);
+  }
+
+  const std::vector<TrafficProtocol>& mix =
+      options.protocol_mix.empty()
+          ? std::vector<TrafficProtocol>{TrafficProtocol::kTimelock}
+          : options.protocol_mix;
+  bool any_cbc = false;
+  for (size_t d = 0; d < num_deals; ++d) {
+    any_cbc = any_cbc || mix[d % mix.size()] == TrafficProtocol::kCbc;
+  }
+
+  // All CBC deals share one certified chain and one validator set — the CBC
+  // itself is a contention point, exactly as §6 envisions it.
+  ChainId cbc_chain;
+  ValidatorSet validators = ValidatorSet::Create(
+      /*f=*/1, "traffic-" + std::to_string(options.base_seed));
+  if (any_cbc) {
+    cbc_chain = env.AddChain("cbc");
+    env.world().chain(cbc_chain)->set_max_txs_per_block(
+        options.block_capacity);
+  }
+
+  std::set<size_t> double_spend(options.double_spend_deals.begin(),
+                                options.double_spend_deals.end());
+
+  // --- generation + admission: sequential by construction (mutates the
+  //     World), every deal's randomness from its own derived seed ---
+  std::vector<DealSlot> slots(num_deals);
+  for (size_t d = 0; d < num_deals; ++d) {
+    DealSlot& slot = slots[d];
+    TrafficDealRecord& rec = slot.rec;
+    rec.index = d;
+    rec.seed = TrafficDealSeed(options.base_seed, d);
+    rec.protocol = mix[d % mix.size()];
+    rec.admitted_at = static_cast<Tick>(d) * options.admission_gap;
+    Rng rng(rec.seed);
+
+    const bool inject =
+        double_spend.count(d) > 0 && d > 0 && double_spend.count(d - 1) == 0;
+    if (inject) {
+      slot.spec = BuildDoubleSpendSpec(&env, slots[d - 1], d, rec.seed,
+                                       num_chains, &rng);
+      PartyId adversary = slot.spec.parties[0];
+      slot.has_adversary = true;
+      slot.adversary = adversary;
+      rec.tainted = true;
+      slots[d - 1].has_adversary = true;
+      slots[d - 1].adversary = adversary;
+      slots[d - 1].rec.tainted = true;
+    } else {
+      GenParams gen;
+      gen.n_parties = options.min_parties +
+                      rng.Below(options.max_parties - options.min_parties + 1);
+      gen.m_assets = options.min_assets +
+                     rng.Below(options.max_assets - options.min_assets + 1);
+      gen.t_transfers = gen.n_parties + (gen.m_assets - 1) +
+                        rng.Below(options.extra_transfers + 1);
+      gen.nft_every = options.nft_every;
+      gen.seed = rec.seed;
+      gen.name_prefix = "d" + std::to_string(d) + "-";
+      // A contiguous window of the pool, so deals overlap on chains.
+      size_t span = std::min(gen.m_assets, num_chains);
+      size_t start = rng.Below(num_chains);
+      for (size_t j = 0; j < span; ++j) {
+        gen.use_chains.push_back(pool[(start + j) % num_chains]);
+      }
+      gen.num_chains = span;  // everything placed on the shared pool
+      slot.spec = GenerateRandomDeal(&env, gen);
+    }
+    rec.parties = slot.spec.NumParties();
+    rec.assets = slot.spec.NumAssets();
+    rec.transfers = slot.spec.NumTransfers();
+
+    Status started = Status::OK();
+    if (rec.protocol == TrafficProtocol::kTimelock) {
+      TimelockConfig config;
+      config.setup_time = rec.admitted_at;
+      config.escrow_time = rec.admitted_at + kTlEscrowOffset;
+      config.transfer_start = rec.admitted_at + kTlTransferOffset;
+      config.delta = options.delta;
+      config.deal_tag = static_cast<uint64_t>(d) + 1;
+      slot.timelock = std::make_unique<TimelockRun>(&env.world(), slot.spec,
+                                                    config);
+      started = slot.timelock->Start();
+      if (started.ok()) {
+        slot.checker = std::make_unique<DealChecker>(
+            &env.world(), slot.spec,
+            slot.timelock->deployment().escrow_contracts);
+      }
+    } else {
+      CbcConfig config;
+      config.setup_time = rec.admitted_at;
+      config.start_deal_time = rec.admitted_at + kCbcStartOffset;
+      config.escrow_time = rec.admitted_at + kCbcEscrowOffset;
+      config.transfer_start = rec.admitted_at + kCbcTransferOffset;
+      config.deal_tag = static_cast<uint64_t>(d) + 1;
+      slot.cbc = std::make_unique<CbcRun>(&env.world(), slot.spec, config,
+                                          cbc_chain, &validators);
+      started = slot.cbc->Start();
+      if (started.ok()) {
+        slot.checker = std::make_unique<DealChecker>(
+            &env.world(), slot.spec,
+            slot.cbc->deployment().escrow_contracts);
+      }
+    }
+    if (!started.ok()) {
+      rec.violation = "start-failed: " + started.ToString();
+      continue;
+    }
+    slot.checker->CaptureInitial();
+    rec.started = true;
+  }
+
+  // --- drive: one deterministic scheduler interleaves every deal's phases.
+  //     The fairness hook tracks when the backlog peaks. ---
+  Tick peak_backlog_at = 0;
+  size_t peak_backlog = 0;
+  env.world().scheduler().SetStepObserver(
+      [&peak_backlog, &peak_backlog_at](Tick now, size_t pending) {
+        if (pending > peak_backlog) {
+          peak_backlog = pending;
+          peak_backlog_at = now;
+        }
+      });
+  env.world().scheduler().Run();
+  env.world().scheduler().SetStepObserver(nullptr);
+
+  // --- per-deal gas/receipt attribution: one sequential pass. Gas that
+  //     reaches no deal's tag is leakage in the accounting and is reported
+  //     (a conformant engine keeps it at zero). ---
+  std::vector<uint64_t> gas_by_deal(num_deals + 1, 0);
+  std::vector<uint64_t> messages_by_deal(num_deals + 1, 0);
+  uint64_t untagged_gas = 0;
+  for (uint32_t c = 0; c < env.world().num_chains(); ++c) {
+    for (const Receipt& r : env.world().chain(ChainId{c})->receipts()) {
+      if (r.deal_tag == 0 || r.deal_tag > num_deals) {
+        untagged_gas += r.gas_used;
+        continue;
+      }
+      gas_by_deal[r.deal_tag] += r.gas_used;
+      ++messages_by_deal[r.deal_tag];
+    }
+  }
+  for (size_t d = 0; d < num_deals; ++d) {
+    slots[d].rec.gas = gas_by_deal[d + 1];
+    slots[d].rec.messages = messages_by_deal[d + 1];
+  }
+
+  // --- validate: independent per deal, read-only on the World; workers
+  //     write into their own slots, so any thread count folds identically ---
+  WorkerPool pool_workers(options.num_threads);
+  pool_workers.ParallelFor(num_deals,
+                           [&slots](size_t d) { ValidateDeal(&slots[d]); });
+
+  // --- aggregate: sequential, index-ordered ---
+  TrafficReport report;
+  report.num_deals = num_deals;
+  report.untagged_gas = untagged_gas;
+  report.events_executed = env.world().scheduler().stats().executed;
+  // Both backlog fields come from the same step-hook measurement so the
+  // (depth, tick) pair is coherent; the scheduler's own max_pending counter
+  // additionally counts the pre-run admission burst.
+  report.max_backlog = peak_backlog;
+  report.peak_backlog_at = peak_backlog_at;
+
+  std::vector<Tick> latencies;
+  std::vector<uint64_t> gas_values;
+  uint64_t fp = 0x452821E638D01377ULL;
+  for (size_t d = 0; d < num_deals; ++d) {
+    TrafficDealRecord& rec = slots[d].rec;
+    if (rec.protocol == TrafficProtocol::kTimelock) {
+      ++report.timelock_deals;
+    } else {
+      ++report.cbc_deals;
+    }
+    if (rec.committed) ++report.committed;
+    if (rec.aborted) ++report.aborted;
+    if (rec.mixed) ++report.mixed;
+    report.total_gas += rec.gas;
+    report.total_messages += rec.messages;
+    report.makespan = std::max(report.makespan, rec.settle_time);
+    if (rec.all_settled && rec.settle_time > 0) {
+      latencies.push_back(rec.latency);
+    }
+    gas_values.push_back(rec.gas);
+    if (!rec.violation.empty()) {
+      report.violations.push_back(
+          TrafficViolation{d, rec.seed, rec.protocol, rec.violation});
+    }
+
+    fp = MixFingerprint(fp, rec.index);
+    fp = MixFingerprint(fp, rec.seed);
+    fp = MixFingerprint(fp, static_cast<uint64_t>(rec.started) |
+                                static_cast<uint64_t>(rec.committed) << 1 |
+                                static_cast<uint64_t>(rec.aborted) << 2 |
+                                static_cast<uint64_t>(rec.mixed) << 3 |
+                                static_cast<uint64_t>(rec.all_settled) << 4 |
+                                static_cast<uint64_t>(rec.atomic) << 5 |
+                                static_cast<uint64_t>(rec.safety_ok) << 6 |
+                                static_cast<uint64_t>(rec.weak_liveness_ok)
+                                    << 7 |
+                                static_cast<uint64_t>(rec.strong_liveness_ok)
+                                    << 8 |
+                                static_cast<uint64_t>(rec.tainted) << 9);
+    fp = MixFingerprint(fp, rec.gas);
+    fp = MixFingerprint(fp, rec.messages);
+    fp = MixFingerprint(fp, rec.settle_time);
+    fp = MixFingerprint(fp, FingerprintString(rec.violation));
+  }
+
+  report.latency_p50 = Percentile(latencies, 50);
+  report.latency_p90 = Percentile(latencies, 90);
+  report.latency_p99 = Percentile(latencies, 99);
+  report.gas_p50 = Percentile(gas_values, 50);
+  report.gas_p99 = Percentile(gas_values, 99);
+  if (report.makespan > 0) {
+    report.deals_per_ktick =
+        1000.0 * static_cast<double>(report.committed) /
+        static_cast<double>(report.makespan);
+  }
+
+  fp = MixFingerprint(fp, untagged_gas);
+  report.double_spends = DetectDoubleSpends(env.world(), slots);
+  for (const DoubleSpendIncident& incident : report.double_spends) {
+    fp = MixFingerprint(fp, incident.loser_deal);
+    fp = MixFingerprint(fp, incident.winner_deal);
+    fp = MixFingerprint(fp, incident.party);
+  }
+  report.fingerprint = fp;
+
+  report.deals.reserve(num_deals);
+  for (DealSlot& slot : slots) {
+    report.deals.push_back(std::move(slot.rec));
+  }
+  return report;
+}
+
+std::string TrafficReport::Summary() const {
+  std::string s;
+  char line[320];
+  std::snprintf(
+      line, sizeof(line),
+      "deals=%zu (timelock=%zu cbc=%zu) committed=%zu aborted=%zu mixed=%zu "
+      "violations=%zu double_spends=%zu\n",
+      num_deals, timelock_deals, cbc_deals, committed, aborted, mixed,
+      violations.size(), double_spends.size());
+  s += line;
+  std::snprintf(
+      line, sizeof(line),
+      "makespan=%llu ticks, %.2f committed deals/ktick, latency "
+      "p50/p90/p99 = %llu/%llu/%llu ticks\n",
+      static_cast<unsigned long long>(makespan), deals_per_ktick,
+      static_cast<unsigned long long>(latency_p50),
+      static_cast<unsigned long long>(latency_p90),
+      static_cast<unsigned long long>(latency_p99));
+  s += line;
+  std::snprintf(
+      line, sizeof(line),
+      "gas total=%llu untagged=%llu p50=%llu p99=%llu, messages=%llu, "
+      "events=%llu, max_backlog=%zu (at tick %llu)\nfingerprint=%016llx\n",
+      static_cast<unsigned long long>(total_gas),
+      static_cast<unsigned long long>(untagged_gas),
+      static_cast<unsigned long long>(gas_p50),
+      static_cast<unsigned long long>(gas_p99),
+      static_cast<unsigned long long>(total_messages),
+      static_cast<unsigned long long>(events_executed), max_backlog,
+      static_cast<unsigned long long>(peak_backlog_at),
+      static_cast<unsigned long long>(fingerprint));
+  s += line;
+  for (const TrafficViolation& v : violations) {
+    std::snprintf(line, sizeof(line),
+                  "VIOLATION deal=%zu seed=%llu protocol=%s: %s\n",
+                  v.deal_index, static_cast<unsigned long long>(v.seed),
+                  ToString(v.protocol), v.what.c_str());
+    s += line;
+  }
+  for (const DoubleSpendIncident& i : double_spends) {
+    std::snprintf(line, sizeof(line),
+                  "DOUBLE-SPEND party=%u funded deal %zu, bounced in deal "
+                  "%zu (seed=%llu)\n",
+                  i.party, i.winner_deal, i.loser_deal,
+                  static_cast<unsigned long long>(i.seed));
+    s += line;
+  }
+  return s;
+}
+
+}  // namespace xdeal

@@ -1,0 +1,193 @@
+// TrafficEngine: concurrent multi-deal workloads over shared chains.
+//
+// Where ScenarioSweep runs every scenario in its own World, the traffic
+// engine generates D deals (mixed shapes and protocols via deal_gen) that
+// all live in ONE World, multiplexed over a shared pool of chains. Deals are
+// admitted on a staggered schedule and their protocol phases interleave on
+// the single deterministic scheduler, so the engine sees cross-deal
+// interference a single-deal sweep cannot: many escrows contending on one
+// chain, block-capacity queueing that stretches timelock deadlines, gas
+// accounting across deals, and double-spend pressure where one party
+// over-commits the same funds to two deals at once.
+//
+// Every deal is validated with its own DealChecker (Properties 1-3 over its
+// compliant parties); failed properties become TrafficViolations carrying
+// the deal's derived seed. Escrow receipts are additionally cross-referenced
+// between deals to detect cross-deal double-spends from on-chain evidence
+// (a party whose escrow pull failed in one deal while the same token funded
+// its escrow in another).
+//
+// Determinism contract (matches ScenarioSweep): the simulation itself is
+// single-threaded and seed-driven; worker threads only parallelize the
+// post-run per-deal validation, writing into per-deal slots that are folded
+// in index order. A TrafficReport is therefore bit-identical across thread
+// counts, and re-running the same options + base_seed replays every
+// violation and incident exactly.
+
+#ifndef XDEAL_CORE_TRAFFIC_ENGINE_H_
+#define XDEAL_CORE_TRAFFIC_ENGINE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/scheduler.h"
+
+namespace xdeal {
+
+enum class TrafficProtocol : uint8_t {
+  kTimelock = 0,
+  kCbc,
+};
+
+const char* ToString(TrafficProtocol p);
+
+struct TrafficOptions {
+  uint64_t base_seed = 1;
+  /// D: how many concurrent deals the workload admits.
+  size_t num_deals = 100;
+  /// Size of the shared chain pool all deals' assets are placed on.
+  size_t num_chains = 8;
+  /// Max transactions per block on every chain (0 = unlimited). Finite
+  /// capacity turns heavy traffic into real queueing delay — tight enough
+  /// values stretch timelock deadlines past Δ and the checker catches it.
+  uint64_t block_capacity = 0;
+  Tick block_interval = 10;
+  /// Deal i is admitted (its phase schedule shifted) at i * admission_gap.
+  Tick admission_gap = 20;
+  /// The timelock protocol's synchrony bound Δ.
+  Tick delta = 120;
+
+  // --- per-deal shape ranges, drawn from the deal's derived seed ---
+  size_t min_parties = 2;
+  size_t max_parties = 4;
+  size_t min_assets = 1;
+  size_t max_assets = 3;
+  /// Extra transfer hops beyond the n + (m-1) well-formedness floor.
+  size_t extra_transfers = 2;
+  /// Every `nft_every`-th asset of a deal is an NFT (0 = fungible only).
+  size_t nft_every = 0;
+
+  /// Deal i runs protocol_mix[i % size]; empty = all timelock.
+  std::vector<TrafficProtocol> protocol_mix = {TrafficProtocol::kTimelock,
+                                               TrafficProtocol::kTimelock,
+                                               TrafficProtocol::kCbc};
+
+  /// Cross-deal double-spend injection: each listed deal index d (d >= 1)
+  /// is replaced by a 2-party swap in which deal d-1's first escrower
+  /// re-commits the SAME tokens it already promised to deal d-1. Exactly one
+  /// of the two escrow pulls can succeed; the other deal must abort cleanly
+  /// and the engine must report the incident. Indices whose predecessor is
+  /// also listed (or out of range) are ignored.
+  std::vector<size_t> double_spend_deals;
+
+  /// Worker threads for post-run per-deal validation (0 = hardware).
+  size_t num_threads = 1;
+};
+
+/// Per-deal outcome row (the unit the report fingerprint folds over).
+struct TrafficDealRecord {
+  size_t index = 0;
+  uint64_t seed = 0;
+  TrafficProtocol protocol = TrafficProtocol::kTimelock;
+  Tick admitted_at = 0;
+  /// True for deals touched by double-spend injection (the over-committing
+  /// party is excluded from their compliant sets, and Property 3 — which
+  /// assumes all parties compliant — is not asserted).
+  bool tainted = false;
+  size_t parties = 0;
+  size_t assets = 0;
+  size_t transfers = 0;
+
+  bool started = false;
+  bool committed = false;
+  bool aborted = false;
+  bool mixed = false;
+  bool all_settled = false;
+  bool atomic = true;
+  bool safety_ok = true;
+  bool weak_liveness_ok = true;
+  bool strong_liveness_ok = true;
+
+  uint64_t gas = 0;       // receipts submitted by this deal, per deal_tag
+  uint64_t messages = 0;  // transaction receipts carrying this deal's tag
+  Tick settle_time = 0;   // absolute tick of the last settlement
+  Tick latency = 0;       // settle_time - admitted_at (0 if never settled)
+  std::string violation;  // empty = conformant
+};
+
+/// A property violation on some deal, with the reproducer: re-running
+/// RunTraffic with the same options and base_seed replays it bit-for-bit.
+struct TrafficViolation {
+  size_t deal_index = 0;
+  uint64_t seed = 0;
+  TrafficProtocol protocol = TrafficProtocol::kTimelock;
+  std::string what;
+};
+
+/// A detected cross-deal double-spend: `party` funded its escrow of some
+/// token in `winner_deal` while its escrow pull of the same token failed in
+/// `loser_deal`. Derived from on-chain receipts, not from injection
+/// knowledge — the evidence survives in any replay of the same seed.
+struct DoubleSpendIncident {
+  size_t loser_deal = 0;
+  size_t winner_deal = 0;
+  uint32_t party = 0;
+  uint64_t seed = 0;  // loser deal's derived seed
+};
+
+struct TrafficReport {
+  size_t num_deals = 0;
+  size_t committed = 0;
+  size_t aborted = 0;
+  size_t mixed = 0;
+  size_t timelock_deals = 0;
+  size_t cbc_deals = 0;
+
+  uint64_t total_gas = 0;
+  uint64_t total_messages = 0;
+  /// Gas from receipts carrying no deal tag. Zero means per-deal gas
+  /// attribution is complete: every transaction in the World is accounted
+  /// to exactly one deal.
+  uint64_t untagged_gas = 0;
+
+  // Scheduler pressure (from the sim-layer step hook, so the depth/tick
+  // pair is one coherent measurement of the queue while draining).
+  uint64_t events_executed = 0;
+  size_t max_backlog = 0;
+  Tick peak_backlog_at = 0;  // when the event queue hit its high-water mark
+  Tick makespan = 0;         // last settlement across all deals
+
+  // Latency percentiles over settled deals, gas percentiles over all deals.
+  Tick latency_p50 = 0;
+  Tick latency_p90 = 0;
+  Tick latency_p99 = 0;
+  uint64_t gas_p50 = 0;
+  uint64_t gas_p99 = 0;
+  /// Committed deals per 1000 simulated ticks of makespan.
+  double deals_per_ktick = 0.0;
+
+  std::vector<TrafficDealRecord> deals;
+  std::vector<TrafficViolation> violations;
+  std::vector<DoubleSpendIncident> double_spends;
+
+  /// Order-sensitive hash over every per-deal record; equal fingerprints
+  /// mean bit-identical reports (the thread-count-independence invariant).
+  uint64_t fingerprint = 0;
+
+  /// Human-readable throughput/latency/conformance table.
+  std::string Summary() const;
+};
+
+/// Per-deal RNG seed: a SplitMix64 hash of (base_seed, deal_index), on an
+/// independent stream from ScenarioSeed so sweep and traffic never alias.
+uint64_t TrafficDealSeed(uint64_t base_seed, uint64_t deal_index);
+
+/// The whole pipeline: generate D deals in one World over a shared chain
+/// pool, drive the scheduler to quiescence, validate every deal (in
+/// parallel), and fold the deterministic report.
+TrafficReport RunTraffic(const TrafficOptions& options);
+
+}  // namespace xdeal
+
+#endif  // XDEAL_CORE_TRAFFIC_ENGINE_H_

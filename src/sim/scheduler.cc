@@ -7,21 +7,26 @@ namespace xdeal {
 void Scheduler::ScheduleAt(Tick t, Callback fn) {
   if (t < now_) t = now_;
   queue_.push(Event{t, next_seq_++, std::move(fn)});
+  if (queue_.size() > stats_.max_pending) stats_.max_pending = queue_.size();
 }
 
 void Scheduler::ScheduleAfter(Tick delay, Callback fn) {
   // Saturating add: kTickMax means "never" and must not wrap.
   Tick t = (delay > kTickMax - now_) ? kTickMax : now_ + delay;
   queue_.push(Event{t, next_seq_++, std::move(fn)});
+  if (queue_.size() > stats_.max_pending) stats_.max_pending = queue_.size();
 }
 
 bool Scheduler::Step() {
   if (queue_.empty()) return false;
-  // Copy out before pop: the callback may schedule new events.
-  Event ev = queue_.top();
+  // Move out before pop: the callback may schedule new events. The const_cast
+  // is safe because the event is popped immediately and never compared again.
+  Event ev = std::move(const_cast<Event&>(queue_.top()));
   queue_.pop();
   now_ = ev.time;
   ev.fn();
+  ++stats_.executed;
+  if (step_observer_) step_observer_(now_, queue_.size());
   return true;
 }
 

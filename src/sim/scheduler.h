@@ -21,13 +21,31 @@ using Tick = uint64_t;
 
 constexpr Tick kTickMax = ~static_cast<Tick>(0);
 
+/// Load counters maintained by the scheduler: how many events ran and how
+/// deep the queue ever got. Heavy-traffic engines read these to quantify
+/// backlog pressure (a proxy for scheduling fairness under contention).
+struct SchedulerStats {
+  uint64_t executed = 0;    // events run so far
+  size_t max_pending = 0;   // high-water mark of the event queue
+};
+
 /// Deterministic event loop.
 class Scheduler {
  public:
   using Callback = std::function<void()>;
+  /// Observation hook invoked after every executed event with the current
+  /// time and the number of still-pending events. Must not schedule or run
+  /// events itself — it is a passive fairness/backlog probe.
+  using StepObserver = std::function<void(Tick, size_t)>;
 
   Tick now() const { return now_; }
   size_t pending() const { return queue_.size(); }
+  const SchedulerStats& stats() const { return stats_; }
+
+  /// Installs (or clears, with nullptr) the per-step observation hook.
+  void SetStepObserver(StepObserver observer) {
+    step_observer_ = std::move(observer);
+  }
 
   /// Schedules `fn` at absolute time `t` (clamped to now if in the past).
   void ScheduleAt(Tick t, Callback fn);
@@ -57,6 +75,8 @@ class Scheduler {
 
   Tick now_ = 0;
   uint64_t next_seq_ = 0;
+  SchedulerStats stats_;
+  StepObserver step_observer_;
   std::priority_queue<Event, std::vector<Event>, Later> queue_;
 };
 

@@ -1,0 +1,36 @@
+// Order-sensitive 64-bit fingerprint folds.
+//
+// Both parallel engines (scenario sweep, traffic) prove their determinism
+// contract — reports bit-identical across worker-thread counts — by folding
+// every per-item outcome through these mixes in index order. They live in
+// one place so the two engines can never silently diverge on the recipe.
+
+#ifndef XDEAL_UTIL_FINGERPRINT_H_
+#define XDEAL_UTIL_FINGERPRINT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "util/rng.h"
+
+namespace xdeal {
+
+/// Folds one 64-bit value into the running fingerprint.
+inline uint64_t MixFingerprint(uint64_t h, uint64_t v) {
+  SplitMix64 sm(h ^ (v + 0x9E3779B97F4A7C15ULL));
+  return sm.Next();
+}
+
+/// FNV-1a over a string, for folding violation text into a fingerprint.
+inline uint64_t FingerprintString(const std::string& s) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace xdeal
+
+#endif  // XDEAL_UTIL_FINGERPRINT_H_
