@@ -6,8 +6,14 @@
 // for compliant parties (MUST be zero), weak-liveness violations (MUST be
 // zero), and the run outcome mix. This is the empirical counterpart of the
 // paper's correctness theorems.
+//
+// Both protocols run through the same ProtocolDriver loop; the only
+// protocol-specific pieces left are the adversary gallery itself and how
+// the outcome mix is bucketed (timelock can end mixed, the CBC's failure
+// mode is non-atomicity).
 
 #include <cstdio>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -25,7 +31,7 @@ struct AdversaryStats {
   int runs = 0;
   int commits = 0;
   int aborts = 0;
-  int mixed = 0;          // timelock-only possibility
+  int mixed = 0;          // timelock: mixed settle; CBC: non-atomic
   int safety_violations = 0;
   int liveness_violations = 0;
 };
@@ -67,6 +73,66 @@ const char* kCbcNames[] = {
     "fake-proof",
 };
 
+AdversaryStats RunGallery(Protocol protocol, int kind, const char* name,
+                          int num_seeds, GenParams gen) {
+  AdversaryStats stats;
+  stats.name = name;
+  for (int seed = 1; seed <= num_seeds; ++seed) {
+    EnvConfig config;
+    config.seed = seed;
+    DealEnv env(std::move(config));
+    gen.seed = seed * (protocol == Protocol::kTimelock ? 31 : 57) + kind;
+    DealSpec spec = GenerateRandomDeal(&env, gen);
+    uint32_t deviant = spec.parties[seed % spec.parties.size()].v;
+
+    DealTimings timings = DealTimings::DefaultsFor(protocol);
+    timings.delta = 120;
+    std::unique_ptr<CbcService> service;
+    std::unique_ptr<ProtocolDriver> driver;
+    if (protocol == Protocol::kCbc) {
+      CbcService::Options service_options;
+      service_options.validator_seed = "adv-bench";
+      service = std::make_unique<CbcService>(&env.world(), service_options);
+      driver = std::make_unique<CbcDriver>(service.get());
+    } else {
+      driver = std::make_unique<TimelockDriver>();
+    }
+
+    SingleDeviantFactory factory(
+        deviant, kind > 0 ? [kind] { return MakeTimelock(kind); }
+                          : SingleDeviantFactory::TimelockMaker(nullptr),
+        kind > 0 ? [kind] { return MakeCbc(kind); }
+                 : SingleDeviantFactory::CbcMaker(nullptr));
+    std::unique_ptr<DealRuntime> runtime =
+        driver->CreateDeal(&env.world(), spec, timings, &factory);
+    if (!runtime->Deploy().ok()) continue;
+    DealChecker checker(&env.world(), spec, runtime->escrow_contracts());
+    checker.CaptureInitial();
+    env.world().scheduler().Run();
+    DealResult result = runtime->Collect();
+
+    ++stats.runs;
+    if (protocol == Protocol::kTimelock) {
+      if (result.released_contracts == spec.NumAssets()) ++stats.commits;
+      if (result.refunded_contracts == spec.NumAssets()) ++stats.aborts;
+      if (result.released_contracts > 0 && result.refunded_contracts > 0) {
+        ++stats.mixed;
+      }
+    } else {
+      if (result.committed) ++stats.commits;
+      if (result.aborted) ++stats.aborts;
+      if (!result.atomic) ++stats.mixed;
+    }
+    for (PartyId p : spec.parties) {
+      if (kind > 0 && p.v == deviant) continue;
+      PartyVerdict v = checker.Evaluate(p);
+      if (!v.property1) ++stats.safety_violations;
+      if (!v.weak_liveness) ++stats.liveness_violations;
+    }
+  }
+  return stats;
+}
+
 void PrintStats(const std::vector<AdversaryStats>& stats, bool cbc) {
   std::printf("%-20s %6s %8s %8s %7s %14s %16s\n", "adversary", "runs",
               "commits", "aborts", cbc ? "nonat" : "mixed",
@@ -92,88 +158,16 @@ int main() {
               "adversary, deviant rotates over parties ===\n", kSeeds);
   std::vector<AdversaryStats> tl_stats;
   for (int kind = 0; kind <= 8; ++kind) {
-    AdversaryStats stats;
-    stats.name = kTimelockNames[kind];
-    for (int seed = 1; seed <= kSeeds; ++seed) {
-      EnvConfig config;
-      config.seed = seed;
-      DealEnv env(std::move(config));
-      gen.seed = seed * 31 + kind;
-      DealSpec spec = GenerateRandomDeal(&env, gen);
-      uint32_t deviant = spec.parties[seed % spec.parties.size()].v;
-
-      TimelockConfig tc;
-      tc.delta = 120;
-      TimelockRun run(&env.world(), spec, tc,
-                      [&](PartyId p) -> std::unique_ptr<TimelockParty> {
-                        if (kind > 0 && p.v == deviant) {
-                          return MakeTimelock(kind);
-                        }
-                        return nullptr;
-                      });
-      if (!run.Start().ok()) continue;
-      DealChecker checker(&env.world(), spec,
-                          run.deployment().escrow_contracts);
-      checker.CaptureInitial();
-      env.world().scheduler().Run();
-      TimelockResult result = run.Collect();
-
-      ++stats.runs;
-      if (result.released_contracts == spec.NumAssets()) ++stats.commits;
-      if (result.refunded_contracts == spec.NumAssets()) ++stats.aborts;
-      if (result.released_contracts > 0 && result.refunded_contracts > 0) {
-        ++stats.mixed;
-      }
-      for (PartyId p : spec.parties) {
-        if (kind > 0 && p.v == deviant) continue;
-        PartyVerdict v = checker.Evaluate(p);
-        if (!v.property1) ++stats.safety_violations;
-        if (!v.weak_liveness) ++stats.liveness_violations;
-      }
-    }
-    tl_stats.push_back(stats);
+    tl_stats.push_back(RunGallery(Protocol::kTimelock, kind,
+                                  kTimelockNames[kind], kSeeds, gen));
   }
   PrintStats(tl_stats, false);
 
   std::printf("\n=== CBC protocol, same workloads ===\n");
   std::vector<AdversaryStats> cbc_stats;
   for (int kind = 0; kind <= 4; ++kind) {
-    AdversaryStats stats;
-    stats.name = kCbcNames[kind];
-    for (int seed = 1; seed <= kSeeds; ++seed) {
-      EnvConfig config;
-      config.seed = seed;
-      DealEnv env(std::move(config));
-      gen.seed = seed * 57 + kind;
-      DealSpec spec = GenerateRandomDeal(&env, gen);
-      uint32_t deviant = spec.parties[seed % spec.parties.size()].v;
-
-      ChainId cbc_chain = env.AddChain("cbc");
-      ValidatorSet validators = ValidatorSet::Create(1, "adv-bench");
-      CbcRun run(&env.world(), spec, CbcConfig{}, cbc_chain, &validators,
-                 [&](PartyId p) -> std::unique_ptr<CbcParty> {
-                   if (kind > 0 && p.v == deviant) return MakeCbc(kind);
-                   return nullptr;
-                 });
-      if (!run.Start().ok()) continue;
-      DealChecker checker(&env.world(), spec,
-                          run.deployment().escrow_contracts);
-      checker.CaptureInitial();
-      env.world().scheduler().Run();
-      CbcResult result = run.Collect();
-
-      ++stats.runs;
-      if (result.outcome == kDealCommitted) ++stats.commits;
-      if (result.outcome == kDealAborted) ++stats.aborts;
-      if (!result.atomic) ++stats.mixed;
-      for (PartyId p : spec.parties) {
-        if (kind > 0 && p.v == deviant) continue;
-        PartyVerdict v = checker.Evaluate(p);
-        if (!v.property1) ++stats.safety_violations;
-        if (!v.weak_liveness) ++stats.liveness_violations;
-      }
-    }
-    cbc_stats.push_back(stats);
+    cbc_stats.push_back(
+        RunGallery(Protocol::kCbc, kind, kCbcNames[kind], kSeeds, gen));
   }
   PrintStats(cbc_stats, true);
 

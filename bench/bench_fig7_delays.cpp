@@ -125,10 +125,11 @@ void AbortTimes() {
     DealEnv env2(std::move(e2));
     gen.seed = n + 100;
     DealSpec spec2 = GenerateRandomDeal(&env2, gen);
-    ChainId cbc_chain = env2.AddChain("cbc");
-    ValidatorSet validators = ValidatorSet::Create(1, "abort-bench");
+    CbcService::Options service_options;
+    service_options.validator_seed = "abort-bench";
+    CbcService service(&env2.world(), service_options);
     CbcConfig cc;
-    CbcRun run2(&env2.world(), spec2, cc, cbc_chain, &validators,
+    CbcRun run2(&env2.world(), spec2, cc, &service,
                 [](PartyId) {
                   struct Silent : CbcParty {
                     void OnVotePhase() override {}

@@ -88,9 +88,10 @@ Row RunTimelockCycle(size_t k, uint64_t seed) {
 
 Row RunCbcCycle(size_t k, uint64_t seed) {
   CycleWorld w = MakeCycle(k, seed);
-  ChainId cbc_chain = w.env->AddChain("cbc");
-  ValidatorSet validators = ValidatorSet::Create(1, "swap-bench");
-  CbcRun run(&w.env->world(), w.deal, CbcConfig{}, cbc_chain, &validators);
+  CbcService::Options service_options;
+  service_options.validator_seed = "swap-bench";
+  CbcService service(&w.env->world(), service_options);
+  CbcRun run(&w.env->world(), w.deal, CbcConfig{}, &service);
   if (!run.Start().ok()) return {};
   w.env->world().scheduler().Run();
   CbcResult r = run.Collect();

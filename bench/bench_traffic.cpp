@@ -12,9 +12,20 @@
 // Exit status is nonzero if either invariant fails, so this binary doubles
 // as the traffic conformance gate in CI.
 //
+// A second section sweeps the CbcService shard count on a CBC-heavy D=1000
+// workload: every CBC deal hashed to one of S independent certified chains.
+// With S = 1 (the paper's single shared CBC) every party observes every
+// receipt of every deal — O(D²) observation work; sharding divides it by S,
+// and the deals/sec-vs-shards table lands in BENCH_traffic.json. Each cell
+// must stay fully conformant; on throughput the gate warns if no S>1 run
+// beats S=1 (expected margin is >2x) and fails only below 0.8x — wall-clock
+// comparisons of separate runs need headroom for noisy CI hosts.
+//
 // Usage:  bench_traffic [--deals=1,10,100,1000] [--threads=1,8]
+//                       [--cbc_shards=1,2,4,8] [--shard_deals=1000]
 //                       [--json=BENCH_traffic.json] [--seed=1]
 
+#include <algorithm>
 #include <chrono>
 #include <cinttypes>
 #include <cstdio>
@@ -133,6 +144,80 @@ int main(int argc, char** argv) {
                      labels);
     }
   }
+  // --- CBC shard sweep: one CBC-heavy workload, S ∈ shard_counts ---
+  std::vector<size_t> shard_counts = bench::ParseSizeList(
+      bench::FlagValue(argc, argv, "cbc_shards"), {1, 2, 4, 8});
+  const char* shard_deals_flag = bench::FlagValue(argc, argv, "shard_deals");
+  size_t shard_deals = shard_deals_flag != nullptr
+                           ? std::strtoull(shard_deals_flag, nullptr, 10)
+                           : 1000;
+  if (shard_deals == 0) shard_deals = 1000;
+
+  std::printf("\n=== CBC shard sweep: D=%zu all-CBC deals, one shared "
+              "service, deals hashed to S shards ===\n", shard_deals);
+  std::printf("%7s %10s %10s %8s %10s %12s\n", "shards", "wall (ms)",
+              "deals/s", "commit", "backlog", "deals/ktick");
+  double single_shard_rate = 0.0;
+  double best_multi_rate = 0.0;
+  for (size_t shards : shard_counts) {
+    TrafficOptions options = OptionsFor(shard_deals, base_seed, 1);
+    options.protocol_mix = {Protocol::kCbc};
+    options.cbc_shards = shards;
+    auto start = std::chrono::steady_clock::now();
+    TrafficReport report = RunTraffic(options);
+    auto end = std::chrono::steady_clock::now();
+    double ms =
+        std::chrono::duration_cast<std::chrono::microseconds>(end - start)
+            .count() /
+        1000.0;
+    double per_second = shard_deals / (ms / 1000.0);
+    std::printf("%7zu %10.1f %10.0f %8zu %10zu %12.2f\n", shards, ms,
+                per_second, report.committed, report.max_backlog,
+                report.deals_per_ktick);
+
+    if (report.committed != shard_deals || !report.violations.empty()) {
+      std::printf("  CONFORMANCE FAILURE at shards=%zu\n%s", shards,
+                  report.Summary().c_str());
+      ok = false;
+    }
+    if (shards == 1) {
+      single_shard_rate = per_second;
+    } else {
+      best_multi_rate = std::max(best_multi_rate, per_second);
+    }
+
+    bench::JsonReport::Labels labels = {
+        {"shards", std::to_string(shards)},
+        {"deals", std::to_string(shard_deals)}};
+    json.AddMetric("shard_sweep_wall_ms", ms, "ms", labels);
+    json.AddMetric("shard_sweep_deals_per_sec", per_second, "1/s", labels);
+    json.AddMetric("shard_sweep_committed",
+                   static_cast<double>(report.committed), "", labels);
+    json.AddMetric("shard_sweep_deals_per_ktick", report.deals_per_ktick,
+                   "1/kt", labels);
+  }
+  if (single_shard_rate > 0.0 && best_multi_rate > 0.0) {
+    double speedup = best_multi_rate / single_shard_rate;
+    std::printf("best multi-shard speedup over S=1: %.2fx\n", speedup);
+    json.AddMetric("shard_speedup", speedup, "x",
+                   {{"deals", std::to_string(shard_deals)}});
+    // The O(D²/S) observation win must be visible: on a 1000-deal CBC-heavy
+    // workload it measures >2.5x locally. These are wall-clock timings of
+    // separate runs, so leave headroom for noisy CI neighbours: warn below
+    // 1x, and only fail the gate when sharding is a clear loss.
+    if (speedup <= 0.8) {
+      std::printf("SHARD SWEEP FAILURE: S>1 clearly slower than S=1 "
+                  "(%.0f vs %.0f deals/s)\n",
+                  best_multi_rate, single_shard_rate);
+      ok = false;
+    } else if (speedup <= 1.0) {
+      std::printf("SHARD SWEEP WARNING: S>1 did not beat S=1 this run "
+                  "(%.0f vs %.0f deals/s) — expected >2x; check for a "
+                  "noisy host before suspecting a regression\n",
+                  best_multi_rate, single_shard_rate);
+    }
+  }
+
   json.AddMetric("conformance_ok", ok ? 1 : 0);
 
   if (json_path != nullptr && !json.WriteFile(json_path)) ok = false;

@@ -12,8 +12,10 @@
 #include <utility>
 #include <vector>
 
+#include "cbc/cbc_service.h"
 #include "core/cbc_run.h"
 #include "core/deal_gen.h"
+#include "core/protocol_driver.h"
 #include "core/timelock_run.h"
 
 namespace xdeal {
@@ -227,10 +229,22 @@ inline uint64_t WritesForTag(const World& world, const std::string& tag) {
   return writes;
 }
 
-/// Runs one timelock deal of the given shape; all parties compliant.
-inline PhaseReport RunTimelockDeal(const DealShape& shape,
-                                   bool direct_votes = false,
-                                   bool parallel_transfers = false) {
+/// Knobs for RunProtocolDeal beyond the shape (protocol-specific fields are
+/// ignored by the other protocol's driver).
+struct ProtocolDealOptions {
+  Tick delta = 0;  // 0 = the benches' stock Δ of 120
+  bool direct_votes = false;        // timelock
+  bool parallel_transfers = false;
+  size_t f = 1;                     // CBC validator fault budget
+  size_t reconfigs = 0;             // CBC mid-deal validator rotations
+};
+
+/// Runs one generated deal of the given shape under either commit protocol
+/// through the ProtocolDriver API; all parties compliant. This is the one
+/// deal-execution path every bench shares — what used to be parallel
+/// RunTimelockDeal/RunCbcDeal implementations.
+inline PhaseReport RunProtocolDeal(Protocol protocol, const DealShape& shape,
+                                   const ProtocolDealOptions& options = {}) {
   EnvConfig env_config;
   env_config.seed = shape.seed;
   DealEnv env(std::move(env_config));
@@ -242,19 +256,36 @@ inline PhaseReport RunTimelockDeal(const DealShape& shape,
   gen.seed = shape.seed;
   DealSpec spec = GenerateRandomDeal(&env, gen);
 
-  TimelockConfig config;
-  config.delta = 120;
-  config.direct_votes = direct_votes;
-  config.parallel_transfers = parallel_transfers;
-  TimelockRun run(&env.world(), spec, config);
-  Status st = run.Start();
+  DealTimings timings = DealTimings::DefaultsFor(protocol);
+  timings.delta = options.delta != 0 ? options.delta : 120;
+  timings.parallel_transfers = options.parallel_transfers;
+
+  std::unique_ptr<CbcService> service;
+  std::unique_ptr<ProtocolDriver> driver;
+  if (protocol == Protocol::kCbc) {
+    CbcService::Options service_options;
+    service_options.f = options.f;
+    service_options.validator_seed = "bench-" + std::to_string(shape.seed);
+    service = std::make_unique<CbcService>(&env.world(), service_options);
+    CbcDriver::Options driver_options;
+    driver_options.reconfigs_before_claim = options.reconfigs;
+    driver = std::make_unique<CbcDriver>(service.get(), driver_options);
+  } else {
+    TimelockDriver::Options driver_options;
+    driver_options.direct_votes = options.direct_votes;
+    driver = std::make_unique<TimelockDriver>(driver_options);
+  }
+
+  std::unique_ptr<DealRuntime> runtime =
+      driver->CreateDeal(&env.world(), spec, timings);
+  Status st = runtime->Deploy();
   if (!st.ok()) {
-    std::fprintf(stderr, "timelock start failed: %s\n",
+    std::fprintf(stderr, "%s start failed: %s\n", ToString(protocol),
                  st.ToString().c_str());
     return {};
   }
   env.world().scheduler().Run();
-  TimelockResult result = run.Collect();
+  DealResult result = runtime->Collect();
 
   PhaseReport report;
   report.n = shape.n;
@@ -262,66 +293,41 @@ inline PhaseReport RunTimelockDeal(const DealShape& shape,
   report.t = spec.NumTransfers();
   report.gas_escrow = result.gas_escrow;
   report.gas_transfer = result.gas_transfer;
-  report.gas_commit = result.gas_commit;
-  report.sig_verifies = result.sig_verifies_commit;
-  report.storage_writes_commit = WritesForTag(env.world(), "commit");
-  report.committed = result.released_contracts == spec.NumAssets();
+  report.gas_commit = result.gas_vote + result.gas_decide;
+  report.sig_verifies = result.sig_verifies;
+  report.storage_writes_commit =
+      protocol == Protocol::kCbc
+          ? WritesForTag(env.world(), "decide") +
+                WritesForTag(env.world(), "cbc-vote")
+          : WritesForTag(env.world(), "commit");
+  report.committed = result.committed;
   report.escrow_ticks =
-      LastInclusion(env.world(), "escrow") - config.escrow_time;
+      LastInclusion(env.world(), "escrow") - timings.escrow_time;
   report.transfer_ticks =
-      LastInclusion(env.world(), "transfer") - config.transfer_start;
-  report.commit_ticks = result.commit_phase_end - run.deployment().info.t0;
+      LastInclusion(env.world(), "transfer") - timings.transfer_start;
+  report.commit_ticks = result.commit_phase_end - result.decision_open;
   return report;
+}
+
+/// Runs one timelock deal of the given shape; all parties compliant.
+inline PhaseReport RunTimelockDeal(const DealShape& shape,
+                                   bool direct_votes = false,
+                                   bool parallel_transfers = false) {
+  ProtocolDealOptions options;
+  options.direct_votes = direct_votes;
+  options.parallel_transfers = parallel_transfers;
+  return RunProtocolDeal(Protocol::kTimelock, shape, options);
 }
 
 /// Runs one CBC deal of the given shape; all parties compliant.
 inline PhaseReport RunCbcDeal(const DealShape& shape, size_t f,
                               size_t reconfigs = 0,
                               bool parallel_transfers = false) {
-  EnvConfig env_config;
-  env_config.seed = shape.seed;
-  DealEnv env(std::move(env_config));
-  GenParams gen;
-  gen.n_parties = shape.n;
-  gen.m_assets = shape.m;
-  gen.t_transfers = shape.t;
-  gen.num_chains = shape.chains;
-  gen.seed = shape.seed;
-  DealSpec spec = GenerateRandomDeal(&env, gen);
-
-  ChainId cbc_chain = env.AddChain("cbc");
-  ValidatorSet validators =
-      ValidatorSet::Create(f, "bench-" + std::to_string(shape.seed));
-  CbcConfig config;
-  config.reconfigs_before_claim = reconfigs;
-  config.parallel_transfers = parallel_transfers;
-  CbcRun run(&env.world(), spec, config, cbc_chain, &validators);
-  Status st = run.Start();
-  if (!st.ok()) {
-    std::fprintf(stderr, "cbc start failed: %s\n", st.ToString().c_str());
-    return {};
-  }
-  env.world().scheduler().Run();
-  CbcResult result = run.Collect();
-
-  PhaseReport report;
-  report.n = shape.n;
-  report.m = spec.NumAssets();
-  report.t = spec.NumTransfers();
-  report.gas_escrow = result.gas_escrow;
-  report.gas_transfer = result.gas_transfer;
-  report.gas_commit = result.gas_cbc_votes + result.gas_decide;
-  report.sig_verifies = result.sig_verifies_decide;
-  report.storage_writes_commit = WritesForTag(env.world(), "decide") +
-                                 WritesForTag(env.world(), "cbc-vote");
-  report.committed = result.outcome == kDealCommitted;
-  report.escrow_ticks =
-      LastInclusion(env.world(), "escrow") - config.escrow_time;
-  report.transfer_ticks =
-      LastInclusion(env.world(), "transfer") - config.transfer_start;
-  report.commit_ticks =
-      LastInclusion(env.world(), "decide") - run.deployment().vote_time;
-  return report;
+  ProtocolDealOptions options;
+  options.f = f;
+  options.reconfigs = reconfigs;
+  options.parallel_transfers = parallel_transfers;
+  return RunProtocolDeal(Protocol::kCbc, shape, options);
 }
 
 /// Builds a k-party ring deal: asset i (on its own chain) moves from party i
@@ -361,23 +367,25 @@ inline RingDeal MakeRingDeal(size_t k, uint64_t seed) {
 inline PhaseReport RunTimelockRing(size_t k, uint64_t seed,
                                    bool direct_votes) {
   RingDeal ring = MakeRingDeal(k, seed);
-  TimelockConfig config;
-  config.delta = 150;
-  config.direct_votes = direct_votes;
-  config.parallel_transfers = true;  // transfers are independent legs
-  TimelockRun run(&ring.env->world(), ring.spec, config);
-  Status st = run.Start();
-  if (!st.ok()) return {};
+  DealTimings timings = DealTimings::DefaultsFor(Protocol::kTimelock);
+  timings.delta = 150;
+  timings.parallel_transfers = true;  // transfers are independent legs
+  TimelockDriver::Options options;
+  options.direct_votes = direct_votes;
+  TimelockDriver driver(options);
+  std::unique_ptr<DealRuntime> runtime =
+      driver.CreateDeal(&ring.env->world(), ring.spec, timings);
+  if (!runtime->Deploy().ok()) return {};
   ring.env->world().scheduler().Run();
-  TimelockResult result = run.Collect();
+  DealResult result = runtime->Collect();
   PhaseReport report;
   report.n = k;
   report.m = k;
   report.t = k;
-  report.gas_commit = result.gas_commit;
-  report.sig_verifies = result.sig_verifies_commit;
-  report.committed = result.released_contracts == ring.spec.NumAssets();
-  report.commit_ticks = result.commit_phase_end - run.deployment().info.t0;
+  report.gas_commit = result.gas_vote;
+  report.sig_verifies = result.sig_verifies;
+  report.committed = result.committed;
+  report.commit_ticks = result.commit_phase_end - result.decision_open;
   return report;
 }
 

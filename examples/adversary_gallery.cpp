@@ -19,8 +19,8 @@
 #include "cbc/pow.h"
 #include "core/adversaries.h"
 #include "core/checker.h"
-#include "core/timelock_run.h"
 #include "core/env.h"
+#include "core/protocol_driver.h"
 
 using namespace xdeal;
 
@@ -93,19 +93,18 @@ void RunGallerySweep() {
               "compliant parties");
   for (auto& entry : gallery) {
     Broker b = MakeBroker(100 + entry.deviant);
-    TimelockConfig config;
-    config.delta = 80;
-    TimelockRun run(&b.env->world(), b.spec, config,
-                    [&](PartyId p) -> std::unique_ptr<TimelockParty> {
-                      if (p.v == entry.deviant) return entry.make();
-                      return nullptr;
-                    });
-    (void)run.Start();
+    DealTimings timings = DealTimings::DefaultsFor(Protocol::kTimelock);
+    timings.delta = 80;
+    TimelockDriver driver;
+    SingleDeviantFactory factory(entry.deviant, entry.make);
+    std::unique_ptr<DealRuntime> runtime =
+        driver.CreateDeal(&b.env->world(), b.spec, timings, &factory);
+    (void)runtime->Deploy();
     DealChecker checker(&b.env->world(), b.spec,
-                        run.deployment().escrow_contracts);
+                        runtime->escrow_contracts());
     checker.CaptureInitial();
     b.env->world().scheduler().Run();
-    TimelockResult r = run.Collect();
+    DealResult r = runtime->Collect();
 
     std::vector<PartyId> compliant;
     for (PartyId p : b.spec.parties) {
@@ -145,15 +144,17 @@ void RunDosWindow() {
   dos_ptr->AddTarget(Endpoint{b.alice.v});
   dos_ptr->AddTarget(Endpoint{b.carol.v});
 
-  TimelockConfig config;
-  config.delta = 80;
-  TimelockRun run(&b.env->world(), b.spec, config);
-  (void)run.Start();
+  DealTimings timings = DealTimings::DefaultsFor(Protocol::kTimelock);
+  timings.delta = 80;
+  TimelockDriver driver;
+  std::unique_ptr<DealRuntime> runtime =
+      driver.CreateDeal(&b.env->world(), b.spec, timings);
+  (void)runtime->Deploy();
   DealChecker checker(&b.env->world(), b.spec,
-                      run.deployment().escrow_contracts);
+                      runtime->escrow_contracts());
   checker.CaptureInitial();
   b.env->world().scheduler().Run();
-  TimelockResult r = run.Collect();
+  DealResult r = runtime->Collect();
 
   auto* registry = b.env->RegistryOf(b.spec, b.tickets);
   auto* token = b.env->TokenOf(b.spec, b.coins);
@@ -188,15 +189,16 @@ void RunDosWindow() {
   Broker b2 = MakeBroker(7, std::move(dos2));
   dos2_ptr->AddTarget(Endpoint{b2.alice.v});
   dos2_ptr->AddTarget(Endpoint{b2.carol.v});
-  TimelockConfig config2;
-  config2.delta = 4000;  // Δ chosen to make the DoS "prohibitively expensive"
-  TimelockRun run2(&b2.env->world(), b2.spec, config2);
-  (void)run2.Start();
+  DealTimings timings2 = DealTimings::DefaultsFor(Protocol::kTimelock);
+  timings2.delta = 4000;  // Δ chosen to make the DoS "prohibitively expensive"
+  std::unique_ptr<DealRuntime> runtime2 =
+      driver.CreateDeal(&b2.env->world(), b2.spec, timings2);
+  (void)runtime2->Deploy();
   DealChecker checker2(&b2.env->world(), b2.spec,
-                       run2.deployment().escrow_contracts);
+                       runtime2->escrow_contracts());
   checker2.CaptureInitial();
   b2.env->world().scheduler().Run();
-  TimelockResult r2 = run2.Collect();
+  DealResult r2 = runtime2->Collect();
   std::printf("with Δ=4000 outlasting the attack: released=%zu — %s\n",
               r2.released_contracts,
               checker2.StrongLivenessHolds() ? "deal COMMITS, everyone whole"

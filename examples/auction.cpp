@@ -98,9 +98,10 @@ int main() {
               IsSwapExpressible(spec) ? "yes" : "no — deals only");
 
   // --- execute under the CBC protocol ---
-  ChainId cbc_chain = env.AddChain("cbc");
-  ValidatorSet validators = ValidatorSet::Create(/*f=*/1, "auction-cbc");
-  CbcRun run(&env.world(), spec, CbcConfig{}, cbc_chain, &validators);
+  CbcService::Options service_options;
+  service_options.validator_seed = "auction-cbc";
+  CbcService service(&env.world(), service_options);
+  CbcRun run(&env.world(), spec, CbcConfig{}, &service);
   Status st = run.Start();
   if (!st.ok()) {
     std::printf("failed to start: %s\n", st.ToString().c_str());

@@ -110,9 +110,11 @@ int main() {
   // --- CBC: the certified blockchain is a shared point of contact ---
   {
     Ring r = MakeRing(4);
-    ChainId cbc_chain = r.env->AddChain("CBC");
-    ValidatorSet validators = ValidatorSet::Create(1, "ring-cbc");
-    CbcRun run(&r.env->world(), r.spec, CbcConfig{}, cbc_chain, &validators);
+    CbcService::Options service_options;
+    service_options.chain_name = "CBC";
+    service_options.validator_seed = "ring-cbc";
+    CbcService service(&r.env->world(), service_options);
+    CbcRun run(&r.env->world(), r.spec, CbcConfig{}, &service);
     Status st = run.Start();
     if (!st.ok()) {
       std::printf("start failed: %s\n", st.ToString().c_str());

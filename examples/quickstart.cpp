@@ -11,7 +11,7 @@
 
 #include "core/checker.h"
 #include "core/env.h"
-#include "core/timelock_run.h"
+#include "core/protocol_driver.h"
 
 using namespace xdeal;
 
@@ -85,26 +85,29 @@ int main() {
   PrintHoldings("before the deal:", env, spec, alice, bob, carol, tickets,
                 coins, t1, t2);
 
-  // --- 4. Execute under the timelock commit protocol (§5). ---
-  TimelockConfig config;
-  config.delta = SuggestDelta(EnvConfig{});
-  TimelockRun run(&env.world(), spec, config);
-  Status st = run.Start();
+  // --- 4. Execute under the timelock commit protocol (§5), through the
+  //     ProtocolDriver API every harness shares. ---
+  DealTimings timings = DealTimings::DefaultsFor(Protocol::kTimelock);
+  timings.delta = SuggestDelta(EnvConfig{});
+  TimelockDriver driver;
+  std::unique_ptr<DealRuntime> runtime =
+      driver.CreateDeal(&env.world(), spec, timings);
+  Status st = runtime->Deploy();
   if (!st.ok()) {
     std::printf("failed to start: %s\n", st.ToString().c_str());
     return 1;
   }
-  DealChecker checker(&env.world(), spec, run.deployment().escrow_contracts);
+  DealChecker checker(&env.world(), spec, runtime->escrow_contracts());
   checker.CaptureInitial();
 
   env.world().scheduler().Run();
-  TimelockResult result = run.Collect();
+  DealResult result = runtime->Collect();
 
   std::printf("deal executed: %zu/%zu escrow contracts released "
               "(commit phase ended at tick %llu; Δ = %llu)\n\n",
               result.released_contracts, spec.NumAssets(),
               static_cast<unsigned long long>(result.commit_phase_end),
-              static_cast<unsigned long long>(config.delta));
+              static_cast<unsigned long long>(timings.delta));
 
   PrintHoldings("after the deal:", env, spec, alice, bob, carol, tickets,
                 coins, t1, t2);
@@ -122,7 +125,7 @@ int main() {
               "(signature verifications in commit: %llu)\n",
               static_cast<unsigned long long>(result.gas_escrow),
               static_cast<unsigned long long>(result.gas_transfer),
-              static_cast<unsigned long long>(result.gas_commit),
-              static_cast<unsigned long long>(result.sig_verifies_commit));
+              static_cast<unsigned long long>(result.gas_vote),
+              static_cast<unsigned long long>(result.sig_verifies));
   return checker.StrongLivenessHolds() ? 0 : 1;
 }

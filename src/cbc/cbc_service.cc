@@ -1,0 +1,50 @@
+#include "cbc/cbc_service.h"
+
+#include <cassert>
+
+namespace xdeal {
+
+namespace {
+
+std::string ShardSuffix(size_t shard) {
+  return shard == 0 ? "" : "-s" + std::to_string(shard);
+}
+
+}  // namespace
+
+CbcService::CbcService(World* world, Options options)
+    : world_(world), options_(std::move(options)) {
+  assert(options_.num_shards > 0);
+  shards_.reserve(options_.num_shards);
+  for (size_t s = 0; s < options_.num_shards; ++s) {
+    Blockchain* chain = world_->CreateChain(
+        options_.chain_name + ShardSuffix(s), options_.block_interval);
+    chain->set_max_txs_per_block(options_.block_capacity);
+    shards_.push_back(Shard{
+        chain->id(),
+        ValidatorSet::Create(options_.f,
+                             options_.validator_seed + ShardSuffix(s))});
+  }
+}
+
+size_t CbcService::ShardOf(const Hash256& deal_id) const {
+  // The deal id is already a SHA-256 digest; fold its first 8 bytes into a
+  // word. Any fixed byte window of a cryptographic hash is uniform, and
+  // using only the id keeps the assignment stable across service instances.
+  uint64_t h = 0;
+  for (size_t i = 0; i < 8; ++i) {
+    h = (h << 8) | deal_id.bytes[i];
+  }
+  return static_cast<size_t>(h % shards_.size());
+}
+
+StatusCertificate CbcService::IssueStatus(const CbcLogContract& log,
+                                          const Hash256& deal_id) const {
+  return validators(ShardOf(deal_id)).IssueStatus(log, deal_id);
+}
+
+ReconfigCertificate CbcService::Reconfigure(size_t shard) {
+  return shards_[shard].validators.Reconfigure();
+}
+
+}  // namespace xdeal

@@ -163,7 +163,7 @@ void CbcParty::ClaimAll(DealOutcome outcome) {
   CbcProof proof;
   proof.reconfigs = run_->reconfig_chain();
   proof.status =
-      run_->validators().IssueStatus(*Log(), deployment().deal_id);
+      run_->service().IssueStatus(*Log(), deployment().deal_id);
   if (proof.status.outcome != outcome) return;  // view changed; stale call
   for (uint32_t a : todo) SubmitDecide(a, proof);
 }
@@ -248,13 +248,13 @@ void CbcParty::OnAbortDeadline() {
 // ---------------------------------------------------------------------------
 
 CbcRun::CbcRun(World* world, DealSpec spec, CbcConfig config,
-               ChainId cbc_chain, ValidatorSet* validators,
-               StrategyFactory factory)
+               CbcService* service, StrategyFactory factory)
     : world_(world),
       spec_(std::move(spec)),
       config_(config),
-      cbc_chain_(cbc_chain),
-      validators_(validators) {
+      service_(service),
+      cbc_chain_(service->ChainFor(spec_.deal_id)),
+      validators_(&service->ValidatorsFor(spec_.deal_id)) {
   for (PartyId p : spec_.parties) {
     std::unique_ptr<CbcParty> strategy;
     if (factory) strategy = factory(p);
@@ -272,6 +272,16 @@ CbcParty* CbcRun::party(PartyId p) {
 
 Status CbcRun::Start() {
   XDEAL_RETURN_IF_ERROR(spec_.Validate());
+  // §6: a party may rescind its commit vote only "after waiting at least Δ".
+  // A patience below Δ would let compliant parties rescind while their own
+  // votes are still legitimately in flight — reject it outright instead of
+  // silently running an unsafe schedule.
+  if (config_.abort_patience < config_.delta) {
+    return Status::InvalidArgument(
+        "CbcConfig.abort_patience (" +
+        std::to_string(config_.abort_patience) + ") must be >= delta (" +
+        std::to_string(config_.delta) + ")");
+  }
 
   deployment_.deal_id = spec_.deal_id;
   deployment_.cbc_chain = cbc_chain_;
@@ -289,12 +299,8 @@ Status CbcRun::Start() {
         std::make_unique<CbcEscrowContract>(asset.kind, asset.token)));
   }
 
-  size_t sequential_steps =
-      config_.parallel_transfers ? 1 : spec_.transfers.size();
   deployment_.validation_time =
-      config_.transfer_start +
-      static_cast<Tick>(sequential_steps) * config_.step_gap +
-      config_.validation_slack;
+      config_.ValidationTime(spec_.transfers.size());
   deployment_.vote_time = deployment_.validation_time;
 
   // Every party watches the CBC.

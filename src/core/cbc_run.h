@@ -22,31 +22,29 @@
 #include <set>
 #include <vector>
 
+#include "cbc/cbc_service.h"
 #include "cbc/validators.h"
 #include "chain/world.h"
 #include "contracts/cbc_escrow.h"
 #include "core/deal_spec.h"
+#include "core/protocol_driver.h"
 
 namespace xdeal {
 
-struct CbcConfig {
-  Tick setup_time = 0;
-  Tick start_deal_time = 20;
-  Tick escrow_time = 80;
-  Tick transfer_start = 180;
-  Tick step_gap = 40;
-  bool parallel_transfers = false;
-  Tick validation_slack = 50;
+/// Phase schedule (inherited — one source of truth in DealTimings) plus the
+/// CBC protocol's own knobs.
+struct CbcConfig : DealTimings {
+  CbcConfig() : DealTimings(DefaultsFor(Protocol::kCbc)) {}
+  explicit CbcConfig(const DealTimings& timings) : DealTimings(timings) {}
+
   /// How long after its commit vote a party waits before rescinding with an
-  /// abort vote if the deal is still undecided. Must be >= Δ (§6).
+  /// abort vote if the deal is still undecided. Must be >= Δ (§6); Start()
+  /// rejects configs that violate the precondition.
   Tick abort_patience = 400;
   /// Number of validator-set reconfigurations to perform mid-deal (between
   /// escrow and claim) — exercises the (k+1)(2f+1) proof chain.
   size_t reconfigs_before_claim = 0;
   Tick reconfig_time = 260;
-  /// Labels every transaction this run submits, so that multi-deal worlds
-  /// can attribute receipts/gas per deal. 0 = untagged (single-deal world).
-  uint64_t deal_tag = 0;
 };
 
 struct CbcDeployment {
@@ -130,10 +128,11 @@ class CbcRun {
  public:
   using StrategyFactory = std::function<std::unique_ptr<CbcParty>(PartyId)>;
 
-  /// `cbc_chain` must host nothing yet (the run deploys the log contract);
-  /// `validators` is the BFT validator set backing the CBC.
-  CbcRun(World* world, DealSpec spec, CbcConfig config, ChainId cbc_chain,
-         ValidatorSet* validators, StrategyFactory factory = nullptr);
+  /// `service` hosts the certified logs; the deal is hashed to one of its
+  /// shards, whose chain carries this run's log contract and whose validator
+  /// set certifies it. The service must outlive the run.
+  CbcRun(World* world, DealSpec spec, CbcConfig config, CbcService* service,
+         StrategyFactory factory = nullptr);
 
   Status Start();
   CbcResult Collect() const;
@@ -142,6 +141,8 @@ class CbcRun {
   const DealSpec& spec() const { return spec_; }
   const CbcConfig& config() const { return config_; }
   World& world() { return *world_; }
+  CbcService& service() { return *service_; }
+  /// This deal's shard validators (via the service).
   ValidatorSet& validators() { return *validators_; }
   CbcParty* party(PartyId p);
 
@@ -164,6 +165,7 @@ class CbcRun {
   World* world_;
   DealSpec spec_;
   CbcConfig config_;
+  CbcService* service_;
   ChainId cbc_chain_;
   ValidatorSet* validators_;
   CbcDeployment deployment_;

@@ -6,11 +6,13 @@
 #include <tuple>
 
 #include "baseline/htlc_swap.h"
+#include "cbc/cbc_service.h"
 #include "core/adversaries.h"
 #include "core/cbc_run.h"
 #include "core/checker.h"
 #include "core/deal_gen.h"
 #include "core/env.h"
+#include "core/protocol_driver.h"
 #include "core/timelock_run.h"
 #include "sim/worker_pool.h"
 #include "util/fingerprint.h"
@@ -119,14 +121,18 @@ void FillViolation(ScenarioOutcome* out) {
   }
 }
 
-ScenarioOutcome RunTimelockScenario(const ScenarioSpec& sc) {
+/// One runner for both commit protocols: what used to be two parallel
+/// Run{Timelock,Cbc}Scenario functions is now a single path through the
+/// ProtocolDriver API, with the protocol differences confined to the driver
+/// choice and the strong-liveness predicate.
+ScenarioOutcome RunDriverScenario(const ScenarioSpec& sc) {
   ScenarioOutcome out;
   out.index = sc.index;
   out.seed = sc.seed;
 
   GenParams gen = GenParamsFor(sc);
-  TimelockConfig config;
-  config.delta =
+  DealTimings timings = DealTimings::DefaultsFor(sc.protocol);
+  timings.delta =
       sc.network == SweepNetwork::kDosWindow ? kDosDelta : kSweepDelta;
 
   std::unique_ptr<NetworkModel> net;
@@ -144,12 +150,10 @@ ScenarioOutcome RunTimelockScenario(const ScenarioSpec& sc) {
       DealEnv scratch(std::move(scratch_config));
       steps = GenerateRandomDeal(&scratch, gen).NumTransfers();
     }
-    Tick t0 = config.transfer_start +
-              static_cast<Tick>(steps) * config.step_gap +
-              config.validation_slack;
+    Tick t0 = timings.ValidationTime(steps);
     Tick attack_start = t0 + 10;
     Tick attack_end =
-        t0 + static_cast<Tick>(sc.shape.n_parties + 2) * config.delta + 1000;
+        t0 + static_cast<Tick>(sc.shape.n_parties + 2) * timings.delta + 1000;
     auto dos_net = std::make_unique<TargetedDosNetwork>(
         std::make_unique<SynchronousNetwork>(1, 10), attack_start, attack_end);
     dos = dos_net.get();
@@ -176,31 +180,55 @@ ScenarioOutcome RunTimelockScenario(const ScenarioSpec& sc) {
   const bool adversarial = sc.adversary != SweepAdversary::kNone;
   // A wiring mismatch (an adversary kind this protocol's factory does not
   // know) must fail the scenario, not silently degrade into an honest run.
-  if (adversarial && MakeTimelockAdversary(sc.adversary) == nullptr) {
-    out.violation = "adversary-protocol-mismatch";
-    return out;
+  if (adversarial) {
+    const bool known = sc.protocol == Protocol::kTimelock
+                           ? MakeTimelockAdversary(sc.adversary) != nullptr
+                           : MakeCbcAdversary(sc.adversary) != nullptr;
+    if (!known) {
+      out.violation = "adversary-protocol-mismatch";
+      return out;
+    }
   }
-  TimelockRun run(&env.world(), spec, config,
-                  [&](PartyId p) -> std::unique_ptr<TimelockParty> {
-                    if (adversarial && p.v == special) {
-                      return MakeTimelockAdversary(sc.adversary);
-                    }
-                    return nullptr;
-                  });
-  if (!run.Start().ok()) {
-    out.violation = "timelock-start-failed";
+
+  std::unique_ptr<CbcService> service;
+  std::unique_ptr<ProtocolDriver> driver;
+  if (sc.protocol == Protocol::kCbc) {
+    CbcService::Options service_options;
+    service_options.validator_seed = "sweep-" + std::to_string(sc.seed);
+    service =
+        std::make_unique<CbcService>(&env.world(), service_options);
+    driver = std::make_unique<CbcDriver>(service.get());
+  } else {
+    driver = std::make_unique<TimelockDriver>();
+  }
+
+  // One deviator at the special position, for either protocol.
+  SingleDeviantFactory factory(
+      special,
+      adversarial ? [&sc] { return MakeTimelockAdversary(sc.adversary); }
+                  : SingleDeviantFactory::TimelockMaker(nullptr),
+      adversarial ? [&sc] { return MakeCbcAdversary(sc.adversary); }
+                  : SingleDeviantFactory::CbcMaker(nullptr));
+  std::unique_ptr<DealRuntime> runtime =
+      driver->CreateDeal(&env.world(), spec, timings, &factory);
+  if (!runtime->Deploy().ok()) {
+    out.violation = std::string(ToString(sc.protocol)) + "-start-failed";
     return out;
   }
   out.started = true;
-  DealChecker checker(&env.world(), spec, run.deployment().escrow_contracts);
+  DealChecker checker(&env.world(), spec, runtime->escrow_contracts());
   checker.CaptureInitial();
   env.world().scheduler().Run();
-  TimelockResult result = run.Collect();
+  DealResult result = runtime->Collect();
 
-  out.committed = result.released_contracts == spec.NumAssets();
-  out.aborted = result.released_contracts == 0;
-  out.mixed = !out.committed && !out.aborted;
+  out.committed = result.committed;
+  out.aborted = result.aborted;
+  out.mixed = result.mixed;
   out.all_settled = result.all_settled;
+  out.atomic = result.atomic;
+  if (sc.protocol == Protocol::kCbc) {
+    out.atomic = out.atomic && checker.Atomic();
+  }
   out.settle_time = result.settle_time;
   out.total_gas = env.world().TotalGas();
   out.messages = CountReceipts(env.world());
@@ -215,71 +243,11 @@ ScenarioOutcome RunTimelockScenario(const ScenarioSpec& sc) {
   out.safety_ok = checker.SafetyHolds(compliant);
   out.weak_liveness_ok = checker.WeakLivenessHolds(compliant);
   if (!adversarial && BenignNetwork(sc.network)) {
-    out.strong_liveness_ok = checker.StrongLivenessHolds();
-  }
-  FillViolation(&out);
-  return out;
-}
-
-ScenarioOutcome RunCbcScenario(const ScenarioSpec& sc) {
-  ScenarioOutcome out;
-  out.index = sc.index;
-  out.seed = sc.seed;
-
-  EnvConfig env_config;
-  env_config.seed = sc.seed;
-  env_config.network = MakeBenignNetwork(sc.network);
-  DealEnv env(std::move(env_config));
-  DealSpec spec = GenerateRandomDeal(&env, GenParamsFor(sc));
-
-  ChainId cbc_chain = env.AddChain("cbc");
-  ValidatorSet validators =
-      ValidatorSet::Create(/*f=*/1, "sweep-" + std::to_string(sc.seed));
-
-  uint32_t special = spec.parties[sc.position % spec.parties.size()].v;
-  const bool adversarial = sc.adversary != SweepAdversary::kNone;
-  if (adversarial && MakeCbcAdversary(sc.adversary) == nullptr) {
-    out.violation = "adversary-protocol-mismatch";
-    return out;
-  }
-  CbcRun run(&env.world(), spec, CbcConfig{}, cbc_chain, &validators,
-             [&](PartyId p) -> std::unique_ptr<CbcParty> {
-               if (adversarial && p.v == special) {
-                 return MakeCbcAdversary(sc.adversary);
-               }
-               return nullptr;
-             });
-  if (!run.Start().ok()) {
-    out.violation = "cbc-start-failed";
-    return out;
-  }
-  out.started = true;
-  DealChecker checker(&env.world(), spec, run.deployment().escrow_contracts);
-  checker.CaptureInitial();
-  env.world().scheduler().Run();
-  CbcResult result = run.Collect();
-
-  out.committed = result.outcome == kDealCommitted;
-  out.aborted = result.outcome == kDealAborted;
-  // Exclusive so committed/aborted/mixed partition the runs; a non-atomic
-  // settle under a decisive certificate still surfaces via `atomic` below.
-  out.mixed = !out.committed && !out.aborted &&
-              result.released_contracts > 0 && result.refunded_contracts > 0;
-  out.all_settled = result.all_settled;
-  out.atomic = result.atomic && checker.Atomic();
-  out.settle_time = result.settle_time;
-  out.total_gas = env.world().TotalGas();
-  out.messages = CountReceipts(env.world());
-
-  std::vector<PartyId> compliant;
-  for (PartyId p : spec.parties) {
-    if (!adversarial || p.v != special) compliant.push_back(p);
-  }
-  out.safety_ok = checker.SafetyHolds(compliant);
-  out.weak_liveness_ok = checker.WeakLivenessHolds(compliant);
-  if (!adversarial && BenignNetwork(sc.network)) {
     // Under synchrony an all-compliant CBC deal must commit outright.
-    out.strong_liveness_ok = out.committed && checker.StrongLivenessHolds();
+    out.strong_liveness_ok =
+        sc.protocol == Protocol::kCbc
+            ? out.committed && checker.StrongLivenessHolds()
+            : checker.StrongLivenessHolds();
   }
   FillViolation(&out);
   return out;
@@ -348,15 +316,6 @@ ScenarioOutcome RunHtlcScenario(const ScenarioSpec& sc) {
 
 }  // namespace
 
-const char* ToString(SweepProtocol p) {
-  switch (p) {
-    case SweepProtocol::kTimelock: return "timelock";
-    case SweepProtocol::kCbc: return "cbc";
-    case SweepProtocol::kHtlc: return "htlc";
-  }
-  return "?";
-}
-
 const char* ToString(SweepAdversary a) {
   switch (a) {
     case SweepAdversary::kNone: return "none";
@@ -387,19 +346,19 @@ const char* ToString(SweepNetwork n) {
   return "?";
 }
 
-bool AdversaryAppliesTo(SweepAdversary a, SweepProtocol p) {
+bool AdversaryAppliesTo(SweepAdversary a, Protocol p) {
   if (a == SweepAdversary::kNone) return true;
   const bool timelock_kind = a >= SweepAdversary::kCrashAtEscrow &&
                              a <= SweepAdversary::kLateVote;
   switch (p) {
-    case SweepProtocol::kTimelock: return timelock_kind;
-    case SweepProtocol::kCbc: return !timelock_kind;
-    case SweepProtocol::kHtlc: return false;  // no swap deviators (yet)
+    case Protocol::kTimelock: return timelock_kind;
+    case Protocol::kCbc: return !timelock_kind;
+    case Protocol::kHtlc: return false;  // no swap deviators (yet)
   }
   return false;
 }
 
-bool NetworkAppliesTo(SweepNetwork n, SweepProtocol p) {
+bool NetworkAppliesTo(SweepNetwork n, Protocol p) {
   switch (n) {
     case SweepNetwork::kSynchronous:
     case SweepNetwork::kPostGstSync:
@@ -407,9 +366,9 @@ bool NetworkAppliesTo(SweepNetwork n, SweepProtocol p) {
     case SweepNetwork::kPreGstAsync:
       // Only the CBC protocol tolerates pre-GST asynchrony (§6); the
       // timelock protocol and HTLC timeouts assume synchrony outright.
-      return p == SweepProtocol::kCbc;
+      return p == Protocol::kCbc;
     case SweepNetwork::kDosWindow:
-      return p == SweepProtocol::kTimelock;
+      return p == Protocol::kTimelock;
   }
   return false;
 }
@@ -434,7 +393,7 @@ std::vector<ScenarioSpec> BuildScenarioMatrix(const SweepAxes& axes,
   const std::vector<uint32_t> kPositionZero = {0};
   const size_t replicates = std::max<size_t>(1, axes.seeds_per_cell);
   for (const SweepShape& shape : axes.shapes) {
-    for (SweepProtocol protocol : axes.protocols) {
+    for (Protocol protocol : axes.protocols) {
       for (SweepNetwork network : axes.networks) {
         if (!NetworkAppliesTo(network, protocol)) continue;
         for (SweepAdversary adversary : axes.adversaries) {
@@ -473,9 +432,11 @@ std::vector<ScenarioSpec> BuildScenarioMatrix(const SweepAxes& axes,
 
 ScenarioOutcome RunScenario(const ScenarioSpec& spec) {
   switch (spec.protocol) {
-    case SweepProtocol::kTimelock: return RunTimelockScenario(spec);
-    case SweepProtocol::kCbc: return RunCbcScenario(spec);
-    case SweepProtocol::kHtlc: return RunHtlcScenario(spec);
+    case Protocol::kTimelock:
+    case Protocol::kCbc:
+      return RunDriverScenario(spec);
+    case Protocol::kHtlc:
+      return RunHtlcScenario(spec);
   }
   return {};
 }
@@ -594,8 +555,8 @@ SweepAxes DefaultSweepAxes() {
       {4, 3, 8, 2, 3},   // every 3rd asset an NFT
       {5, 4, 10, 3, 0},
   };
-  axes.protocols = {SweepProtocol::kTimelock, SweepProtocol::kCbc,
-                    SweepProtocol::kHtlc};
+  axes.protocols = {Protocol::kTimelock, Protocol::kCbc,
+                    Protocol::kHtlc};
   axes.adversaries = {
       SweepAdversary::kNone,
       SweepAdversary::kCrashAtEscrow,

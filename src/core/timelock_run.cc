@@ -223,12 +223,7 @@ Status TimelockRun::Start() {
   // Clearing phase: fix the schedule and broadcast DealInfo (the
   // market-clearing service, §4.1 — centralized but untrusted; every party
   // independently re-checks everything against it).
-  size_t sequential_steps =
-      config_.parallel_transfers ? 1 : spec_.transfers.size();
-  Tick validation_time = config_.transfer_start +
-                         static_cast<Tick>(sequential_steps) *
-                             config_.step_gap +
-                         config_.validation_slack;
+  Tick validation_time = config_.ValidationTime(spec_.transfers.size());
   deployment_.info.deal_id = spec_.deal_id;
   deployment_.info.plist = spec_.parties;
   deployment_.info.t0 = validation_time;

@@ -31,22 +31,19 @@
 #include "chain/world.h"
 #include "contracts/timelock_escrow.h"
 #include "core/deal_spec.h"
+#include "core/protocol_driver.h"
 
 namespace xdeal {
 
-struct TimelockConfig {
-  Tick setup_time = 0;          // token approvals
-  Tick escrow_time = 50;
-  Tick transfer_start = 150;
-  Tick step_gap = 40;           // between sequential transfer steps
-  bool parallel_transfers = false;
-  Tick validation_slack = 50;   // after last transfer step
-  Tick delta = 200;             // the synchrony bound Δ
+/// Phase schedule (inherited — one source of truth in DealTimings) plus the
+/// timelock protocol's own knobs.
+struct TimelockConfig : DealTimings {
+  TimelockConfig() : DealTimings(DefaultsFor(Protocol::kTimelock)) {}
+  explicit TimelockConfig(const DealTimings& timings)
+      : DealTimings(timings) {}
+
   bool direct_votes = false;    // altruistic: vote on every asset's chain
   Tick refund_margin = 20;      // watchdog fires at t0 + N·Δ + margin
-  /// Labels every transaction this run submits, so that multi-deal worlds
-  /// can attribute receipts/gas per deal. 0 = untagged (single-deal world).
-  uint64_t deal_tag = 0;
 };
 
 /// Where the deal's contracts live: escrow contract per asset index.

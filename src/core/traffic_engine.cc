@@ -7,25 +7,18 @@
 #include <set>
 #include <tuple>
 
-#include "core/cbc_run.h"
+#include "cbc/cbc_service.h"
+#include "core/adversaries.h"
 #include "core/checker.h"
 #include "core/deal_gen.h"
 #include "core/env.h"
-#include "core/timelock_run.h"
+#include "core/watchtower.h"
 #include "sim/worker_pool.h"
 #include "util/fingerprint.h"
 #include "util/rng.h"
 
 namespace xdeal {
 namespace {
-
-// Phase offsets within one deal's schedule, relative to its admission tick.
-// Mirrors the single-deal defaults in TimelockConfig/CbcConfig.
-constexpr Tick kTlEscrowOffset = 50;
-constexpr Tick kTlTransferOffset = 150;
-constexpr Tick kCbcStartOffset = 20;
-constexpr Tick kCbcEscrowOffset = 80;
-constexpr Tick kCbcTransferOffset = 180;
 
 /// Deterministic nearest-rank percentile over a scratch copy: the smallest
 /// value with at least p% of the samples at or below it.
@@ -43,13 +36,45 @@ T Percentile(std::vector<T> values, int p) {
 struct DealSlot {
   TrafficDealRecord rec;
   DealSpec spec;
-  std::unique_ptr<TimelockRun> timelock;
-  std::unique_ptr<CbcRun> cbc;
+  std::unique_ptr<DealRuntime> runtime;
   std::unique_ptr<DealChecker> checker;
-  /// Set on deals touched by double-spend injection: the over-committing
-  /// party, excluded from this deal's compliant set.
+  /// Set on deals touched by injection (double-spend or offline party): the
+  /// deviating party, excluded from this deal's compliant set.
   bool has_adversary = false;
   PartyId adversary;
+};
+
+/// Per-deal PartyFactory: injects the offline-party strategy and arms the
+/// watchtower through the uniform OnDeployed hook.
+class TrafficPartyFactory : public PartyFactory {
+ public:
+  bool offline = false;
+  PartyId offline_party;
+
+  bool arm_tower = false;
+  World* world = nullptr;
+  PartyId tower_operator;
+  std::vector<std::unique_ptr<Watchtower>>* towers = nullptr;
+
+  std::unique_ptr<TimelockParty> MakeTimelockParty(PartyId p) override {
+    if (offline && p == offline_party) {
+      // Escrows, then goes dark: no transfers, votes, forwarding, or refund
+      // claims. Its deposit is stranded unless a watchtower steps in.
+      return std::make_unique<CrashingTimelockParty>(TlPhase::kTransfer);
+    }
+    return nullptr;
+  }
+
+  void OnDeployed(DealRuntime& runtime) override {
+    if (!arm_tower) return;
+    TimelockRun* run = runtime.timelock_run();
+    if (run == nullptr) return;  // towers relay timelock votes only
+    auto tower = std::make_unique<Watchtower>(
+        world, runtime.spec(), run->deployment(), tower_operator,
+        runtime.spec().parties, run->config().deal_tag);
+    tower->Arm();
+    towers->push_back(std::move(tower));
+  }
 };
 
 void FillViolation(TrafficDealRecord* rec) {
@@ -78,24 +103,13 @@ void ValidateDeal(DealSlot* slot) {
   TrafficDealRecord& rec = slot->rec;
   if (!rec.started) return;
 
-  if (slot->timelock != nullptr) {
-    TimelockResult result = slot->timelock->Collect();
-    rec.committed = result.released_contracts == slot->spec.NumAssets();
-    rec.aborted = result.released_contracts == 0;
-    rec.mixed = !rec.committed && !rec.aborted;
-    rec.all_settled = result.all_settled;
-    rec.settle_time = result.settle_time;
-  } else {
-    CbcResult result = slot->cbc->Collect();
-    rec.committed = result.outcome == kDealCommitted;
-    rec.aborted = result.outcome == kDealAborted;
-    rec.mixed = !rec.committed && !rec.aborted &&
-                result.released_contracts > 0 &&
-                result.refunded_contracts > 0;
-    rec.all_settled = result.all_settled;
-    rec.atomic = result.atomic;
-    rec.settle_time = result.settle_time;
-  }
+  DealResult result = slot->runtime->Collect();
+  rec.committed = result.committed;
+  rec.aborted = result.aborted;
+  rec.mixed = result.mixed;
+  rec.all_settled = result.all_settled;
+  rec.atomic = result.atomic;
+  rec.settle_time = result.settle_time;
   rec.latency =
       rec.settle_time > rec.admitted_at ? rec.settle_time - rec.admitted_at
                                         : 0;
@@ -103,13 +117,13 @@ void ValidateDeal(DealSlot* slot) {
   std::vector<PartyId> compliant = CompliantPartiesOf(*slot);
   rec.safety_ok = slot->checker->SafetyHolds(compliant);
   rec.weak_liveness_ok = slot->checker->WeakLivenessHolds(compliant);
-  if (slot->cbc != nullptr) {
+  if (slot->runtime->protocol() == Protocol::kCbc) {
     rec.atomic = rec.atomic && slot->checker->Atomic();
   }
   // Property 3 presumes every party compliant; injection-touched deals are
   // exempt (their abort is the expected defense, not a liveness failure).
   if (!rec.tainted) {
-    if (slot->timelock != nullptr) {
+    if (slot->runtime->protocol() == Protocol::kTimelock) {
       rec.strong_liveness_ok = slot->checker->StrongLivenessHolds();
     } else {
       rec.strong_liveness_ok =
@@ -157,13 +171,11 @@ std::vector<DoubleSpendIncident> DetectDoubleSpends(
   std::map<std::pair<uint32_t, uint32_t>, std::pair<size_t, uint32_t>>
       escrow_site;
   for (size_t d = 0; d < slots.size(); ++d) {
-    // A deal whose Start() failed may have deployed only a prefix of its
+    // A deal whose Deploy() failed may have deployed only a prefix of its
     // escrow contracts; it submitted nothing, so it has no evidence to add.
     if (!slots[d].rec.started) continue;
     const std::vector<ContractId>& escrows =
-        slots[d].timelock != nullptr
-            ? slots[d].timelock->deployment().escrow_contracts
-            : slots[d].cbc->deployment().escrow_contracts;
+        slots[d].runtime->escrow_contracts();
     for (uint32_t a = 0; a < slots[d].spec.NumAssets(); ++a) {
       escrow_site[{slots[d].spec.assets[a].chain.v, escrows[a].v}] = {d, a};
     }
@@ -213,14 +225,6 @@ std::vector<DoubleSpendIncident> DetectDoubleSpends(
 
 }  // namespace
 
-const char* ToString(TrafficProtocol p) {
-  switch (p) {
-    case TrafficProtocol::kTimelock: return "timelock";
-    case TrafficProtocol::kCbc: return "cbc";
-  }
-  return "?";
-}
-
 uint64_t TrafficDealSeed(uint64_t base_seed, uint64_t deal_index) {
   SplitMix64 base(base_seed ^ 0x7261666669636BULL);  // "traffick" stream
   SplitMix64 mixed(base.Next() ^
@@ -247,28 +251,56 @@ TrafficReport RunTraffic(const TrafficOptions& options) {
     pool.push_back(id);
   }
 
-  const std::vector<TrafficProtocol>& mix =
+  const std::vector<Protocol>& mix =
       options.protocol_mix.empty()
-          ? std::vector<TrafficProtocol>{TrafficProtocol::kTimelock}
+          ? std::vector<Protocol>{Protocol::kTimelock}
           : options.protocol_mix;
   bool any_cbc = false;
   for (size_t d = 0; d < num_deals; ++d) {
-    any_cbc = any_cbc || mix[d % mix.size()] == TrafficProtocol::kCbc;
+    any_cbc = any_cbc || mix[d % mix.size()] == Protocol::kCbc;
   }
 
-  // All CBC deals share one certified chain and one validator set — the CBC
-  // itself is a contention point, exactly as §6 envisions it.
-  ChainId cbc_chain;
-  ValidatorSet validators = ValidatorSet::Create(
-      /*f=*/1, "traffic-" + std::to_string(options.base_seed));
+  // The certified backend all CBC deals execute against: S shards, each a
+  // chain + validator set of its own, deals hashed to shards by deal id.
+  // With S = 1 this is exactly §6's single shared CBC — one contention
+  // point, as the paper envisions it.
+  std::unique_ptr<CbcService> cbc_service;
   if (any_cbc) {
-    cbc_chain = env.AddChain("cbc");
-    env.world().chain(cbc_chain)->set_max_txs_per_block(
-        options.block_capacity);
+    CbcService::Options service_options;
+    service_options.num_shards = std::max<size_t>(1, options.cbc_shards);
+    service_options.f = 1;
+    service_options.chain_name = "cbc";
+    service_options.validator_seed =
+        "traffic-" + std::to_string(options.base_seed);
+    service_options.block_interval = options.block_interval;
+    service_options.block_capacity = options.block_capacity;
+    cbc_service = std::make_unique<CbcService>(&env.world(), service_options);
+  }
+  TimelockDriver timelock_driver;
+  std::unique_ptr<CbcDriver> cbc_driver;
+  if (any_cbc) {
+    // The schedule carries options.delta into both protocols; keep the §6
+    // "wait at least Δ before rescinding" precondition satisfied when the
+    // workload asks for a Δ above the stock patience.
+    CbcDriver::Options cbc_options;
+    cbc_options.abort_patience =
+        std::max(cbc_options.abort_patience, options.delta);
+    cbc_driver =
+        std::make_unique<CbcDriver>(cbc_service.get(), cbc_options);
+  }
+
+  // Watchtower infrastructure: one operator identity, one tower per guarded
+  // deal (towers must outlive the scheduler drain).
+  std::vector<std::unique_ptr<Watchtower>> towers;
+  PartyId tower_operator;
+  if (options.watchtower_every > 0) {
+    tower_operator = env.AddParty("watchtower");
   }
 
   std::set<size_t> double_spend(options.double_spend_deals.begin(),
                                 options.double_spend_deals.end());
+  std::set<size_t> offline(options.offline_party_deals.begin(),
+                           options.offline_party_deals.end());
 
   // --- generation + admission: sequential by construction (mutates the
   //     World), every deal's randomness from its own derived seed ---
@@ -318,42 +350,48 @@ TrafficReport RunTraffic(const TrafficOptions& options) {
     rec.assets = slot.spec.NumAssets();
     rec.transfers = slot.spec.NumTransfers();
 
-    Status started = Status::OK();
-    if (rec.protocol == TrafficProtocol::kTimelock) {
-      TimelockConfig config;
-      config.setup_time = rec.admitted_at;
-      config.escrow_time = rec.admitted_at + kTlEscrowOffset;
-      config.transfer_start = rec.admitted_at + kTlTransferOffset;
-      config.delta = options.delta;
-      config.deal_tag = static_cast<uint64_t>(d) + 1;
-      slot.timelock = std::make_unique<TimelockRun>(&env.world(), slot.spec,
-                                                    config);
-      started = slot.timelock->Start();
-      if (started.ok()) {
-        slot.checker = std::make_unique<DealChecker>(
-            &env.world(), slot.spec,
-            slot.timelock->deployment().escrow_contracts);
-      }
-    } else {
-      CbcConfig config;
-      config.setup_time = rec.admitted_at;
-      config.start_deal_time = rec.admitted_at + kCbcStartOffset;
-      config.escrow_time = rec.admitted_at + kCbcEscrowOffset;
-      config.transfer_start = rec.admitted_at + kCbcTransferOffset;
-      config.deal_tag = static_cast<uint64_t>(d) + 1;
-      slot.cbc = std::make_unique<CbcRun>(&env.world(), slot.spec, config,
-                                          cbc_chain, &validators);
-      started = slot.cbc->Start();
-      if (started.ok()) {
-        slot.checker = std::make_unique<DealChecker>(
-            &env.world(), slot.spec,
-            slot.cbc->deployment().escrow_contracts);
-      }
+    if (rec.protocol == Protocol::kHtlc) {
+      rec.violation = "start-failed: htlc has no traffic driver";
+      continue;
     }
+
+    // The per-deal factory: offline-party injection + watchtower arming.
+    TrafficPartyFactory factory;
+    if (offline.count(d) > 0 && !inject &&
+        rec.protocol == Protocol::kTimelock && !slot.spec.escrows.empty()) {
+      factory.offline = true;
+      factory.offline_party = slot.spec.escrows[0].party;
+      slot.has_adversary = true;
+      slot.adversary = factory.offline_party;
+      rec.tainted = true;
+    }
+    if (options.watchtower_every > 0 &&
+        d % options.watchtower_every == 0 &&
+        rec.protocol == Protocol::kTimelock) {
+      factory.arm_tower = true;
+      factory.world = &env.world();
+      factory.tower_operator = tower_operator;
+      factory.towers = &towers;
+    }
+
+    // One shifted schedule drives either protocol.
+    DealTimings timings = DealTimings::DefaultsFor(rec.protocol);
+    timings.ShiftBy(rec.admitted_at);
+    timings.delta = options.delta;
+    timings.deal_tag = static_cast<uint64_t>(d) + 1;
+
+    ProtocolDriver& driver = rec.protocol == Protocol::kCbc
+                                 ? static_cast<ProtocolDriver&>(*cbc_driver)
+                                 : timelock_driver;
+    slot.runtime = driver.CreateDeal(&env.world(), slot.spec, timings,
+                                     &factory);
+    Status started = slot.runtime->Deploy();
     if (!started.ok()) {
       rec.violation = "start-failed: " + started.ToString();
       continue;
     }
+    slot.checker = std::make_unique<DealChecker>(
+        &env.world(), slot.spec, slot.runtime->escrow_contracts());
     slot.checker->CaptureInitial();
     rec.started = true;
   }
@@ -402,6 +440,7 @@ TrafficReport RunTraffic(const TrafficOptions& options) {
   // --- aggregate: sequential, index-ordered ---
   TrafficReport report;
   report.num_deals = num_deals;
+  report.cbc_shards = std::max<size_t>(1, options.cbc_shards);
   report.untagged_gas = untagged_gas;
   report.events_executed = env.world().scheduler().stats().executed;
   // Both backlog fields come from the same step-hook measurement so the
@@ -415,7 +454,7 @@ TrafficReport RunTraffic(const TrafficOptions& options) {
   uint64_t fp = 0x452821E638D01377ULL;
   for (size_t d = 0; d < num_deals; ++d) {
     TrafficDealRecord& rec = slots[d].rec;
-    if (rec.protocol == TrafficProtocol::kTimelock) {
+    if (rec.protocol == Protocol::kTimelock) {
       ++report.timelock_deals;
     } else {
       ++report.cbc_deals;
@@ -487,9 +526,10 @@ std::string TrafficReport::Summary() const {
   char line[320];
   std::snprintf(
       line, sizeof(line),
-      "deals=%zu (timelock=%zu cbc=%zu) committed=%zu aborted=%zu mixed=%zu "
-      "violations=%zu double_spends=%zu\n",
-      num_deals, timelock_deals, cbc_deals, committed, aborted, mixed,
+      "deals=%zu (timelock=%zu cbc=%zu, %zu cbc shard%s) committed=%zu "
+      "aborted=%zu mixed=%zu violations=%zu double_spends=%zu\n",
+      num_deals, timelock_deals, cbc_deals, cbc_shards,
+      cbc_shards == 1 ? "" : "s", committed, aborted, mixed,
       violations.size(), double_spends.size());
   s += line;
   std::snprintf(

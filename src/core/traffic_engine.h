@@ -10,6 +10,15 @@
 // accounting across deals, and double-spend pressure where one party
 // over-commits the same funds to two deals at once.
 //
+// Protocol dispatch goes through the ProtocolDriver API: every deal is a
+// DealRuntime created from one shifted DealTimings schedule, and CBC deals
+// execute against a CbcService with `cbc_shards` independent certified
+// chains (deals hashed to shards by deal id) — the knob that turns the
+// single shared CBC log from the paper into a horizontally scaled backend.
+// Watchtowers ride the same PartyFactory hook: with watchtower_every = k,
+// every k-th timelock deal is guarded by an always-online relay that also
+// claims refunds for parties that went dark.
+//
 // Every deal is validated with its own DealChecker (Properties 1-3 over its
 // compliant parties); failed properties become TrafficViolations carrying
 // the deal's derived seed. Escrow receipts are additionally cross-referenced
@@ -22,7 +31,8 @@
 // post-run per-deal validation, writing into per-deal slots that are folded
 // in index order. A TrafficReport is therefore bit-identical across thread
 // counts, and re-running the same options + base_seed replays every
-// violation and incident exactly.
+// violation and incident exactly. With cbc_shards = 1 the engine reproduces
+// the pre-sharding fingerprints bit-for-bit.
 
 #ifndef XDEAL_CORE_TRAFFIC_ENGINE_H_
 #define XDEAL_CORE_TRAFFIC_ENGINE_H_
@@ -31,16 +41,10 @@
 #include <string>
 #include <vector>
 
+#include "core/protocol_driver.h"
 #include "sim/scheduler.h"
 
 namespace xdeal {
-
-enum class TrafficProtocol : uint8_t {
-  kTimelock = 0,
-  kCbc,
-};
-
-const char* ToString(TrafficProtocol p);
 
 struct TrafficOptions {
   uint64_t base_seed = 1;
@@ -48,6 +52,10 @@ struct TrafficOptions {
   size_t num_deals = 100;
   /// Size of the shared chain pool all deals' assets are placed on.
   size_t num_chains = 8;
+  /// S: how many certified chains (each with its own validator set) the
+  /// CbcService runs; CBC deals are hashed to shards by deal id. 1 = the
+  /// paper's single shared CBC.
+  size_t cbc_shards = 1;
   /// Max transactions per block on every chain (0 = unlimited). Finite
   /// capacity turns heavy traffic into real queueing delay — tight enough
   /// values stretch timelock deadlines past Δ and the checker catches it.
@@ -68,10 +76,10 @@ struct TrafficOptions {
   /// Every `nft_every`-th asset of a deal is an NFT (0 = fungible only).
   size_t nft_every = 0;
 
-  /// Deal i runs protocol_mix[i % size]; empty = all timelock.
-  std::vector<TrafficProtocol> protocol_mix = {TrafficProtocol::kTimelock,
-                                               TrafficProtocol::kTimelock,
-                                               TrafficProtocol::kCbc};
+  /// Deal i runs protocol_mix[i % size]; empty = all timelock. (kHtlc has
+  /// no traffic driver and fails the deal with a start violation.)
+  std::vector<Protocol> protocol_mix = {Protocol::kTimelock,
+                                        Protocol::kTimelock, Protocol::kCbc};
 
   /// Cross-deal double-spend injection: each listed deal index d (d >= 1)
   /// is replaced by a 2-party swap in which deal d-1's first escrower
@@ -81,6 +89,17 @@ struct TrafficOptions {
   /// also listed (or out of range) are ignored.
   std::vector<size_t> double_spend_deals;
 
+  /// Offline-party injection: in each listed timelock deal, the deal's
+  /// first escrower goes dark right after escrowing (no transfers, votes,
+  /// forwarding, or refund claims). Without a watchtower its deposit is
+  /// stranded forever; with one, the tower claims the refund on its behalf.
+  std::vector<size_t> offline_party_deals;
+
+  /// Every k-th timelock deal (k > 0; deal index % k == 0) is guarded by a
+  /// watchtower armed through the party-factory hook, with every deal party
+  /// as a refund client. 0 = no watchtowers.
+  size_t watchtower_every = 0;
+
   /// Worker threads for post-run per-deal validation (0 = hardware).
   size_t num_threads = 1;
 };
@@ -89,11 +108,11 @@ struct TrafficOptions {
 struct TrafficDealRecord {
   size_t index = 0;
   uint64_t seed = 0;
-  TrafficProtocol protocol = TrafficProtocol::kTimelock;
+  Protocol protocol = Protocol::kTimelock;
   Tick admitted_at = 0;
-  /// True for deals touched by double-spend injection (the over-committing
-  /// party is excluded from their compliant sets, and Property 3 — which
-  /// assumes all parties compliant — is not asserted).
+  /// True for deals touched by injection (double-spend or offline party):
+  /// the deviating party is excluded from their compliant sets, and
+  /// Property 3 — which assumes all parties compliant — is not asserted.
   bool tainted = false;
   size_t parties = 0;
   size_t assets = 0;
@@ -121,7 +140,7 @@ struct TrafficDealRecord {
 struct TrafficViolation {
   size_t deal_index = 0;
   uint64_t seed = 0;
-  TrafficProtocol protocol = TrafficProtocol::kTimelock;
+  Protocol protocol = Protocol::kTimelock;
   std::string what;
 };
 
@@ -138,6 +157,7 @@ struct DoubleSpendIncident {
 
 struct TrafficReport {
   size_t num_deals = 0;
+  size_t cbc_shards = 1;
   size_t committed = 0;
   size_t aborted = 0;
   size_t mixed = 0;

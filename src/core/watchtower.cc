@@ -4,12 +4,14 @@ namespace xdeal {
 
 Watchtower::Watchtower(World* world, const DealSpec& spec,
                        const TimelockDeployment& deployment,
-                       PartyId operator_id, std::vector<PartyId> clients)
+                       PartyId operator_id, std::vector<PartyId> clients,
+                       uint64_t deal_tag)
     : world_(world),
       spec_(spec),
       deployment_(deployment),
       operator_id_(operator_id),
-      clients_(std::move(clients)) {}
+      clients_(std::move(clients)),
+      deal_tag_(deal_tag) {}
 
 TimelockEscrowContract* Watchtower::EscrowOfAsset(uint32_t asset) const {
   return world_->chain(spec_.assets[asset].chain)
@@ -58,7 +60,7 @@ void Watchtower::OnObservedReceipt(const Receipt& receipt) {
       vote.AppendTo(&w);
       world_->Submit(operator_id_, spec_.assets[b].chain,
                      deployment_.escrow_contracts[b],
-                     CallData{"commit", w.Take()}, "watchtower");
+                     CallData{"commit", w.Take()}, "watchtower", deal_tag_);
       ++relayed_;
     }
   }
@@ -78,7 +80,8 @@ void Watchtower::OnRefundWatch() {
     w.Raw(deployment_.info.deal_id.bytes.data(), 32);
     world_->Submit(operator_id_, spec_.assets[a].chain,
                    deployment_.escrow_contracts[a],
-                   CallData{"claimRefund", w.Take()}, "watchtower");
+                   CallData{"claimRefund", w.Take()}, "watchtower",
+                   deal_tag_);
   }
 }
 

@@ -30,9 +30,11 @@ class Watchtower {
   /// `operator_id` is the watchtower's own on-chain identity (any registered
   /// party; it needs no deal membership). `clients` are the parties whose
   /// deposits it guards for refund purposes; vote relaying helps everyone.
+  /// `deal_tag` labels the tower's transactions so multi-deal worlds can
+  /// attribute its gas to the deal it guards (0 = untagged).
   Watchtower(World* world, const DealSpec& spec,
              const TimelockDeployment& deployment, PartyId operator_id,
-             std::vector<PartyId> clients);
+             std::vector<PartyId> clients, uint64_t deal_tag = 0);
 
   /// Subscribes to every deal chain and schedules the refund watch.
   void Arm();
@@ -50,6 +52,7 @@ class Watchtower {
   TimelockDeployment deployment_;
   PartyId operator_id_;
   std::vector<PartyId> clients_;
+  uint64_t deal_tag_;
   std::set<std::pair<uint32_t, uint32_t>> relayed_votes_;  // (asset, voter)
   size_t relayed_ = 0;
 };

@@ -16,7 +16,7 @@ struct CbcRunOutput {
   CbcResult result;
   std::unique_ptr<DealChecker> checker;
   BrokerScenario scenario;
-  std::unique_ptr<ValidatorSet> validators;
+  std::unique_ptr<CbcService> service;
 };
 
 CbcRunOutput RunBrokerCbc(uint64_t seed, CbcRun::StrategyFactory factory,
@@ -25,11 +25,13 @@ CbcRunOutput RunBrokerCbc(uint64_t seed, CbcRun::StrategyFactory factory,
   CbcRunOutput out;
   out.scenario = MakeBrokerScenario(seed, std::move(net));
   auto& s = out.scenario;
-  ChainId cbc_chain = s.env->AddChain("cbc");
-  out.validators = std::make_unique<ValidatorSet>(
-      ValidatorSet::Create(f, "cbc-" + std::to_string(seed)));
-  CbcRun run(&s.env->world(), s.spec, config, cbc_chain,
-             out.validators.get(), std::move(factory));
+  CbcService::Options service_options;
+  service_options.f = f;
+  service_options.validator_seed = "cbc-" + std::to_string(seed);
+  out.service =
+      std::make_unique<CbcService>(&s.env->world(), service_options);
+  CbcRun run(&s.env->world(), s.spec, config, out.service.get(),
+             std::move(factory));
   EXPECT_TRUE(run.Start().ok());
   out.checker = std::make_unique<DealChecker>(
       &s.env->world(), s.spec, run.deployment().escrow_contracts);

@@ -148,10 +148,11 @@ TEST_P(CbcPropertySweep, AtomicityAndSafety) {
     gen.seed = seed * 1931;
     DealSpec spec = GenerateRandomDeal(&env, gen);
 
-    ChainId cbc_chain = env.AddChain("cbc");
-    ValidatorSet validators = ValidatorSet::Create(1, "sweep");
+    CbcService::Options service_options;
+    service_options.validator_seed = "sweep";
+    CbcService service(&env.world(), service_options);
     uint32_t deviant_party = spec.parties[c.deviant % spec.parties.size()].v;
-    CbcRun run(&env.world(), spec, CbcConfig{}, cbc_chain, &validators,
+    CbcRun run(&env.world(), spec, CbcConfig{}, &service,
                [&](PartyId p) -> std::unique_ptr<CbcParty> {
                  if (c.adversary_kind >= 0 && p.v == deviant_party) {
                    return MakeCbcAdversary(c.adversary_kind);

@@ -16,8 +16,8 @@ namespace {
 SweepAxes SmallAxes() {
   SweepAxes axes;
   axes.shapes = {{3, 2, 5, 2, 0}, {4, 3, 8, 2, 0}};
-  axes.protocols = {SweepProtocol::kTimelock, SweepProtocol::kCbc,
-                    SweepProtocol::kHtlc};
+  axes.protocols = {Protocol::kTimelock, Protocol::kCbc,
+                    Protocol::kHtlc};
   axes.adversaries = {SweepAdversary::kNone, SweepAdversary::kCrashAtCommit,
                       SweepAdversary::kVoteWithholding,
                       SweepAdversary::kCbcAlwaysAbort,
@@ -52,7 +52,7 @@ TEST(ScenarioMatrixTest, StableIndicesAndDerivedSeeds) {
 TEST(ScenarioMatrixTest, InapplicableCombinationsAreSkipped) {
   SweepAxes axes;
   axes.shapes = {{3, 2, 5, 2, 0}};
-  axes.protocols = {SweepProtocol::kTimelock};
+  axes.protocols = {Protocol::kTimelock};
   axes.adversaries = {SweepAdversary::kNone, SweepAdversary::kCbcAlwaysAbort};
   axes.networks = {SweepNetwork::kSynchronous, SweepNetwork::kPreGstAsync};
   std::vector<ScenarioSpec> specs = BuildScenarioMatrix(axes, 1);
@@ -85,8 +85,8 @@ TEST(ScenarioSweepTest, ReportBitIdenticalAcrossThreadCounts) {
 TEST(ScenarioSweepTest, HonestRunsAreConformant) {
   SweepAxes axes;
   axes.shapes = {{2, 1, 2, 1, 0}, {3, 2, 5, 2, 0}, {4, 3, 8, 3, 3}};
-  axes.protocols = {SweepProtocol::kTimelock, SweepProtocol::kCbc,
-                    SweepProtocol::kHtlc};
+  axes.protocols = {Protocol::kTimelock, Protocol::kCbc,
+                    Protocol::kHtlc};
   axes.adversaries = {SweepAdversary::kNone};
   axes.networks = {SweepNetwork::kSynchronous, SweepNetwork::kPostGstSync};
   axes.seeds_per_cell = 2;
@@ -104,7 +104,7 @@ TEST(ScenarioSweepTest, HonestRunsAreConformant) {
 TEST(ScenarioSweepTest, AdversariesNeverHurtCompliantParties) {
   SweepAxes axes;
   axes.shapes = {{4, 3, 8, 2, 0}};
-  axes.protocols = {SweepProtocol::kTimelock, SweepProtocol::kCbc};
+  axes.protocols = {Protocol::kTimelock, Protocol::kCbc};
   axes.adversaries = {
       SweepAdversary::kCrashAtEscrow, SweepAdversary::kCrashAtCommit,
       SweepAdversary::kVoteWithholding, SweepAdversary::kDoubleSpend,
@@ -130,7 +130,7 @@ TEST(ScenarioSweepTest, CbcPreGstAsynchronyStaysAtomicAndSafe) {
   // with or without a deviating party.
   SweepAxes axes;
   axes.shapes = {{3, 2, 5, 2, 0}, {4, 3, 8, 2, 0}};
-  axes.protocols = {SweepProtocol::kCbc};
+  axes.protocols = {Protocol::kCbc};
   axes.adversaries = {SweepAdversary::kNone, SweepAdversary::kCbcAlwaysAbort,
                       SweepAdversary::kCbcRescindRacer};
   axes.networks = {SweepNetwork::kPreGstAsync};
@@ -153,7 +153,7 @@ TEST(ScenarioSweepTest, SeededDosViolationCaughtWithReproducerSeed) {
   // Property 1.
   SweepAxes axes;
   axes.shapes = {{3, 2, 6, 2, 0}};
-  axes.protocols = {SweepProtocol::kTimelock};
+  axes.protocols = {Protocol::kTimelock};
   axes.adversaries = {SweepAdversary::kNone};
   axes.networks = {SweepNetwork::kDosWindow};
   axes.positions = {0, 1, 2};
@@ -194,7 +194,7 @@ TEST(ScenarioSweepTest, DefaultAxesMeetTheAcceptanceFloor) {
 
   // >= 4 distinct adversaries actually scheduled, across >= 2 protocols.
   std::set<SweepAdversary> adversaries;
-  std::set<SweepProtocol> protocols;
+  std::set<Protocol> protocols;
   for (const ScenarioSpec& sc : specs) {
     if (sc.adversary != SweepAdversary::kNone) adversaries.insert(sc.adversary);
     protocols.insert(sc.protocol);

@@ -178,7 +178,7 @@ TEST(TrafficEngineTest, TightBlockCapacityStretchesDeadlines) {
   options.num_chains = 2;
   options.block_capacity = 1;
   options.admission_gap = 5;
-  options.protocol_mix = {TrafficProtocol::kTimelock};
+  options.protocol_mix = {Protocol::kTimelock};
   TrafficReport report = RunTraffic(options);
 
   // Under this much congestion not every deal can commit on schedule.
@@ -201,9 +201,143 @@ TEST(TrafficEngineTest, TightBlockCapacityStretchesDeadlines) {
   }
 }
 
+TEST(TrafficEngineTest, LargeDeltaScalesCbcAbortPatience) {
+  // options.delta feeds both protocols' schedules now; a Δ above the stock
+  // CBC abort patience (400) must scale the patience up rather than make
+  // every CBC deal fail the §6 patience >= Δ precondition at deploy time.
+  TrafficOptions options = SmallOptions();
+  options.delta = 500;
+  TrafficReport report = RunTraffic(options);
+  EXPECT_EQ(report.committed, options.num_deals) << report.Summary();
+  EXPECT_TRUE(report.violations.empty()) << report.Summary();
+}
+
+TEST(TrafficEngineTest, SingleShardReproducesPreRedesignFingerprints) {
+  // Golden fingerprints captured from the pre-ProtocolDriver engine (PR 2's
+  // traffic_engine.cc, direct TimelockRun/CbcRun dispatch, single shared
+  // CBC chain). The redesign contract: with cbc_shards = 1 the new code
+  // path reproduces those reports bit-for-bit.
+  {
+    TrafficOptions options;
+    options.base_seed = 101;
+    options.num_deals = 40;
+    options.num_chains = 6;
+    TrafficReport report = RunTraffic(options);
+    EXPECT_EQ(report.fingerprint, 0xf2e05a9b400cccdeULL)
+        << report.Summary();
+    EXPECT_EQ(report.committed, 40u);
+    EXPECT_TRUE(report.violations.empty());
+  }
+  {
+    TrafficOptions options;
+    options.base_seed = 202;
+    options.num_deals = 30;
+    options.num_chains = 4;
+    options.protocol_mix = {Protocol::kCbc};
+    TrafficReport report = RunTraffic(options);
+    EXPECT_EQ(report.fingerprint, 0x0c2664eed3179051ULL)
+        << report.Summary();
+    EXPECT_EQ(report.committed, 30u);
+    EXPECT_TRUE(report.violations.empty());
+  }
+}
+
+TEST(TrafficEngineTest, ShardedCbcStaysConformantAndDeterministic) {
+  TrafficOptions options;
+  options.base_seed = 33;
+  options.num_deals = 32;
+  options.num_chains = 6;
+  options.cbc_shards = 4;
+  options.protocol_mix = {Protocol::kCbc};
+  TrafficReport report = RunTraffic(options);
+
+  EXPECT_EQ(report.cbc_shards, 4u);
+  EXPECT_EQ(report.committed, 32u) << report.Summary();
+  EXPECT_TRUE(report.violations.empty()) << report.Summary();
+  EXPECT_EQ(report.untagged_gas, 0u);
+
+  // Same options replay bit-for-bit, and validation thread counts still
+  // cannot change the report.
+  TrafficReport replay = RunTraffic(options);
+  EXPECT_EQ(replay.fingerprint, report.fingerprint);
+  options.num_threads = 8;
+  TrafficReport threaded = RunTraffic(options);
+  EXPECT_EQ(threaded.fingerprint, report.fingerprint);
+}
+
+TEST(TrafficEngineTest, ShardCountChangesTopologyNotOutcomes) {
+  // Different shard counts relocate the CBC logs (different fingerprints
+  // are expected — chain ids and observation interleavings move), but the
+  // workload must stay fully conformant at every S.
+  for (size_t shards : {1u, 2u, 8u}) {
+    TrafficOptions options;
+    options.base_seed = 44;
+    options.num_deals = 24;
+    options.num_chains = 4;
+    options.cbc_shards = shards;
+    options.protocol_mix = {Protocol::kCbc};
+    TrafficReport report = RunTraffic(options);
+    EXPECT_EQ(report.committed, 24u) << "shards=" << shards << "\n"
+                                     << report.Summary();
+    EXPECT_TRUE(report.violations.empty()) << "shards=" << shards;
+  }
+}
+
+TEST(TrafficEngineTest, OfflinePartyDealStrandedWithoutWatchtower) {
+  TrafficOptions options;
+  options.base_seed = 55;
+  options.num_deals = 8;
+  options.num_chains = 4;
+  options.protocol_mix = {Protocol::kTimelock};
+  options.offline_party_deals = {3};
+  TrafficReport report = RunTraffic(options);
+
+  // The offline escrower's deposit is stranded: nobody claims its refund,
+  // so deal 3 never fully settles. The deal is tainted (its own party
+  // deviated), so this is not a property violation — just locked value.
+  const TrafficDealRecord& rec = report.deals[3];
+  EXPECT_TRUE(rec.tainted);
+  EXPECT_FALSE(rec.committed) << report.Summary();
+  EXPECT_FALSE(rec.all_settled) << report.Summary();
+  EXPECT_TRUE(report.violations.empty()) << report.Summary();
+  // Untouched deals commit as usual.
+  for (const TrafficDealRecord& other : report.deals) {
+    if (!other.tainted) EXPECT_TRUE(other.committed);
+  }
+}
+
+TEST(TrafficEngineTest, WatchtowerRescuesOfflinePartyDealUnderTraffic) {
+  TrafficOptions options;
+  options.base_seed = 55;
+  options.num_deals = 8;
+  options.num_chains = 4;
+  options.protocol_mix = {Protocol::kTimelock};
+  options.offline_party_deals = {3};
+  options.watchtower_every = 1;  // every timelock deal guarded
+  TrafficReport report = RunTraffic(options);
+
+  // Same workload, but the tower claims the stranded refund on the dark
+  // party's behalf: the deal aborts cleanly and fully settles.
+  const TrafficDealRecord& rec = report.deals[3];
+  EXPECT_TRUE(rec.tainted);
+  EXPECT_TRUE(rec.aborted) << report.Summary();
+  EXPECT_TRUE(rec.all_settled) << report.Summary();
+  EXPECT_TRUE(report.violations.empty()) << report.Summary();
+  // Towers are harmless to the healthy deals, and their transactions are
+  // tagged to the deals they guard (no gas leaks out of the accounting).
+  EXPECT_EQ(report.untagged_gas, 0u);
+  for (const TrafficDealRecord& other : report.deals) {
+    if (!other.tainted) EXPECT_TRUE(other.committed) << other.index;
+  }
+
+  // Determinism holds with towers in play.
+  TrafficReport replay = RunTraffic(options);
+  EXPECT_EQ(replay.fingerprint, report.fingerprint);
+}
+
 TEST(TrafficEngineTest, ProtocolMixIsRespected) {
   TrafficOptions options = SmallOptions();
-  options.protocol_mix = {TrafficProtocol::kCbc};
+  options.protocol_mix = {Protocol::kCbc};
   TrafficReport report = RunTraffic(options);
   EXPECT_EQ(report.cbc_deals, options.num_deals);
   EXPECT_EQ(report.timelock_deals, 0u);
