@@ -5,6 +5,7 @@
 #ifndef XDEAL_BENCH_BENCH_UTIL_H_
 #define XDEAL_BENCH_BENCH_UTIL_H_
 
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
@@ -62,6 +63,11 @@ inline std::string JsonEscape(const std::string& s) {
 }
 
 inline std::string JsonNumber(double value) {
+  // JSON has no NaN/Infinity literals — "%g" would print `nan`/`inf` and
+  // every downstream parser (including the CI regression gate) would choke
+  // on the whole file. Degenerate measurements (a rate over a 0 ms wall
+  // time, a percentile of an empty set) serialize as 0 instead.
+  if (!std::isfinite(value)) return "0";
   char buf[64];
   // %.12g round-trips every value these benches emit (counts, ticks, ms)
   // without float noise like 0.30000000000000004.

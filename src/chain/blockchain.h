@@ -120,6 +120,16 @@ class Blockchain {
     return (t / block_interval_ + 1) * block_interval_;
   }
 
+  /// Transactions enqueued but not yet included in any block, across all
+  /// pending boundaries. This is the chain-occupancy signal admission
+  /// controllers read: under finite block capacity a deep queue here means
+  /// inclusion delay is already stretching toward protocol deadlines.
+  uint64_t pending_txs() const {
+    uint64_t pending = 0;
+    for (const auto& [boundary, txs] : mempool_) pending += txs.size();
+    return pending;
+  }
+
  private:
   struct PendingTx {
     uint64_t seq;

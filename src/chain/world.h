@@ -28,6 +28,7 @@ class World {
   World(uint64_t seed, std::unique_ptr<NetworkModel> net);
 
   Scheduler& scheduler() { return scheduler_; }
+  const Scheduler& scheduler() const { return scheduler_; }
   Rng& rng() { return rng_; }
   Tick now() const { return scheduler_.now(); }
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <functional>
 #include <map>
 #include <memory>
 #include <set>
@@ -31,18 +32,6 @@ T Percentile(std::vector<T> values, int p) {
   if (rank > values.size()) rank = values.size();
   return values[rank - 1];
 }
-
-/// One deal's full lifetime inside the shared World.
-struct DealSlot {
-  TrafficDealRecord rec;
-  DealSpec spec;
-  std::unique_ptr<DealRuntime> runtime;
-  std::unique_ptr<DealChecker> checker;
-  /// Set on deals touched by injection (double-spend or offline party): the
-  /// deviating party, excluded from this deal's compliant set.
-  bool has_adversary = false;
-  PartyId adversary;
-};
 
 /// Per-deal PartyFactory: injects the offline-party strategy and arms the
 /// watchtower through the uniform OnDeployed hook.
@@ -75,6 +64,21 @@ class TrafficPartyFactory : public PartyFactory {
     tower->Arm();
     towers->push_back(std::move(tower));
   }
+};
+
+/// One deal's full lifetime inside the shared World.
+struct DealSlot {
+  TrafficDealRecord rec;
+  DealSpec spec;
+  std::unique_ptr<DealRuntime> runtime;
+  std::unique_ptr<DealChecker> checker;
+  /// Configured at generation time; must outlive Deploy, which may fire from
+  /// an admission event mid-run, so it lives in the slot.
+  TrafficPartyFactory factory;
+  /// Set on deals touched by injection (double-spend or offline party): the
+  /// deviating party, excluded from this deal's compliant set.
+  bool has_adversary = false;
+  PartyId adversary;
 };
 
 void FillViolation(TrafficDealRecord* rec) {
@@ -110,9 +114,10 @@ void ValidateDeal(DealSlot* slot) {
   rec.all_settled = result.all_settled;
   rec.atomic = result.atomic;
   rec.settle_time = result.settle_time;
+  // Open-loop sojourn time: measured from arrival, so any admission wait
+  // the controller imposed is part of the latency the workload observed.
   rec.latency =
-      rec.settle_time > rec.admitted_at ? rec.settle_time - rec.admitted_at
-                                        : 0;
+      rec.settle_time > rec.arrival_at ? rec.settle_time - rec.arrival_at : 0;
 
   std::vector<PartyId> compliant = CompliantPartiesOf(*slot);
   rec.safety_ok = slot->checker->SafetyHolds(compliant);
@@ -302,16 +307,59 @@ TrafficReport RunTraffic(const TrafficOptions& options) {
   std::set<size_t> offline(options.offline_party_deals.begin(),
                            options.offline_party_deals.end());
 
-  // --- generation + admission: sequential by construction (mutates the
-  //     World), every deal's randomness from its own derived seed ---
+  // Arrival schedule: a pure function of (process, base_seed, mean gap) —
+  // computed up front so it is identical whether deals deploy eagerly or
+  // through admission events, and across any thread count.
+  std::vector<Tick> arrivals = BuildArrivalSchedule(
+      options.arrival, num_deals, options.base_seed,
+      options.arrival == ArrivalProcess::kFixedStagger
+          ? static_cast<double>(options.admission_gap)
+          : options.mean_interarrival);
+
   std::vector<DealSlot> slots(num_deals);
+
+  // Anchors slot d's schedule at `admit_time` and deploys it. On the legacy
+  // path this runs inline during generation (bit-compatible with the
+  // pre-admission engine); with the controller on it runs from an admission
+  // event mid-simulation.
+  auto deploy_deal = [&env, &slots, &options, &timelock_driver,
+                      &cbc_driver](size_t d, Tick admit_time) {
+    DealSlot& slot = slots[d];
+    TrafficDealRecord& rec = slot.rec;
+    rec.admitted_at = admit_time;
+
+    // One shifted schedule drives either protocol.
+    DealTimings timings = DealTimings::DefaultsFor(rec.protocol);
+    timings.ShiftBy(admit_time);
+    timings.delta = options.delta;
+    timings.deal_tag = static_cast<uint64_t>(d) + 1;
+
+    ProtocolDriver& driver = rec.protocol == Protocol::kCbc
+                                 ? static_cast<ProtocolDriver&>(*cbc_driver)
+                                 : timelock_driver;
+    slot.runtime = driver.CreateDeal(&env.world(), slot.spec, timings,
+                                     &slot.factory);
+    Status started = slot.runtime->Deploy();
+    if (!started.ok()) {
+      rec.violation = "start-failed: " + started.ToString();
+      return;
+    }
+    slot.checker = std::make_unique<DealChecker>(
+        &env.world(), slot.spec, slot.runtime->escrow_contracts());
+    slot.checker->CaptureInitial();
+    rec.started = true;
+  };
+
+  // --- generation: sequential by construction (mutates the World), every
+  //     deal's randomness from its own derived seed ---
   for (size_t d = 0; d < num_deals; ++d) {
     DealSlot& slot = slots[d];
     TrafficDealRecord& rec = slot.rec;
     rec.index = d;
     rec.seed = TrafficDealSeed(options.base_seed, d);
     rec.protocol = mix[d % mix.size()];
-    rec.admitted_at = static_cast<Tick>(d) * options.admission_gap;
+    rec.arrival_at = arrivals[d];
+    rec.admitted_at = arrivals[d];
     Rng rng(rec.seed);
 
     const bool inject =
@@ -356,7 +404,7 @@ TrafficReport RunTraffic(const TrafficOptions& options) {
     }
 
     // The per-deal factory: offline-party injection + watchtower arming.
-    TrafficPartyFactory factory;
+    TrafficPartyFactory& factory = slot.factory;
     if (offline.count(d) > 0 && !inject &&
         rec.protocol == Protocol::kTimelock && !slot.spec.escrows.empty()) {
       factory.offline = true;
@@ -374,26 +422,60 @@ TrafficReport RunTraffic(const TrafficOptions& options) {
       factory.towers = &towers;
     }
 
-    // One shifted schedule drives either protocol.
-    DealTimings timings = DealTimings::DefaultsFor(rec.protocol);
-    timings.ShiftBy(rec.admitted_at);
-    timings.delta = options.delta;
-    timings.deal_tag = static_cast<uint64_t>(d) + 1;
-
-    ProtocolDriver& driver = rec.protocol == Protocol::kCbc
-                                 ? static_cast<ProtocolDriver&>(*cbc_driver)
-                                 : timelock_driver;
-    slot.runtime = driver.CreateDeal(&env.world(), slot.spec, timings,
-                                     &factory);
-    Status started = slot.runtime->Deploy();
-    if (!started.ok()) {
-      rec.violation = "start-failed: " + started.ToString();
-      continue;
+    // Legacy path: no controller, deploy up front at the arrival time —
+    // the exact call sequence of the pre-admission engine, so fingerprints
+    // are preserved bit-for-bit.
+    if (!options.admission.enabled) {
+      deploy_deal(d, rec.admitted_at);
     }
-    slot.checker = std::make_unique<DealChecker>(
-        &env.world(), slot.spec, slot.runtime->escrow_contracts());
-    slot.checker->CaptureInitial();
-    rec.started = true;
+  }
+
+  // --- admission events: with the controller on, deployment itself moves
+  //     onto the scheduler. Each deal's arrival consults the controller
+  //     against live backlog/occupancy; over-threshold deals retry after a
+  //     delay quantum and are shed once out of retries. Events are created
+  //     in index order, so equal-time arrivals stay deterministic. ---
+  AdmissionController controller(options.admission, &env.world());
+  std::function<void(size_t)> admission_event;
+  // Arrival and retry events the engine itself has scheduled but that have
+  // not fired yet. They sit in the same event queue the controller reads as
+  // its backlog signal, so Decide() subtracts them — an open-loop generator
+  // must not mistake its own future arrivals for congestion.
+  size_t own_admission_events = 0;
+  if (options.admission.enabled) {
+    const Tick retry_delay =
+        options.admission.retry_delay > 0 ? options.admission.retry_delay : 1;
+    admission_event = [&env, &slots, &controller, &admission_event,
+                       &deploy_deal, &own_admission_events,
+                       retry_delay](size_t d) {
+      --own_admission_events;  // this event just fired
+      DealSlot& slot = slots[d];
+      TrafficDealRecord& rec = slot.rec;
+      AdmissionDecision decision =
+          controller.Decide(rec.admission_retries, own_admission_events);
+      if (decision == AdmissionDecision::kDelay) {
+        ++rec.admission_retries;
+        ++own_admission_events;
+        env.world().scheduler().ScheduleAfter(
+            retry_delay, [&admission_event, d] { admission_event(d); });
+        return;
+      }
+      Tick now = env.world().now();
+      if (decision == AdmissionDecision::kShed) {
+        rec.shed = true;
+        // The wait this deal's retries cost before the policy gave up.
+        rec.admission_wait = now - rec.arrival_at;
+        return;
+      }
+      rec.admission_wait = now - rec.arrival_at;
+      deploy_deal(d, now);
+    };
+    for (size_t d = 0; d < num_deals; ++d) {
+      if (slots[d].rec.protocol == Protocol::kHtlc) continue;  // no driver
+      ++own_admission_events;
+      env.world().scheduler().ScheduleAt(
+          arrivals[d], [&admission_event, d] { admission_event(d); });
+    }
   }
 
   // --- drive: one deterministic scheduler interleaves every deal's phases.
@@ -449,6 +531,11 @@ TrafficReport RunTraffic(const TrafficOptions& options) {
   report.max_backlog = peak_backlog;
   report.peak_backlog_at = peak_backlog_at;
 
+  // The legacy fold is kept byte-identical in legacy mode; open-loop /
+  // admission-controlled runs additionally fold every deal's admission fate
+  // so a changed schedule or policy can never alias an old fingerprint.
+  const bool open_loop_fp = options.arrival != ArrivalProcess::kFixedStagger ||
+                            options.admission.enabled;
   std::vector<Tick> latencies;
   std::vector<uint64_t> gas_values;
   uint64_t fp = 0x452821E638D01377ULL;
@@ -462,6 +549,11 @@ TrafficReport RunTraffic(const TrafficOptions& options) {
     if (rec.committed) ++report.committed;
     if (rec.aborted) ++report.aborted;
     if (rec.mixed) ++report.mixed;
+    if (rec.shed) ++report.shed;
+    if (rec.admitted_at > rec.arrival_at) ++report.delayed_deals;
+    report.admission_retries += rec.admission_retries;
+    report.max_admission_wait =
+        std::max(report.max_admission_wait, rec.admission_wait);
     report.total_gas += rec.gas;
     report.total_messages += rec.messages;
     report.makespan = std::max(report.makespan, rec.settle_time);
@@ -492,6 +584,14 @@ TrafficReport RunTraffic(const TrafficOptions& options) {
     fp = MixFingerprint(fp, rec.messages);
     fp = MixFingerprint(fp, rec.settle_time);
     fp = MixFingerprint(fp, FingerprintString(rec.violation));
+    if (open_loop_fp) {
+      fp = MixFingerprint(fp, rec.arrival_at);
+      fp = MixFingerprint(fp, rec.admitted_at);
+      fp = MixFingerprint(fp, static_cast<uint64_t>(rec.shed) |
+                                  static_cast<uint64_t>(rec.admission_retries)
+                                      << 1);
+      fp = MixFingerprint(fp, rec.admission_wait);
+    }
   }
 
   report.latency_p50 = Percentile(latencies, 50);
@@ -503,6 +603,16 @@ TrafficReport RunTraffic(const TrafficOptions& options) {
     report.deals_per_ktick =
         1000.0 * static_cast<double>(report.committed) /
         static_cast<double>(report.makespan);
+  }
+  // Offered load: (D-1) inter-arrival gaps over the arrival window.
+  if (num_deals > 1 && arrivals.back() > arrivals.front()) {
+    report.offered_per_ktick =
+        1000.0 * static_cast<double>(num_deals - 1) /
+        static_cast<double>(arrivals.back() - arrivals.front());
+  }
+  if (options.admission.enabled) {
+    report.peak_backlog_seen = controller.stats().peak_backlog_seen;
+    report.peak_occupancy_seen = controller.stats().peak_occupancy_seen;
   }
 
   fp = MixFingerprint(fp, untagged_gas);
@@ -532,11 +642,23 @@ std::string TrafficReport::Summary() const {
       cbc_shards == 1 ? "" : "s", committed, aborted, mixed,
       violations.size(), double_spends.size());
   s += line;
+  if (shed + delayed_deals + admission_retries > 0) {
+    std::snprintf(
+        line, sizeof(line),
+        "admission: shed=%zu delayed=%zu retries=%zu max_wait=%llu ticks, "
+        "peak backlog=%zu, peak chain occupancy=%llu\n",
+        shed, delayed_deals, admission_retries,
+        static_cast<unsigned long long>(max_admission_wait),
+        peak_backlog_seen,
+        static_cast<unsigned long long>(peak_occupancy_seen));
+    s += line;
+  }
   std::snprintf(
       line, sizeof(line),
-      "makespan=%llu ticks, %.2f committed deals/ktick, latency "
-      "p50/p90/p99 = %llu/%llu/%llu ticks\n",
-      static_cast<unsigned long long>(makespan), deals_per_ktick,
+      "makespan=%llu ticks, offered %.2f arrivals/ktick, goodput %.2f "
+      "committed deals/ktick, latency p50/p90/p99 = %llu/%llu/%llu ticks\n",
+      static_cast<unsigned long long>(makespan), offered_per_ktick,
+      deals_per_ktick,
       static_cast<unsigned long long>(latency_p50),
       static_cast<unsigned long long>(latency_p90),
       static_cast<unsigned long long>(latency_p99));

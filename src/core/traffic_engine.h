@@ -2,9 +2,10 @@
 //
 // Where ScenarioSweep runs every scenario in its own World, the traffic
 // engine generates D deals (mixed shapes and protocols via deal_gen) that
-// all live in ONE World, multiplexed over a shared pool of chains. Deals are
-// admitted on a staggered schedule and their protocol phases interleave on
-// the single deterministic scheduler, so the engine sees cross-deal
+// all live in ONE World, multiplexed over a shared pool of chains. Deals
+// arrive on a schedule — the legacy fixed stagger, or an open-loop seeded
+// Poisson process (core/admission.h) — and their protocol phases interleave
+// on the single deterministic scheduler, so the engine sees cross-deal
 // interference a single-deal sweep cannot: many escrows contending on one
 // chain, block-capacity queueing that stretches timelock deadlines, gas
 // accounting across deals, and double-spend pressure where one party
@@ -26,13 +27,23 @@
 // (a party whose escrow pull failed in one deal while the same token funded
 // its escrow in another).
 //
+// With the admission controller enabled the engine becomes an open-loop
+// load generator with backpressure: deal deployment moves onto the
+// scheduler itself, and each arrival event consults an AdmissionController
+// against live scheduler backlog and chain occupancy. Over-threshold deals
+// are delayed for a retry quantum and eventually shed; every deal's fate
+// (arrival vs admission time, retries, shed) lands in its record so the
+// report charts what the policy cost and what it saved.
+//
 // Determinism contract (matches ScenarioSweep): the simulation itself is
 // single-threaded and seed-driven; worker threads only parallelize the
 // post-run per-deal validation, writing into per-deal slots that are folded
 // in index order. A TrafficReport is therefore bit-identical across thread
 // counts, and re-running the same options + base_seed replays every
 // violation and incident exactly. With cbc_shards = 1 the engine reproduces
-// the pre-sharding fingerprints bit-for-bit.
+// the pre-sharding fingerprints bit-for-bit, and with the default
+// kFixedStagger arrivals + controller off it reproduces the pre-admission
+// fingerprints bit-for-bit (deals deploy up front exactly as before).
 
 #ifndef XDEAL_CORE_TRAFFIC_ENGINE_H_
 #define XDEAL_CORE_TRAFFIC_ENGINE_H_
@@ -41,6 +52,7 @@
 #include <string>
 #include <vector>
 
+#include "core/admission.h"
 #include "core/protocol_driver.h"
 #include "sim/scheduler.h"
 
@@ -62,9 +74,26 @@ struct TrafficOptions {
   uint64_t block_capacity = 0;
   Tick block_interval = 10;
   /// Deal i is admitted (its phase schedule shifted) at i * admission_gap.
+  /// Under kFixedStagger this IS the arrival schedule; under kPoisson it is
+  /// ignored in favour of mean_interarrival.
   Tick admission_gap = 20;
   /// The timelock protocol's synchrony bound Δ.
   Tick delta = 120;
+
+  // --- open-loop arrivals + admission control ---
+  /// How arrival times are generated. The default reproduces the legacy
+  /// fixed stagger bit-for-bit; kPoisson turns the engine into an open-loop
+  /// load generator with seeded exponential inter-arrival times.
+  ArrivalProcess arrival = ArrivalProcess::kFixedStagger;
+  /// Mean inter-arrival gap in ticks for kPoisson (arrival rate λ =
+  /// 1000 / mean_interarrival deals per kilotick).
+  double mean_interarrival = 20.0;
+  /// Backpressure policy. When enabled, deal deployment moves onto the
+  /// scheduler: each deal's arrival fires an admission event that consults
+  /// the controller against live scheduler backlog / chain occupancy and
+  /// admits, delays, or sheds the deal. When disabled, every deal deploys
+  /// up front at its arrival time (the legacy bit-compatible path).
+  AdmissionOptions admission;
 
   // --- per-deal shape ranges, drawn from the deal's derived seed ---
   size_t min_parties = 2;
@@ -109,7 +138,17 @@ struct TrafficDealRecord {
   size_t index = 0;
   uint64_t seed = 0;
   Protocol protocol = Protocol::kTimelock;
+  /// When the deal arrived (open-loop offered load). Equals admitted_at
+  /// unless the admission controller delayed it.
+  Tick arrival_at = 0;
+  /// When the deal was actually admitted (its phase schedule's origin).
   Tick admitted_at = 0;
+  /// Admission fate: a shed deal was never deployed (started stays false).
+  bool shed = false;
+  /// How many times the controller delayed this deal before admitting
+  /// (or shedding) it, and the total wait that cost.
+  size_t admission_retries = 0;
+  Tick admission_wait = 0;
   /// True for deals touched by injection (double-spend or offline party):
   /// the deviating party is excluded from their compliant sets, and
   /// Property 3 — which assumes all parties compliant — is not asserted.
@@ -131,7 +170,9 @@ struct TrafficDealRecord {
   uint64_t gas = 0;       // receipts submitted by this deal, per deal_tag
   uint64_t messages = 0;  // transaction receipts carrying this deal's tag
   Tick settle_time = 0;   // absolute tick of the last settlement
-  Tick latency = 0;       // settle_time - admitted_at (0 if never settled)
+  /// settle_time - arrival_at (0 if never settled): open-loop sojourn time,
+  /// including any admission wait the controller imposed.
+  Tick latency = 0;
   std::string violation;  // empty = conformant
 };
 
@@ -164,6 +205,14 @@ struct TrafficReport {
   size_t timelock_deals = 0;
   size_t cbc_deals = 0;
 
+  // Admission-control outcome (all zero when the controller is disabled).
+  size_t shed = 0;           // deals never deployed (load the policy refused)
+  size_t delayed_deals = 0;  // deals admitted later than they arrived
+  size_t admission_retries = 0;  // total delay events across all deals
+  Tick max_admission_wait = 0;
+  size_t peak_backlog_seen = 0;       // worst congestion the controller
+  uint64_t peak_occupancy_seen = 0;   // sampled at its decision points
+
   uint64_t total_gas = 0;
   uint64_t total_messages = 0;
   /// Gas from receipts carrying no deal tag. Zero means per-deal gas
@@ -184,8 +233,12 @@ struct TrafficReport {
   Tick latency_p99 = 0;
   uint64_t gas_p50 = 0;
   uint64_t gas_p99 = 0;
-  /// Committed deals per 1000 simulated ticks of makespan.
+  /// Committed deals per 1000 simulated ticks of makespan (goodput: shed
+  /// and violating deals don't count — only commits do).
   double deals_per_ktick = 0.0;
+  /// Arrivals per 1000 simulated ticks over the arrival window (offered
+  /// load; compare against deals_per_ktick to see what the system kept).
+  double offered_per_ktick = 0.0;
 
   std::vector<TrafficDealRecord> deals;
   std::vector<TrafficViolation> violations;

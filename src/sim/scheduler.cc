@@ -7,14 +7,20 @@ namespace xdeal {
 void Scheduler::ScheduleAt(Tick t, Callback fn) {
   if (t < now_) t = now_;
   queue_.push(Event{t, next_seq_++, std::move(fn)});
-  if (queue_.size() > stats_.max_pending) stats_.max_pending = queue_.size();
+  if (queue_.size() > stats_.max_pending) {
+    stats_.max_pending = queue_.size();
+    stats_.max_pending_at = now_;
+  }
 }
 
 void Scheduler::ScheduleAfter(Tick delay, Callback fn) {
   // Saturating add: kTickMax means "never" and must not wrap.
   Tick t = (delay > kTickMax - now_) ? kTickMax : now_ + delay;
   queue_.push(Event{t, next_seq_++, std::move(fn)});
-  if (queue_.size() > stats_.max_pending) stats_.max_pending = queue_.size();
+  if (queue_.size() > stats_.max_pending) {
+    stats_.max_pending = queue_.size();
+    stats_.max_pending_at = now_;
+  }
 }
 
 bool Scheduler::Step() {

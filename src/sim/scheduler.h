@@ -27,6 +27,7 @@ constexpr Tick kTickMax = ~static_cast<Tick>(0);
 struct SchedulerStats {
   uint64_t executed = 0;    // events run so far
   size_t max_pending = 0;   // high-water mark of the event queue
+  Tick max_pending_at = 0;  // sim time when the high-water mark was set
 };
 
 /// Deterministic event loop.

@@ -1,0 +1,226 @@
+// The BENCH_*.json report writer must emit strictly valid JSON no matter
+// what strings or doubles the benches feed it: the CI regression gate and
+// any downstream dashboard parse these files with stock parsers, so one
+// unescaped quote or a bare `inf` poisons the whole artifact.
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <string>
+
+#include "bench/bench_util.h"
+
+namespace xdeal {
+namespace {
+
+// --- a tiny strict JSON validator (RFC 8259 grammar, no extensions) ---
+
+class JsonValidator {
+ public:
+  explicit JsonValidator(const std::string& text) : s_(text) {}
+
+  bool Valid() {
+    Ws();
+    if (!Value()) return false;
+    Ws();
+    return pos_ == s_.size();
+  }
+
+ private:
+  bool Value() {
+    if (pos_ >= s_.size()) return false;
+    switch (s_[pos_]) {
+      case '{': return Object();
+      case '[': return Array();
+      case '"': return String();
+      case 't': return Literal("true");
+      case 'f': return Literal("false");
+      case 'n': return Literal("null");
+      default: return Number();
+    }
+  }
+
+  bool Object() {
+    ++pos_;  // '{'
+    Ws();
+    if (Peek() == '}') { ++pos_; return true; }
+    while (true) {
+      Ws();
+      if (!String()) return false;
+      Ws();
+      if (Peek() != ':') return false;
+      ++pos_;
+      Ws();
+      if (!Value()) return false;
+      Ws();
+      if (Peek() == ',') { ++pos_; continue; }
+      if (Peek() == '}') { ++pos_; return true; }
+      return false;
+    }
+  }
+
+  bool Array() {
+    ++pos_;  // '['
+    Ws();
+    if (Peek() == ']') { ++pos_; return true; }
+    while (true) {
+      Ws();
+      if (!Value()) return false;
+      Ws();
+      if (Peek() == ',') { ++pos_; continue; }
+      if (Peek() == ']') { ++pos_; return true; }
+      return false;
+    }
+  }
+
+  bool String() {
+    if (Peek() != '"') return false;
+    ++pos_;
+    while (pos_ < s_.size()) {
+      unsigned char c = static_cast<unsigned char>(s_[pos_]);
+      if (c == '"') { ++pos_; return true; }
+      if (c < 0x20) return false;  // raw control char: invalid
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= s_.size()) return false;
+        char e = s_[pos_];
+        if (e == 'u') {
+          for (int i = 1; i <= 4; ++i) {
+            if (pos_ + i >= s_.size() ||
+                !std::isxdigit(static_cast<unsigned char>(s_[pos_ + i]))) {
+              return false;
+            }
+          }
+          pos_ += 4;
+        } else if (e != '"' && e != '\\' && e != '/' && e != 'b' &&
+                   e != 'f' && e != 'n' && e != 'r' && e != 't') {
+          return false;
+        }
+      }
+      ++pos_;
+    }
+    return false;  // unterminated
+  }
+
+  bool Number() {
+    size_t start = pos_;
+    if (Peek() == '-') ++pos_;
+    if (!Digits()) return false;
+    if (Peek() == '.') {
+      ++pos_;
+      if (!Digits()) return false;
+    }
+    if (Peek() == 'e' || Peek() == 'E') {
+      ++pos_;
+      if (Peek() == '+' || Peek() == '-') ++pos_;
+      if (!Digits()) return false;
+    }
+    return pos_ > start;
+  }
+
+  bool Digits() {
+    size_t start = pos_;
+    while (pos_ < s_.size() &&
+           std::isdigit(static_cast<unsigned char>(s_[pos_]))) {
+      ++pos_;
+    }
+    return pos_ > start;
+  }
+
+  bool Literal(const char* lit) {
+    for (const char* p = lit; *p != '\0'; ++p, ++pos_) {
+      if (pos_ >= s_.size() || s_[pos_] != *p) return false;
+    }
+    return true;
+  }
+
+  void Ws() {
+    while (pos_ < s_.size() &&
+           (s_[pos_] == ' ' || s_[pos_] == '\n' || s_[pos_] == '\t' ||
+            s_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  char Peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
+
+  const std::string& s_;
+  size_t pos_ = 0;
+};
+
+TEST(BenchJsonTest, EscapesQuotesBackslashesAndControlChars) {
+  EXPECT_EQ(bench::JsonEscape("plain"), "plain");
+  EXPECT_EQ(bench::JsonEscape("say \"hi\""), "say \\\"hi\\\"");
+  EXPECT_EQ(bench::JsonEscape("a\\b"), "a\\\\b");
+  EXPECT_EQ(bench::JsonEscape("line1\nline2"), "line1\\nline2");
+  EXPECT_EQ(bench::JsonEscape("tab\there"), "tab\\there");
+  EXPECT_EQ(bench::JsonEscape("cr\rend"), "cr\\rend");
+  EXPECT_EQ(bench::JsonEscape(std::string("nul\x01mid")), "nul\\u0001mid");
+  EXPECT_EQ(bench::JsonEscape(std::string(1, '\x1f')), "\\u001f");
+}
+
+TEST(BenchJsonTest, NumbersAreAlwaysValidJson) {
+  EXPECT_EQ(bench::JsonNumber(1.5), "1.5");
+  EXPECT_EQ(bench::JsonNumber(0.0), "0");
+  EXPECT_EQ(bench::JsonNumber(-3.0), "-3");
+  // Non-finite doubles have no JSON spelling; they degrade to 0 rather
+  // than corrupting the file.
+  EXPECT_EQ(bench::JsonNumber(1.0 / 0.0), "0");
+  EXPECT_EQ(bench::JsonNumber(-1.0 / 0.0), "0");
+  EXPECT_EQ(bench::JsonNumber(0.0 / 0.0), "0");
+  // And %.12g does not emit float noise.
+  EXPECT_EQ(bench::JsonNumber(0.1 + 0.2), "0.3");
+}
+
+TEST(BenchJsonTest, HostileStringsStillProduceParseableReports) {
+  bench::JsonReport report("bench \"quoted\\name\"\n");
+  report.AddConfig("path", "C:\\temp\\run \"final\"");
+  report.AddConfig("note", std::string("ctrl\x02\x1f\ttab"));
+  report.AddConfig("count", static_cast<uint64_t>(42));
+  report.AddConfig("rate", 12.5);
+  report.AddConfig("bad_rate", 1.0 / 0.0);
+  report.AddMetric("lat\"p99\"", 1e9, "ti\\cks",
+                   {{"la\nbel", "va\"lue\\"}, {"plain", "ok"}});
+  report.AddMetric("nan_metric", 0.0 / 0.0, "x");
+  report.AddMetric("no_unit_no_labels", 7);
+
+  std::string json = report.ToJson();
+  JsonValidator validator(json);
+  EXPECT_TRUE(validator.Valid()) << json;
+  // The escapes really are escapes, not stripped content.
+  EXPECT_NE(json.find("C:\\\\temp\\\\run \\\"final\\\""), std::string::npos);
+  EXPECT_NE(json.find("\\u0002"), std::string::npos);
+}
+
+TEST(BenchJsonTest, WellFormedReportValidatesAndKeepsSchema) {
+  bench::JsonReport report("bench_traffic");
+  report.AddConfig("base_seed", static_cast<uint64_t>(1));
+  bench::JsonReport::Labels labels = {{"deals", "100"}, {"threads", "8"}};
+  report.AddMetric("deals_per_sec", 1234.5, "1/s", labels);
+  report.AddMetric("conformance_ok", 1);
+
+  std::string json = report.ToJson();
+  EXPECT_TRUE(JsonValidator(json).Valid()) << json;
+  EXPECT_NE(json.find("\"bench\": \"bench_traffic\""), std::string::npos);
+  EXPECT_NE(json.find("\"git_rev\""), std::string::npos);
+  EXPECT_NE(json.find("\"metrics\""), std::string::npos);
+  EXPECT_NE(json.find("\"labels\": {\"deals\": \"100\", \"threads\": "
+                      "\"8\"}"),
+            std::string::npos);
+}
+
+TEST(BenchJsonTest, ValidatorRejectsActualGarbage) {
+  // Sanity-check the checker itself so the suite can trust it.
+  EXPECT_FALSE(JsonValidator("{\"a\": inf}").Valid());
+  EXPECT_FALSE(JsonValidator("{\"a\": nan}").Valid());
+  EXPECT_FALSE(JsonValidator("{\"a\": \"unterminated}").Valid());
+  EXPECT_FALSE(JsonValidator(std::string("{\"a\": \"raw\nnewline\"}"))
+                   .Valid());
+  EXPECT_FALSE(JsonValidator("{\"a\": 1,}").Valid());
+  EXPECT_FALSE(JsonValidator("{\"a\" 1}").Valid());
+  EXPECT_TRUE(JsonValidator("{\"a\": [1, 2.5, -3e4, \"s\", true, null]}")
+                  .Valid());
+}
+
+}  // namespace
+}  // namespace xdeal

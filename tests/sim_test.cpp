@@ -75,6 +75,26 @@ TEST(SchedulerTest, StepReturnsFalseWhenEmpty) {
   EXPECT_FALSE(sched.Step());
 }
 
+TEST(SchedulerTest, StatsTrackHighWaterMarkAndWhenItWasSet) {
+  Scheduler sched;
+  // Three events pre-run: high-water 3, set while now() was still 0.
+  for (Tick t = 10; t <= 30; t += 10) {
+    sched.ScheduleAt(t, [] {});
+  }
+  EXPECT_EQ(sched.stats().max_pending, 3u);
+  EXPECT_EQ(sched.stats().max_pending_at, 0u);
+
+  // An event at t=40 that fans out five more. By the time it runs the queue
+  // has drained, so the five adds push the high-water to 5 — stamped at 40.
+  sched.ScheduleAt(40, [&sched] {
+    for (int i = 0; i < 5; ++i) sched.ScheduleAfter(1, [] {});
+  });
+  sched.Run();
+  EXPECT_EQ(sched.stats().max_pending, 5u);
+  EXPECT_EQ(sched.stats().max_pending_at, 40u);
+  EXPECT_EQ(sched.stats().executed, 9u);
+}
+
 TEST(SchedulerTest, SaturatingScheduleAfter) {
   Scheduler sched;
   bool fired = false;

@@ -1,0 +1,215 @@
+#!/usr/bin/env python3
+"""Bench-trajectory regression gate for the BENCH_*.json artifacts.
+
+The bench binaries (bench_traffic, bench_sweep) emit machine-readable
+reports; this tool diffs a fresh set against the committed baseline so CI
+holds the line on the performance trajectory instead of merely archiving
+it.
+
+Usage:
+  # CI / local gate: fail on regressions against the committed baseline.
+  python3 tools/bench_gate.py check --baseline BENCH_baseline.json \
+      BENCH_traffic.json BENCH_sweep.json
+
+  # One-command re-baseline after an intentional perf/behaviour change:
+  python3 tools/bench_gate.py rebaseline --out BENCH_baseline.json \
+      BENCH_traffic.json BENCH_sweep.json
+
+Metric policy (classified by name, see classify()):
+
+  exact          conformance counters and swept frontier/knee positions
+                 (committed, violations, shed, knee rate, min safe delta,
+                 conformance_ok). All simulated — any drift is a real
+                 behaviour change and must be an intentional re-baseline.
+  lower_better   simulated latencies and gas costs: fail when the fresh
+                 value exceeds baseline * (1 + tolerance).
+  higher_better  simulated throughput (deals/goodput per kilotick): fail
+                 when the fresh value drops below baseline * (1 - tol).
+  wall           wall-clock rates and times (wall_ms, *_per_sec, speedup).
+                 Machine-dependent, so skipped by default; --include-wall
+                 gates them with the looser --wall-tolerance (a committed
+                 baseline from one host is only advisory on another).
+  info           everything else: carried in the baseline for reference,
+                 never gated.
+
+The default tolerance is 0.15: CI fails on a >15% regression in any gated
+throughput/latency metric. Simulated metrics are deterministic for a given
+seed, so the gate cannot flap on a noisy runner — if it fires, the code
+changed the trajectory.
+"""
+
+import argparse
+import json
+import sys
+
+TOLERANCE = 0.15
+WALL_TOLERANCE = 0.50
+
+
+def classify(name):
+    if "wall_ms" in name or name.endswith("_per_sec") or \
+            name in ("speedup", "shard_speedup"):
+        return "wall"
+    if name == "conformance_ok" or name.endswith("committed") or \
+            name.endswith("violations") or name.endswith("_shed") or \
+            name.endswith("knee_rate") or name.endswith("min_safe_delta"):
+        return "exact"
+    if "latency" in name or "gas" in name:
+        return "lower_better"
+    if name.endswith("per_ktick"):
+        return "higher_better"
+    return "info"
+
+
+def metric_key(bench, metric):
+    labels = metric.get("labels", {})
+    return (bench, metric["name"], tuple(sorted(labels.items())))
+
+
+def load_fresh(paths):
+    metrics = {}
+    for path in paths:
+        with open(path) as f:
+            report = json.load(f)
+        bench = report.get("bench", path)
+        for metric in report.get("metrics", []):
+            metrics[metric_key(bench, metric)] = float(metric["value"])
+    return metrics
+
+
+def fmt_key(key):
+    bench, name, labels = key
+    label_str = ",".join(f"{k}={v}" for k, v in labels)
+    return f"{bench}:{name}" + (f"[{label_str}]" if label_str else "")
+
+
+def rebaseline(args):
+    entries = []
+    git_rev = "unknown"
+    for path in args.files:
+        with open(path) as f:
+            report = json.load(f)
+        git_rev = report.get("git_rev", git_rev)
+        bench = report.get("bench", path)
+        for metric in report.get("metrics", []):
+            entries.append({
+                "bench": bench,
+                "name": metric["name"],
+                "labels": metric.get("labels", {}),
+                "unit": metric.get("unit", ""),
+                "value": float(metric["value"]),
+            })
+    baseline = {
+        "schema": 1,
+        "comment": "Committed bench baseline. Regenerate with: "
+                   "python3 tools/bench_gate.py rebaseline "
+                   "--out BENCH_baseline.json BENCH_traffic.json "
+                   "BENCH_sweep.json",
+        "generated_from_git_rev": git_rev,
+        "metrics": entries,
+    }
+    with open(args.out, "w") as f:
+        json.dump(baseline, f, indent=1)
+        f.write("\n")
+    gated = sum(1 for e in entries if classify(e["name"]) in
+                ("exact", "lower_better", "higher_better"))
+    print(f"wrote {args.out}: {len(entries)} metrics "
+          f"({gated} gated, rest wall/info)")
+    return 0
+
+
+def check(args):
+    with open(args.baseline) as f:
+        baseline = json.load(f)
+    fresh = load_fresh(args.files)
+
+    failures = []
+    checked = 0
+    skipped_wall = 0
+    for entry in baseline.get("metrics", []):
+        name = entry["name"]
+        cls = classify(name)
+        if cls == "info":
+            continue
+        if cls == "wall" and not args.include_wall:
+            skipped_wall += 1
+            continue
+        key = metric_key(entry["bench"], entry)
+        base = float(entry["value"])
+        if key not in fresh:
+            failures.append((key, base, None, "missing from fresh run"))
+            continue
+        value = fresh[key]
+        checked += 1
+        if cls == "exact":
+            if value != base:
+                failures.append((key, base, value, "exact-match metric "
+                                 "changed (intentional? re-baseline)"))
+        elif cls == "lower_better":
+            if value > base * (1.0 + args.tolerance) + 1e-9:
+                failures.append((key, base, value,
+                                 f"regressed >{args.tolerance:.0%} (higher "
+                                 "is worse)"))
+        elif cls == "higher_better":
+            if value < base * (1.0 - args.tolerance) - 1e-9:
+                failures.append((key, base, value,
+                                 f"regressed >{args.tolerance:.0%} (lower "
+                                 "is worse)"))
+        elif cls == "wall":
+            if value > base * (1.0 + args.wall_tolerance) + 1e-9 and \
+                    "_per_sec" not in name and "speedup" not in name:
+                failures.append((key, base, value, "wall-clock regression"))
+            elif ("_per_sec" in name or "speedup" in name) and \
+                    value < base * (1.0 - args.wall_tolerance) - 1e-9:
+                failures.append((key, base, value, "wall-clock regression"))
+
+    new = [k for k in fresh if k not in
+           {metric_key(e["bench"], e) for e in baseline.get("metrics", [])}]
+
+    print(f"bench gate: {checked} metrics checked against "
+          f"{args.baseline} (tolerance {args.tolerance:.0%}, "
+          f"{skipped_wall} wall-clock metrics skipped"
+          f"{'' if args.include_wall else ' — use --include-wall to gate them'})")
+    if new:
+        print(f"  note: {len(new)} fresh metrics not in the baseline "
+              f"(re-baseline to start tracking them), e.g. "
+              f"{fmt_key(new[0])}")
+    if failures:
+        print(f"\nFAILED: {len(failures)} regression(s):")
+        for key, base, value, why in failures:
+            shown = "absent" if value is None else f"{value:g}"
+            print(f"  {fmt_key(key)}: baseline {base:g} -> {shown}  ({why})")
+        print("\nIf this change is intentional, re-baseline with:\n"
+              "  python3 tools/bench_gate.py rebaseline --out "
+              "BENCH_baseline.json " + " ".join(args.files))
+        return 1
+    print("OK: no regressions against the baseline")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_check = sub.add_parser("check", help="diff fresh reports vs baseline")
+    p_check.add_argument("--baseline", required=True)
+    p_check.add_argument("--tolerance", type=float, default=TOLERANCE)
+    p_check.add_argument("--wall-tolerance", type=float,
+                         default=WALL_TOLERANCE)
+    p_check.add_argument("--include-wall", action="store_true",
+                         help="also gate machine-dependent wall-clock "
+                              "metrics")
+    p_check.add_argument("files", nargs="+")
+    p_check.set_defaults(func=check)
+
+    p_re = sub.add_parser("rebaseline", help="write a new baseline")
+    p_re.add_argument("--out", required=True)
+    p_re.add_argument("files", nargs="+")
+    p_re.set_defaults(func=rebaseline)
+
+    args = parser.parse_args()
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
