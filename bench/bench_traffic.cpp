@@ -30,6 +30,17 @@
 //                  per-capacity min-safe-Δ; gates on the two corner cells
 //                  (ample capacity safe, starved capacity unsafe).
 //
+//   broker sweep   (brokers × working capital × λ) on a fully brokered
+//                  open-loop workload with FIXED ample chain capacity and
+//                  the admission controller gating ONLY on broker capital/
+//                  inventory occupancy: the knee this section charts is
+//                  where working capital, not chain capacity, becomes the
+//                  bottleneck (per-cell P99, goodput, sheds/delays, and a
+//                  per-(B, λ) knee capital — the largest swept capital at
+//                  which the gate had to shed). Gated on the ample corner
+//                  being clean, scarcity degrading P99/goodput, and zero
+//                  broker portfolio violations anywhere.
+//
 // A fifth mode, --soak=N, replaces all sections with one long open-loop
 // run (controller on) gated on full conformance and cross-thread-count
 // fingerprint equality; the nightly workflow runs it at N=5000.
@@ -43,6 +54,9 @@
 //                       [--frontier_caps=2,3,4,6,8]
 //                       [--frontier_deltas=120,240,480,960]
 //                       [--frontier_deals=60]
+//                       [--broker_counts=4,8]
+//                       [--broker_capitals=3200,1600,800,400]
+//                       [--broker_rates=40,80] [--broker_deals=240]
 //                       [--soak=5000]
 //                       [--json=BENCH_traffic.json] [--seed=1]
 
@@ -488,6 +502,171 @@ bool RunFrontier(int argc, char** argv, uint64_t base_seed,
 }
 
 // ---------------------------------------------------------------------------
+// Section 5: broker capital-contention sweep — (brokers × capital × λ) on a
+// fully brokered workload; chain capacity is fixed and ample, so the knee
+// this section locates is where WORKING CAPITAL becomes the bottleneck.
+// ---------------------------------------------------------------------------
+bool RunBrokerSweep(int argc, char** argv, uint64_t base_seed,
+                    bench::JsonReport* json) {
+  std::vector<size_t> broker_counts = bench::ParseSizeList(
+      bench::FlagValue(argc, argv, "broker_counts"), {4, 8});
+  std::vector<size_t> capitals = bench::ParseSizeList(
+      bench::FlagValue(argc, argv, "broker_capitals"),
+      {3200, 1600, 800, 400});
+  // The gates compare against the most generous capital and knee_capital
+  // means "largest capital at which the gate shed" — both require a
+  // descending sweep, so enforce it regardless of flag order.
+  std::sort(capitals.begin(), capitals.end(),
+            [](size_t a, size_t b) { return a > b; });
+  std::vector<size_t> rates = bench::ParseSizeList(
+      bench::FlagValue(argc, argv, "broker_rates"), {40, 80});
+  const char* deals_flag = bench::FlagValue(argc, argv, "broker_deals");
+  size_t broker_deals = deals_flag != nullptr
+                            ? std::strtoull(deals_flag, nullptr, 10)
+                            : 240;
+  if (broker_deals == 0) broker_deals = 240;
+
+  std::printf("\n=== broker sweep: D=%zu brokered Poisson deals, block "
+              "capacity 24 on 4 chains (ample), admission gated on broker "
+              "capital/inventory only ===\n", broker_deals);
+  std::printf("%8s %8s %6s %8s %6s %6s %8s %8s %10s %8s\n", "brokers",
+              "capital", "rate", "commit", "shed", "delay", "lat p50",
+              "lat p99", "goodput/kt", "viol");
+
+  bool ok = true;
+  for (size_t brokers : broker_counts) {
+    for (size_t rate : rates) {
+      if (rate == 0) continue;
+      // Capitals are swept largest-first (sorted above): the first cell
+      // is the ample corner the gates compare against.
+      Tick ample_p99 = 0;
+      double ample_goodput = 0.0;
+      size_t knee_capital = 0;  // largest capital at which the gate shed
+      Tick last_p99 = 0;
+      double last_goodput = 0.0;
+      size_t last_shed = 0;
+      for (size_t capital : capitals) {
+        TrafficOptions options;
+        options.base_seed = base_seed;
+        options.num_deals = broker_deals;
+        options.num_chains = 4;
+        options.block_capacity = 24;  // fixed and ample: not the bottleneck
+        options.arrival = ArrivalProcess::kPoisson;
+        options.mean_interarrival = 1000.0 / static_cast<double>(rate);
+        options.brokers.num_brokers = brokers;
+        options.brokers.working_capital = capital;
+        options.brokers.inventory = 64;
+        options.admission.enabled = true;  // broker signal is the only gate
+        options.admission.retry_delay = 25;
+        options.admission.max_retries = 8;
+
+        auto start = std::chrono::steady_clock::now();
+        TrafficReport report = RunTraffic(options);
+        double ms = WallMs(start);
+
+        std::printf("%8zu %8zu %6zu %8zu %6zu %6zu %8" PRIu64 " %8" PRIu64
+                    " %10.2f %8zu\n",
+                    brokers, capital, rate, report.committed, report.shed,
+                    report.delayed_deals, report.latency_p50,
+                    report.latency_p99, report.deals_per_ktick,
+                    report.violations.size());
+
+        if (capital == capitals.front()) {
+          ample_p99 = report.latency_p99;
+          ample_goodput = report.deals_per_ktick;
+          // The ample corner must be clean: with enough capital the broker
+          // gate never fires, so any shed/violation here means the
+          // contention is NOT coming from capital.
+          if (report.shed != 0 || report.committed != broker_deals ||
+              !report.violations.empty()) {
+            std::printf("  BROKER SWEEP FAILURE: ample-capital corner not "
+                        "clean at B=%zu λ=%zu\n%s",
+                        brokers, rate, report.Summary().c_str());
+            ok = false;
+          }
+        }
+        if (report.shed > 0 && knee_capital == 0) knee_capital = capital;
+        last_p99 = report.latency_p99;
+        last_goodput = report.deals_per_ktick;
+        last_shed = report.shed;
+
+        // Compliant brokers must end whole in every cell — the portfolio
+        // check is the cross-deal conformance gate of this section.
+        if (report.broker_portfolio_violations != 0) {
+          std::printf("  BROKER SWEEP FAILURE: %zu portfolio violations at "
+                      "B=%zu capital=%zu λ=%zu\n%s",
+                      report.broker_portfolio_violations, brokers, capital,
+                      rate, report.Summary().c_str());
+          ok = false;
+        }
+
+        bench::JsonReport::Labels labels = {
+            {"brokers", std::to_string(brokers)},
+            {"capital", std::to_string(capital)},
+            {"rate", std::to_string(rate)},
+            {"deals", std::to_string(broker_deals)}};
+        json->AddMetric("broker_sweep_committed",
+                        static_cast<double>(report.committed), "", labels);
+        json->AddMetric("broker_sweep_shed",
+                        static_cast<double>(report.shed), "", labels);
+        json->AddMetric("broker_sweep_delayed",
+                        static_cast<double>(report.delayed_deals), "",
+                        labels);
+        json->AddMetric("broker_sweep_latency_p50",
+                        static_cast<double>(report.latency_p50), "ticks",
+                        labels);
+        json->AddMetric("broker_sweep_latency_p99",
+                        static_cast<double>(report.latency_p99), "ticks",
+                        labels);
+        json->AddMetric("broker_sweep_goodput_per_ktick",
+                        report.deals_per_ktick, "1/kt", labels);
+        json->AddMetric("broker_sweep_violations",
+                        static_cast<double>(report.violations.size()), "",
+                        labels);
+        json->AddMetric("broker_sweep_portfolio_violations",
+                        static_cast<double>(report.broker_portfolio_violations),
+                        "", labels);
+        json->AddMetric("broker_sweep_blocked_decisions",
+                        static_cast<double>(report.broker_blocked), "",
+                        labels);
+        json->AddMetric("broker_sweep_wall_ms", ms, "ms", labels);
+      }
+
+      bench::JsonReport::Labels pair_labels = {
+          {"brokers", std::to_string(brokers)},
+          {"rate", std::to_string(rate)},
+          {"deals", std::to_string(broker_deals)}};
+      json->AddMetric("broker_sweep_knee_capital",
+                      static_cast<double>(knee_capital), "coins",
+                      pair_labels);
+      if (knee_capital == 0) {
+        std::printf("BROKER SWEEP FAILURE: no capital knee at B=%zu λ=%zu "
+                    "— even the smallest capital never forced a shed; the "
+                    "sweep is not reaching capital contention\n",
+                    brokers, rate);
+        ok = false;
+      } else {
+        std::printf("capital knee at B=%zu λ=%zu: contention begins at "
+                    "capital=%zu\n", brokers, rate, knee_capital);
+      }
+      // Shrinking capital must degrade the workload: at the scarcest
+      // capital the gate sheds, the tail stretches (admission waits count
+      // toward sojourn latency), and goodput drops below the ample corner.
+      if (last_shed == 0 || last_p99 <= ample_p99 ||
+          last_goodput >= ample_goodput) {
+        std::printf("BROKER SWEEP FAILURE: capital scarcity did not "
+                    "degrade B=%zu λ=%zu (shed=%zu, P99 %" PRIu64
+                    " vs ample %" PRIu64 ", goodput %.2f vs ample %.2f)\n",
+                    brokers, rate, last_shed, last_p99, ample_p99,
+                    last_goodput, ample_goodput);
+        ok = false;
+      }
+    }
+  }
+  return ok;
+}
+
+// ---------------------------------------------------------------------------
 // Soak mode (--soak=N): one long open-loop run, controller on, gated on
 // full conformance + cross-thread-count fingerprint equality.
 // ---------------------------------------------------------------------------
@@ -577,6 +756,7 @@ int main(int argc, char** argv) {
     ok = RunShardSweep(argc, argv, base_seed, &json) && ok;
     ok = RunRateSweep(argc, argv, base_seed, &json) && ok;
     ok = RunFrontier(argc, argv, base_seed, &json) && ok;
+    ok = RunBrokerSweep(argc, argv, base_seed, &json) && ok;
   }
 
   json.AddMetric("conformance_ok", ok ? 1 : 0);

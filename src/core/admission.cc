@@ -99,7 +99,8 @@ uint64_t AdmissionController::BusiestChainOccupancy() const {
 }
 
 AdmissionDecision AdmissionController::Decide(size_t retries,
-                                              size_t self_pending) {
+                                              size_t self_pending,
+                                              const BrokerSignal* broker) {
   const size_t pending = world_->scheduler().pending();
   const size_t backlog = pending > self_pending ? pending - self_pending : 0;
   const uint64_t occupancy = BusiestChainOccupancy();
@@ -112,7 +113,14 @@ AdmissionDecision AdmissionController::Decide(size_t retries,
                             backlog > options_.max_scheduler_backlog;
   const bool over_occupancy = options_.max_chain_occupancy > 0 &&
                               occupancy > options_.max_chain_occupancy;
-  if (!over_backlog && !over_occupancy) {
+  bool over_broker = false;
+  if (broker != nullptr &&
+      (broker->need_capital > broker->free_capital ||
+       broker->need_inventory > broker->free_inventory)) {
+    ++stats_.broker_blocked;
+    over_broker = options_.broker_gate;
+  }
+  if (!over_backlog && !over_occupancy && !over_broker) {
     ++stats_.admitted;
     return AdmissionDecision::kAdmit;
   }

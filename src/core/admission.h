@@ -48,6 +48,7 @@ enum class ArrivalProcess : uint8_t {
   kPoisson,
 };
 
+/// Display name ("fixed" / "poisson") for reports and logs.
 const char* ToString(ArrivalProcess p);
 
 /// -ln(u) for u in (0, 1], computed without libm so results are bit-stable
@@ -83,10 +84,29 @@ struct AdmissionOptions {
   Tick retry_delay = 40;
   /// Retries before an over-threshold deal is shed (0 = shed immediately).
   size_t max_retries = 4;
+  /// Honor the broker working-capital signal when the caller supplies one
+  /// (see BrokerSignal): a deal whose broker lacks free capital or
+  /// inventory is delayed/shed like any other congestion. Off = the signal
+  /// is recorded in stats but never blocks admission.
+  bool broker_gate = true;
 };
 
+/// The third admission signal (alongside scheduler backlog and chain
+/// occupancy): the free working capital and token inventory of the deal's
+/// broker versus what this deal would lock up. Computed by the BrokerPool
+/// (core/broker_pool.h) and passed per decision; deals without a broker
+/// pass nullptr and are unaffected.
+struct BrokerSignal {
+  uint64_t free_capital = 0;
+  uint64_t need_capital = 0;
+  uint64_t free_inventory = 0;
+  uint64_t need_inventory = 0;
+};
+
+/// What the controller can do with one arrival/retry event.
 enum class AdmissionDecision : uint8_t { kAdmit, kDelay, kShed };
 
+/// Display name ("admit" / "delay" / "shed") for reports and logs.
 const char* ToString(AdmissionDecision d);
 
 /// What the controller did and the worst congestion it sampled.
@@ -96,6 +116,9 @@ struct AdmissionStats {
   size_t shed = 0;
   size_t peak_backlog_seen = 0;
   uint64_t peak_occupancy_seen = 0;
+  /// Decisions at which the broker signal reported insufficient free
+  /// capital/inventory (whether or not broker_gate let it block).
+  size_t broker_blocked = 0;
 };
 
 /// The admission policy: consulted once per arrival/retry event, on the
@@ -112,7 +135,11 @@ class AdmissionController {
   /// the caller's own admission machinery (not-yet-fired arrival and retry
   /// events); they are subtracted from the backlog signal so the load
   /// generator never mistakes its own future arrivals for congestion.
-  AdmissionDecision Decide(size_t retries, size_t self_pending = 0);
+  /// `broker`, if non-null, is the deal's broker capital/inventory signal;
+  /// with broker_gate on, a broker short on either resource delays/sheds
+  /// the deal exactly like scheduler or chain congestion.
+  AdmissionDecision Decide(size_t retries, size_t self_pending = 0,
+                           const BrokerSignal* broker = nullptr);
 
   const AdmissionOptions& options() const { return options_; }
   const AdmissionStats& stats() const { return stats_; }

@@ -1,0 +1,263 @@
+#include "core/broker_pool.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "contracts/escrow_view.h"
+#include "contracts/fungible_token.h"
+#include "util/percentile.h"
+#include "util/rng.h"
+
+namespace xdeal {
+
+BrokerPool::BrokerPool(DealEnv* env, const BrokerOptions& options,
+                       const std::vector<ChainId>& chains)
+    : env_(env), options_(options) {
+  if (options_.num_brokers == 0) return;  // inert: no World mutation at all
+  assert(!chains.empty());
+  if (options_.broker_every == 0) options_.broker_every = 1;
+  if (options_.max_units < options_.min_units) {
+    options_.max_units = options_.min_units;
+  }
+
+  for (size_t b = 0; b < options_.num_brokers; ++b) {
+    brokers_.push_back(env_->AddParty("broker-" + std::to_string(b)));
+  }
+
+  // The settlement coin lives on the first pool chain; each broker's
+  // commodity token on one of the remaining chains — so a broker deal's buy
+  // side (coins) and sell side (goods) escrow on different chains whenever
+  // the pool has more than one.
+  World& world = env_->world();
+  ContractId coin_contract = world.chain(chains[0])->Deploy(
+      std::make_unique<FungibleToken>("broker-coin", brokers_[0]));
+  coin_ = AssetRef{chains[0], coin_contract, AssetKind::kFungible,
+                   "broker-coin"};
+
+  reserved_.resize(options_.num_brokers);
+  for (size_t b = 0; b < options_.num_brokers; ++b) {
+    ChainId chain = chains[chains.size() > 1 ? 1 + (b % (chains.size() - 1))
+                                             : 0];
+    std::string label = "commodity-" + std::to_string(b);
+    ContractId contract = world.chain(chain)->Deploy(
+        std::make_unique<FungibleToken>(label, brokers_[b]));
+    commodities_.push_back(
+        AssetRef{chain, contract, AssetKind::kFungible, label});
+
+    FungibleToken* coin =
+        world.chain(coin_.chain)->As<FungibleToken>(coin_.token);
+    Status minted = coin->Mint(Holder::Party(brokers_[b]),
+                               options_.working_capital);
+    assert(minted.ok());
+    FungibleToken* commodity =
+        world.chain(chain)->As<FungibleToken>(contract);
+    minted = commodity->Mint(Holder::Party(brokers_[b]), options_.inventory);
+    assert(minted.ok());
+    (void)minted;
+  }
+}
+
+bool BrokerPool::IsBrokerDeal(size_t deal_index) const {
+  return enabled() && deal_index % options_.broker_every == 0;
+}
+
+size_t BrokerPool::BrokerOf(size_t deal_index) const {
+  return (deal_index / options_.broker_every) % options_.num_brokers;
+}
+
+DealSpec BrokerPool::MakeDeal(size_t deal_index, uint64_t seed) {
+  assert(IsBrokerDeal(deal_index));
+  // Independent stream from the shape/arrival seeds: the broker plan must
+  // not correlate with anything else drawn from the deal seed.
+  Rng rng(seed ^ 0x62726F6B657273ULL);  // "brokers" stream
+  Plan plan;
+  plan.broker = BrokerOf(deal_index);
+  plan.units = options_.min_units +
+               rng.Below(options_.max_units - options_.min_units + 1);
+  plan.sell_side = rng.Below(2) == 1;
+  if (plan.sell_side) {
+    plan.inventory = plan.units;
+  } else {
+    plan.capital = plan.units * options_.unit_price;
+  }
+  plans_[deal_index] = plan;
+
+  BrokerDealParams params;
+  params.broker = brokers_[plan.broker];
+  params.commodity = commodities_[plan.broker];
+  params.coin = coin_;
+  params.sell_side = plan.sell_side;
+  params.units = plan.units;
+  params.unit_price = options_.unit_price;
+  params.unit_margin = options_.unit_margin;
+  params.seed = seed;
+  params.name_prefix = "d" + std::to_string(deal_index) + "-";
+  return GenerateBrokerDeal(env_, params);
+}
+
+uint64_t BrokerPool::CapitalNeed(size_t deal_index) const {
+  auto it = plans_.find(deal_index);
+  return it == plans_.end() ? 0 : it->second.capital;
+}
+
+uint64_t BrokerPool::InventoryNeed(size_t deal_index) const {
+  auto it = plans_.find(deal_index);
+  return it == plans_.end() ? 0 : it->second.inventory;
+}
+
+uint64_t BrokerPool::BalanceOf(const AssetRef& asset, PartyId party) const {
+  const FungibleToken* token =
+      env_->world().chain(asset.chain)->As<FungibleToken>(asset.token);
+  assert(token != nullptr);
+  return token->BalanceOf(Holder::Party(party));
+}
+
+void BrokerPool::Prune(size_t broker) {
+  PartyId party = brokers_[broker];
+  std::vector<Reservation>& reservations = reserved_[broker];
+  reservations.erase(
+      std::remove_if(reservations.begin(), reservations.end(),
+                     [party](const Reservation& r) {
+                       // Once the deposit is on chain the broker's balance
+                       // already reflects it (and a settled escrow has been
+                       // paid back out), so the reservation's job is done.
+                       return r.view == nullptr || r.view->Settled() ||
+                              r.view->escrow_core().EscrowedOf(party) > 0;
+                     }),
+      reservations.end());
+}
+
+BrokerSignal BrokerPool::SignalFor(size_t deal_index) {
+  BrokerSignal signal;
+  auto it = plans_.find(deal_index);
+  if (it == plans_.end()) return signal;
+  const Plan& plan = it->second;
+  Prune(plan.broker);
+
+  uint64_t pending_capital = 0;
+  uint64_t pending_inventory = 0;
+  for (const Reservation& r : reserved_[plan.broker]) {
+    pending_capital += r.capital;
+    pending_inventory += r.inventory;
+  }
+  uint64_t coins = BalanceOf(coin_, brokers_[plan.broker]);
+  uint64_t stock = BalanceOf(commodities_[plan.broker], brokers_[plan.broker]);
+  signal.free_capital = coins > pending_capital ? coins - pending_capital : 0;
+  signal.free_inventory =
+      stock > pending_inventory ? stock - pending_inventory : 0;
+  signal.need_capital = plan.capital;
+  signal.need_inventory = plan.inventory;
+  return signal;
+}
+
+void BrokerPool::OnDealDeployed(size_t deal_index, DealRuntime& runtime) {
+  auto it = plans_.find(deal_index);
+  if (it == plans_.end()) return;
+  const Plan& plan = it->second;
+
+  // The asset the broker deposits into: her inventory (index 0) for
+  // sell-side deals, her coin float (index 2) for buy-side — each the sole
+  // stake of its own escrow contract (see GenerateBrokerDeal).
+  uint32_t asset = plan.sell_side ? 0 : 2;
+  const AssetRef& ref = runtime.spec().assets[asset];
+  const Blockchain* chain = env_->world().chain(ref.chain);
+  const DealEscrowView* view =
+      chain == nullptr
+          ? nullptr
+          : dynamic_cast<const DealEscrowView*>(
+                chain->contract(runtime.escrow_contracts()[asset]));
+
+  Reservation reservation;
+  reservation.deal_index = deal_index;
+  reservation.capital = plan.capital;
+  reservation.inventory = plan.inventory;
+  reservation.view = view;
+  reserved_[plan.broker].push_back(reservation);
+}
+
+std::vector<BrokerRecord> BrokerPool::BuildRecords(
+    const std::vector<BrokerDealOutcome>& outcomes) const {
+  std::vector<BrokerRecord> records(brokers_.size());
+
+  struct Event {
+    Tick at = 0;
+    bool release = false;
+    uint64_t capital = 0;
+    uint64_t inventory = 0;
+  };
+  std::vector<std::vector<Event>> events(brokers_.size());
+  std::vector<std::vector<Tick>> latencies(brokers_.size());
+
+  for (const BrokerDealOutcome& outcome : outcomes) {
+    auto it = plans_.find(outcome.deal_index);
+    if (it == plans_.end()) continue;
+    const Plan& plan = it->second;
+    BrokerRecord& rec = records[plan.broker];
+    ++rec.deals;
+    if (outcome.committed) ++rec.committed;
+    if (outcome.aborted) ++rec.aborted;
+    if (outcome.shed) ++rec.shed;
+    if (!outcome.shed && outcome.admitted_at > outcome.arrival_at) {
+      ++rec.delayed;
+    }
+    rec.gas += outcome.gas;
+    if (outcome.all_settled && outcome.settle_time > 0) {
+      latencies[plan.broker].push_back(outcome.latency);
+      rec.latency_max = std::max(rec.latency_max, outcome.latency);
+    }
+    if (outcome.started) {
+      events[plan.broker].push_back(
+          Event{outcome.admitted_at, false, plan.capital, plan.inventory});
+      // A deal that never fully settles holds its resources forever — the
+      // timeline deliberately never releases it.
+      if (outcome.all_settled && outcome.settle_time > 0) {
+        events[plan.broker].push_back(
+            Event{outcome.settle_time, true, plan.capital, plan.inventory});
+      }
+    }
+  }
+
+  for (size_t b = 0; b < brokers_.size(); ++b) {
+    BrokerRecord& rec = records[b];
+    rec.index = b;
+    rec.party = brokers_[b].v;
+    rec.capital_limit = options_.working_capital;
+    rec.inventory_limit = options_.inventory;
+    rec.latency_p50 = Percentile(latencies[b], 50);
+
+    // Releases sort before reserves at the same tick: capital freed by a
+    // settlement is available to a deal admitted that instant.
+    std::sort(events[b].begin(), events[b].end(),
+              [](const Event& x, const Event& y) {
+                if (x.at != y.at) return x.at < y.at;
+                return x.release && !y.release;
+              });
+    uint64_t capital = 0;
+    uint64_t inventory = 0;
+    rec.timeline.reserve(events[b].size());
+    for (const Event& event : events[b]) {
+      if (event.release) {
+        capital -= std::min(capital, event.capital);
+        inventory -= std::min(inventory, event.inventory);
+      } else {
+        capital += event.capital;
+        inventory += event.inventory;
+      }
+      rec.peak_capital_in_use = std::max(rec.peak_capital_in_use, capital);
+      rec.peak_inventory_in_use =
+          std::max(rec.peak_inventory_in_use, inventory);
+      rec.timeline.push_back(BrokerSample{event.at, capital, inventory});
+    }
+
+    uint64_t coins = BalanceOf(coin_, brokers_[b]);
+    uint64_t stock = BalanceOf(commodities_[b], brokers_[b]);
+    rec.coin_delta = static_cast<int64_t>(coins) -
+                     static_cast<int64_t>(options_.working_capital);
+    rec.inventory_delta = static_cast<int64_t>(stock) -
+                          static_cast<int64_t>(options_.inventory);
+    rec.portfolio_ok = rec.coin_delta >= 0 && rec.inventory_delta >= 0;
+  }
+  return records;
+}
+
+}  // namespace xdeal

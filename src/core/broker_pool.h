@@ -1,0 +1,224 @@
+// BrokerPool: Figure-1-style brokers as shared parties across many deals.
+//
+// The paper's headline example (§2, Figure 1) is a broker who resells
+// tickets she does not yet own: she is a *middle* party whose buy side and
+// sell side live on different chains, and whose solvency is a cross-deal
+// resource. This subsystem generates that workload at traffic scale: B
+// broker identities, created once and reused across deals (the specs of
+// many concurrent deals name the same PartyId), each holding
+//
+//   working capital   a finite balance of the pool's settlement coin, locked
+//                     deal-by-deal while buy-side deals front payment to the
+//                     seller (escrowed at deal start, recouped plus margin on
+//                     commit, refunded on abort);
+//   token inventory   a finite stock of the broker's own commodity token,
+//                     locked while sell-side deals deliver from stock and
+//                     restock from the seller.
+//
+// Occupancy of those two resources is the third admission signal (see
+// BrokerSignal in core/admission.h): a deal whose broker lacks free capital
+// or inventory is delayed or shed instead of over-committing her. The live
+// free-capital computation is evidence-based — the broker's on-chain token
+// balance minus reservations whose escrow deposit has not yet landed — so
+// the signal stays exact whether deposits are prompt or queued behind full
+// blocks.
+//
+// After a run, BuildRecords folds every broker's deals into a BrokerRecord:
+// per-broker gas/latency attribution, a capital/inventory occupancy
+// timeline, and the portfolio conformance check — Property 1 lifted from
+// deals to portfolios: a compliant broker must end no worse off across her
+// WHOLE deal set (final coin balance >= initial capital, final commodity
+// balance >= initial inventory), no matter how her deals interleaved.
+//
+// With num_brokers = 0 the pool is inert: it creates no parties, tokens, or
+// state, so zero-broker traffic reproduces the legacy engine bit-for-bit.
+
+#ifndef XDEAL_CORE_BROKER_POOL_H_
+#define XDEAL_CORE_BROKER_POOL_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/admission.h"
+#include "core/deal_gen.h"
+#include "core/env.h"
+#include "core/protocol_driver.h"
+
+namespace xdeal {
+
+class DealEscrowView;
+
+/// Workload knobs for the broker subsystem. num_brokers = 0 disables it
+/// entirely (no World mutation; legacy traffic fingerprints preserved).
+struct BrokerOptions {
+  /// B: how many broker identities the pool creates and round-robins deals
+  /// over. 0 = brokers disabled.
+  size_t num_brokers = 0;
+  /// Every k-th deal (deal index % k == 0) is a broker deal; the rest keep
+  /// their generated random shape. 1 = every deal is brokered.
+  size_t broker_every = 1;
+  /// Coins minted to each broker up front — the capital ceiling her
+  /// concurrent buy-side deals compete for.
+  uint64_t working_capital = 1600;
+  /// Commodity units minted to each broker up front — the inventory ceiling
+  /// her concurrent sell-side deals compete for.
+  uint64_t inventory = 64;
+  /// Per-deal unit count is drawn uniformly from [min_units, max_units]
+  /// with the deal's derived seed.
+  size_t min_units = 1;
+  size_t max_units = 3;
+  /// Coins the broker pays the seller per unit (buy-side capital need =
+  /// units * unit_price).
+  uint64_t unit_price = 100;
+  /// The broker's commission per unit (the buyer pays price + margin).
+  uint64_t unit_margin = 5;
+};
+
+/// One point of a broker's resource-occupancy timeline: how much of her
+/// capital/inventory was locked in in-flight deals as of `at`.
+struct BrokerSample {
+  Tick at = 0;
+  uint64_t capital_in_use = 0;
+  uint64_t inventory_in_use = 0;
+};
+
+/// Per-deal outcome summary the traffic engine hands back to the pool for
+/// post-run aggregation (a protocol-independent slice of the deal record).
+struct BrokerDealOutcome {
+  size_t deal_index = 0;
+  Tick arrival_at = 0;
+  Tick admitted_at = 0;
+  Tick settle_time = 0;
+  Tick latency = 0;
+  bool started = false;
+  bool committed = false;
+  bool aborted = false;
+  bool shed = false;
+  bool all_settled = false;
+  uint64_t gas = 0;
+};
+
+/// Post-run aggregation of one broker's whole deal set.
+struct BrokerRecord {
+  size_t index = 0;
+  uint32_t party = 0;  // the broker's PartyId
+  uint64_t capital_limit = 0;
+  uint64_t inventory_limit = 0;
+
+  size_t deals = 0;
+  size_t committed = 0;
+  size_t aborted = 0;
+  size_t shed = 0;
+  size_t delayed = 0;  // admitted later than they arrived
+
+  /// Gas summed over every receipt attributed to this broker's deals.
+  uint64_t gas = 0;
+  /// Sojourn-latency percentiles over this broker's settled deals.
+  Tick latency_p50 = 0;
+  Tick latency_max = 0;
+
+  /// Final minus initial balances (coins / commodity units). A compliant
+  /// broker's margin shows up here; a harmed broker goes negative.
+  int64_t coin_delta = 0;
+  int64_t inventory_delta = 0;
+
+  /// High-water marks of the occupancy timeline below.
+  uint64_t peak_capital_in_use = 0;
+  uint64_t peak_inventory_in_use = 0;
+
+  /// Property 1 lifted to the portfolio: the broker ended no worse off
+  /// across her whole deal set (coin_delta >= 0 and inventory_delta >= 0).
+  bool portfolio_ok = true;
+
+  /// Occupancy over time, two events per deal (reserve at admission,
+  /// release at settlement; a never-settling deal holds forever).
+  std::vector<BrokerSample> timeline;
+};
+
+/// The broker subsystem of one traffic run. All methods run on the
+/// simulation thread (or post-drain); nothing here is thread-shared.
+class BrokerPool {
+ public:
+  /// Creates the broker parties and tokens inside `env` (a no-op when
+  /// options.num_brokers == 0): one shared settlement coin on chains[0],
+  /// one commodity token per broker spread over the remaining chains (the
+  /// buy side and sell side of a broker deal live on different chains),
+  /// and mints each broker's capital and inventory.
+  BrokerPool(DealEnv* env, const BrokerOptions& options,
+             const std::vector<ChainId>& chains);
+
+  /// False when num_brokers == 0: every other method is then inert.
+  bool enabled() const { return options_.num_brokers > 0; }
+  const BrokerOptions& options() const { return options_; }
+  size_t num_brokers() const { return brokers_.size(); }
+
+  /// True when deal `deal_index` should take the broker shape.
+  bool IsBrokerDeal(size_t deal_index) const;
+  /// Which broker hosts deal `deal_index` (round-robin over broker deals).
+  size_t BrokerOf(size_t deal_index) const;
+  /// The broker's shared party identity.
+  PartyId BrokerParty(size_t broker) const { return brokers_[broker]; }
+
+  /// Generates the broker-linked spec for deal `deal_index` (buy- or
+  /// sell-side, units drawn from `seed`) and records its resource needs.
+  DealSpec MakeDeal(size_t deal_index, uint64_t seed);
+
+  /// Working capital (coins) deal `deal_index` locks while in flight;
+  /// 0 for sell-side and non-broker deals.
+  uint64_t CapitalNeed(size_t deal_index) const;
+  /// Inventory (commodity units) deal `deal_index` locks while in flight;
+  /// 0 for buy-side and non-broker deals.
+  uint64_t InventoryNeed(size_t deal_index) const;
+
+  /// The live admission signal for deal `deal_index`: free = the broker's
+  /// on-chain balance minus reservations whose escrow deposit has not yet
+  /// landed on chain. Prunes settled/landed reservations as a side effect.
+  BrokerSignal SignalFor(size_t deal_index);
+
+  /// PartyFactory::OnDeployed hook: registers the deployed deal's escrow
+  /// view so the reservation it opened can be tracked until its deposit
+  /// lands (the same hook watchtowers arm through).
+  void OnDealDeployed(size_t deal_index, DealRuntime& runtime);
+
+  /// Post-run: folds per-deal outcomes into per-broker records (gas/latency
+  /// attribution, occupancy timeline, portfolio conformance). `outcomes`
+  /// must cover exactly the broker deals, in index order.
+  std::vector<BrokerRecord> BuildRecords(
+      const std::vector<BrokerDealOutcome>& outcomes) const;
+
+ private:
+  /// What one broker deal locks, planned at MakeDeal time.
+  struct Plan {
+    size_t broker = 0;
+    bool sell_side = false;
+    uint64_t units = 0;
+    uint64_t capital = 0;    // coins locked (buy-side)
+    uint64_t inventory = 0;  // units locked (sell-side)
+  };
+
+  /// An admitted deal whose escrow deposit may not have landed yet: until
+  /// it does, its need is subtracted from the broker's free balance.
+  struct Reservation {
+    size_t deal_index = 0;
+    uint64_t capital = 0;
+    uint64_t inventory = 0;
+    const DealEscrowView* view = nullptr;  // where the deposit will appear
+  };
+
+  uint64_t BalanceOf(const AssetRef& asset, PartyId party) const;
+  void Prune(size_t broker);
+
+  DealEnv* env_ = nullptr;
+  BrokerOptions options_;
+  AssetRef coin_;
+  std::vector<AssetRef> commodities_;  // one per broker
+  std::vector<PartyId> brokers_;
+  std::map<size_t, Plan> plans_;
+  std::vector<std::vector<Reservation>> reserved_;  // per broker
+};
+
+}  // namespace xdeal
+
+#endif  // XDEAL_CORE_BROKER_POOL_H_

@@ -45,6 +45,8 @@ void DealChecker::CaptureInitial() {
   captured_ = true;
 }
 
+void DealChecker::MarkSharedParty(PartyId p) { shared_parties_.insert(p.v); }
+
 const DealEscrowView* DealChecker::ViewOf(uint32_t asset) const {
   const Blockchain* chain = world_->chain(spec_.assets[asset].chain);
   if (chain == nullptr) return nullptr;
@@ -122,24 +124,16 @@ PartyVerdict DealChecker::Evaluate(PartyId p) const {
   std::vector<AssetOutcome> outcomes = spec_.ExpectedOutcomes();
   v.token_state_expected = true;
   v.token_state_unchanged = true;
+  // Fungible state is accounted per (chain, token contract), not per asset
+  // index: a deal may reference the same token as several assets (e.g. a
+  // broker deal's buyer payment and broker float are both the pool coin),
+  // but a party only has ONE balance there — so the expectations of all
+  // asset indices sharing a token are summed before comparing.
+  std::map<std::pair<uint32_t, uint32_t>, std::vector<uint32_t>> fungible;
   for (uint32_t a = 0; a < spec_.NumAssets(); ++a) {
     if (spec_.assets[a].kind == AssetKind::kFungible) {
-      uint64_t initial = 0, final_bal = 0;
-      auto iti = initial_.balances[a].find(p.v);
-      if (iti != initial_.balances[a].end()) initial = iti->second;
-      auto itf = now.balances[a].find(p.v);
-      if (itf != now.balances[a].end()) final_bal = itf->second;
-
-      uint64_t deposited = 0;
-      auto itd = outcomes[a].fungible_deposited.find(p);
-      if (itd != outcomes[a].fungible_deposited.end()) deposited = itd->second;
-      uint64_t commit_share = 0;
-      auto itc = outcomes[a].fungible_commit.find(p);
-      if (itc != outcomes[a].fungible_commit.end()) commit_share = itc->second;
-
-      uint64_t expected_final = initial - deposited + commit_share;
-      if (final_bal != expected_final) v.token_state_expected = false;
-      if (final_bal != initial) v.token_state_unchanged = false;
+      fungible[{spec_.assets[a].chain.v, spec_.assets[a].token.v}]
+          .push_back(a);
     } else {
       for (const auto& [ticket, commit_owner] : outcomes[a].nft_commit) {
         bool initially_ours = false;
@@ -166,6 +160,33 @@ PartyVerdict DealChecker::Evaluate(PartyId p) const {
       }
     }
   }
+  for (const auto& [token, asset_indices] : fungible) {
+    (void)token;
+    // Every asset index of the group snapshots the same ledger; read the
+    // balance once and sum the per-asset expectations.
+    uint32_t a0 = asset_indices.front();
+    uint64_t initial = 0, final_bal = 0;
+    auto iti = initial_.balances[a0].find(p.v);
+    if (iti != initial_.balances[a0].end()) initial = iti->second;
+    auto itf = now.balances[a0].find(p.v);
+    if (itf != now.balances[a0].end()) final_bal = itf->second;
+
+    uint64_t deposited = 0;
+    uint64_t commit_share = 0;
+    for (uint32_t a : asset_indices) {
+      auto itd = outcomes[a].fungible_deposited.find(p);
+      if (itd != outcomes[a].fungible_deposited.end()) {
+        deposited += itd->second;
+      }
+      auto itc = outcomes[a].fungible_commit.find(p);
+      if (itc != outcomes[a].fungible_commit.end()) {
+        commit_share += itc->second;
+      }
+    }
+    uint64_t expected_final = initial - deposited + commit_share;
+    if (final_bal != expected_final) v.token_state_expected = false;
+    if (final_bal != initial) v.token_state_unchanged = false;
+  }
   return v;
 }
 
@@ -190,6 +211,10 @@ bool DealChecker::StrongLivenessHolds() const {
     if (view == nullptr || !view->Released()) return false;
   }
   for (PartyId p : spec_.parties) {
+    // A shared party's balances fold every concurrent deal it touches;
+    // its per-deal token expectation is undefined (the cross-deal
+    // portfolio check owns its solvency instead).
+    if (shared_parties_.count(p.v) > 0) continue;
     if (!Evaluate(p).token_state_expected) return false;
   }
   return true;

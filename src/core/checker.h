@@ -62,6 +62,14 @@ class DealChecker {
   /// Call before the run executes (after minting / before escrow phase).
   void CaptureInitial();
 
+  /// Marks `p` as a party shared with other concurrent deals (e.g. a
+  /// broker): its token balances move with every deal it touches, so this
+  /// deal's token-state expectation is undefined for it and is skipped in
+  /// StrongLivenessHolds. Escrow-contract-level checks (Properties 1-2,
+  /// escrow release) still apply; the party's global solvency is asserted
+  /// by the cross-deal portfolio check instead (core/broker_pool.h).
+  void MarkSharedParty(PartyId p);
+
   /// Evaluates one party after the scheduler has drained.
   PartyVerdict Evaluate(PartyId p) const;
 
@@ -88,6 +96,7 @@ class DealChecker {
   const World* world_;
   DealSpec spec_;
   std::vector<ContractId> escrows_;
+  std::set<uint32_t> shared_parties_;  // PartyId values, see MarkSharedParty
   LedgerSnapshot initial_;
   bool captured_ = false;
 };

@@ -100,4 +100,66 @@ DealSpec GenerateRandomDeal(DealEnv* env, const GenParams& params) {
   return spec;
 }
 
+DealSpec GenerateBrokerDeal(DealEnv* env, const BrokerDealParams& params) {
+  assert(params.units >= 1);
+  const uint64_t cost = params.units * params.unit_price;
+  const uint64_t price = cost + params.units * params.unit_margin;
+
+  DealSpec spec;
+  spec.deal_id = MakeDealId(params.name_prefix + "broker", params.seed);
+  PartyId seller = env->AddParty(params.name_prefix + "seller");
+  PartyId buyer = env->AddParty(params.name_prefix + "buyer");
+  spec.parties = {params.broker, seller, buyer};
+
+  // Three assets, each with exactly ONE depositor, so every stake lives in
+  // its own escrow contract (the broker's float is never pooled with a
+  // counterparty's payment, and a stranded deposit is attributable to its
+  // owner alone). Two of the assets may reference the same token contract;
+  // the checker accounts token state per (chain, token), not per asset.
+  // All are pre-existing contracts — referenced, not deployed.
+  if (params.sell_side) {
+    // The broker delivers `units` from her own inventory (asset 0) and
+    // restocks from the seller (asset 1); the seller's payment comes out
+    // of the buyer's (asset 2), so no working capital is needed — only
+    // stocked commodity.
+    spec.assets.push_back(params.commodity);  // 0: broker's inventory
+    spec.assets.push_back(params.commodity);  // 1: seller's restock supply
+    spec.assets.push_back(params.coin);       // 2: buyer's payment
+    env->Mint(spec, 1, seller, params.units);
+    env->Mint(spec, 2, buyer, price);
+    spec.escrows.push_back(EscrowStep{0, params.broker, params.units});
+    spec.escrows.push_back(EscrowStep{1, seller, params.units});
+    spec.escrows.push_back(EscrowStep{2, buyer, price});
+    spec.transfers.push_back(
+        TransferStep{0, params.broker, buyer, params.units});
+    spec.transfers.push_back(TransferStep{2, buyer, params.broker, price});
+    spec.transfers.push_back(TransferStep{2, params.broker, seller, cost});
+    spec.transfers.push_back(TransferStep{1, seller, params.broker,
+                                          params.units});
+  } else {
+    // Buy-side: the broker pays the seller (asset 0's goods) from her own
+    // escrowed capital (asset 2) and recoups it plus margin from the
+    // buyer (asset 1) — `cost` coins of working capital are locked for
+    // the deal's whole lifetime.
+    spec.assets.push_back(params.commodity);  // 0: seller's goods
+    spec.assets.push_back(params.coin);       // 1: buyer's payment
+    spec.assets.push_back(params.coin);       // 2: broker's float
+    env->Mint(spec, 0, seller, params.units);
+    env->Mint(spec, 1, buyer, price);
+    spec.escrows.push_back(EscrowStep{0, seller, params.units});
+    spec.escrows.push_back(EscrowStep{1, buyer, price});
+    spec.escrows.push_back(EscrowStep{2, params.broker, cost});
+    spec.transfers.push_back(
+        TransferStep{0, seller, params.broker, params.units});
+    spec.transfers.push_back(
+        TransferStep{0, params.broker, buyer, params.units});
+    spec.transfers.push_back(TransferStep{2, params.broker, seller, cost});
+    spec.transfers.push_back(TransferStep{1, buyer, params.broker, price});
+  }
+
+  assert(spec.Validate().ok());
+  assert(spec.IsWellFormed());
+  return spec;
+}
+
 }  // namespace xdeal

@@ -39,6 +39,42 @@ struct GenParams {
 /// returns a valid, well-formed DealSpec.
 DealSpec GenerateRandomDeal(DealEnv* env, const GenParams& params);
 
+/// Shape of one Figure-1-style broker deal: a broker resells `units` of a
+/// commodity between a fresh seller and a fresh buyer, keeping a margin.
+/// Unlike GenerateRandomDeal, the commodity and coin tokens are *existing*
+/// contracts (the broker's stock and the pool's settlement currency), so the
+/// same broker identity and token inventory are reused across many deals.
+struct BrokerDealParams {
+  /// The middle party, created once by the BrokerPool and shared by all of
+  /// this broker's deals.
+  PartyId broker;
+  /// The broker's stocked token (sell-side deals front inventory from it).
+  AssetRef commodity;
+  /// The settlement token every price/margin is denominated in (buy-side
+  /// deals front working capital from the broker's balance of it).
+  AssetRef coin;
+  /// false: buy-side — the broker escrows `units * unit_price` coins to pay
+  /// the seller up front (working capital at risk). true: sell-side — the
+  /// broker escrows `units` commodity from her own inventory to deliver
+  /// immediately and restocks from the seller within the deal.
+  bool sell_side = false;
+  uint64_t units = 1;
+  uint64_t unit_price = 100;
+  /// The broker's commission per unit; the buyer pays
+  /// units * (unit_price + unit_margin).
+  uint64_t unit_margin = 5;
+  uint64_t seed = 1;
+  /// Prepended to the fresh seller/buyer party names.
+  std::string name_prefix;
+};
+
+/// Builds one broker deal: creates the seller and buyer, mints the seller's
+/// supply and the buyer's payment, and returns a valid, well-formed spec in
+/// which the broker is strictly better off on commit (margin > 0) and whole
+/// on abort. The broker's own holdings are NOT minted here — her capital
+/// and inventory are finite pool-level resources.
+DealSpec GenerateBrokerDeal(DealEnv* env, const BrokerDealParams& params);
+
 }  // namespace xdeal
 
 #endif  // XDEAL_CORE_DEAL_GEN_H_

@@ -46,12 +46,14 @@ class CbcService;
 class TimelockParty;
 class TimelockRun;
 
+/// The one protocol enum shared by traffic, sweeps, and bench reports.
 enum class Protocol : uint8_t {
   kTimelock = 0,
   kCbc,
   kHtlc,  // §8 baseline; swap-expressible ring deals only, no driver
 };
 
+/// Display name ("timelock" / "cbc" / "htlc") for reports and logs.
 const char* ToString(Protocol p);
 
 /// The phase schedule of one deal — the single source of truth both protocol
@@ -162,6 +164,7 @@ class DealRuntime {
  public:
   virtual ~DealRuntime();
 
+  /// Which commit protocol this runtime executes.
   virtual Protocol protocol() const = 0;
   /// Deploys contracts, schedules all phases, and wires subscriptions; then
   /// fires the factory's OnDeployed hook. Call once, then drive the World's
@@ -173,10 +176,12 @@ class DealRuntime {
   /// The decisive outcome so far (kDealActive while undecided).
   virtual DealOutcome outcome() const = 0;
 
+  /// The deal being executed.
   virtual const DealSpec& spec() const = 0;
   /// Escrow contract per asset index (parallel to spec().assets); valid
   /// after Deploy.
   virtual const std::vector<ContractId>& escrow_contracts() const = 0;
+  /// The World this deal lives in.
   virtual World& world() = 0;
 
   /// Engine escape hatches (non-null only for the matching protocol):
@@ -192,6 +197,7 @@ class ProtocolDriver {
  public:
   virtual ~ProtocolDriver();
 
+  /// Which commit protocol this driver's runtimes execute.
   virtual Protocol protocol() const = 0;
   /// Creates (but does not deploy) the runtime for one deal. `factory` may
   /// be nullptr (all parties compliant); it must outlive Deploy().
@@ -200,8 +206,11 @@ class ProtocolDriver {
       PartyFactory* factory = nullptr) = 0;
 };
 
+/// Driver for the §5 timelock commit protocol (self-contained: the votes
+/// live on the asset chains themselves).
 class TimelockDriver : public ProtocolDriver {
  public:
+  /// Timelock-specific knobs shared by every deal this driver creates.
   struct Options {
     bool direct_votes = false;  // altruistic: vote on every asset's chain
     Tick refund_margin = 20;    // watchdog fires at t0 + N·Δ + margin
@@ -219,8 +228,11 @@ class TimelockDriver : public ProtocolDriver {
   Options options_;
 };
 
+/// Driver for the §6 CBC commit protocol; deals execute against a shard of
+/// the supplied CbcService.
 class CbcDriver : public ProtocolDriver {
  public:
+  /// CBC-specific knobs shared by every deal this driver creates.
   struct Options {
     /// How long after its commit vote a party waits before rescinding with
     /// an abort. Must be >= Δ (§6); Deploy rejects unsafe configs.

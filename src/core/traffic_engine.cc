@@ -16,25 +16,15 @@
 #include "core/watchtower.h"
 #include "sim/worker_pool.h"
 #include "util/fingerprint.h"
+#include "util/percentile.h"
 #include "util/rng.h"
 
 namespace xdeal {
 namespace {
 
-/// Deterministic nearest-rank percentile over a scratch copy: the smallest
-/// value with at least p% of the samples at or below it.
-template <typename T>
-T Percentile(std::vector<T> values, int p) {
-  if (values.empty()) return T{};
-  std::sort(values.begin(), values.end());
-  size_t rank = (values.size() * static_cast<size_t>(p) + 99) / 100;
-  if (rank == 0) rank = 1;
-  if (rank > values.size()) rank = values.size();
-  return values[rank - 1];
-}
-
-/// Per-deal PartyFactory: injects the offline-party strategy and arms the
-/// watchtower through the uniform OnDeployed hook.
+/// Per-deal PartyFactory: injects the offline-party strategy, arms the
+/// watchtower, and registers broker reservations — all through the uniform
+/// OnDeployed hook.
 class TrafficPartyFactory : public PartyFactory {
  public:
   bool offline = false;
@@ -44,6 +34,11 @@ class TrafficPartyFactory : public PartyFactory {
   World* world = nullptr;
   PartyId tower_operator;
   std::vector<std::unique_ptr<Watchtower>>* towers = nullptr;
+
+  /// Set on broker deals: once contracts exist, the pool starts tracking
+  /// the capital/inventory reservation this deal opened.
+  BrokerPool* broker_pool = nullptr;
+  size_t deal_index = 0;
 
   std::unique_ptr<TimelockParty> MakeTimelockParty(PartyId p) override {
     if (offline && p == offline_party) {
@@ -55,6 +50,9 @@ class TrafficPartyFactory : public PartyFactory {
   }
 
   void OnDeployed(DealRuntime& runtime) override {
+    if (broker_pool != nullptr) {
+      broker_pool->OnDealDeployed(deal_index, runtime);
+    }
     if (!arm_tower) return;
     TimelockRun* run = runtime.timelock_run();
     if (run == nullptr) return;  // towers relay timelock votes only
@@ -228,6 +226,42 @@ std::vector<DoubleSpendIncident> DetectDoubleSpends(
   return incidents;
 }
 
+/// Evidence-based taint of over-committed brokers: a broker whose escrow
+/// pull bounced in some deal promised the same finite capital/inventory to
+/// too many deals at once — she is that deal's deviating party (the bounced
+/// deal must abort cleanly; Property 3 is not asserted for it), exactly as
+/// an injected double-spender would be. Only possible when nothing gated
+/// admission on broker occupancy; derived from receipts, so any replay of
+/// the same seed taints the same deals.
+void TaintBouncedBrokerEscrows(const World& world,
+                               std::vector<DealSlot>* slots,
+                               const BrokerPool& pool) {
+  // (chain, escrow contract) -> deal index, broker deals only.
+  std::map<std::pair<uint32_t, uint32_t>, size_t> site;
+  for (size_t d = 0; d < slots->size(); ++d) {
+    const DealSlot& slot = (*slots)[d];
+    if (slot.rec.broker == 0 || !slot.rec.started) continue;
+    const std::vector<ContractId>& escrows =
+        slot.runtime->escrow_contracts();
+    for (uint32_t a = 0; a < slot.spec.NumAssets(); ++a) {
+      site[{slot.spec.assets[a].chain.v, escrows[a].v}] = d;
+    }
+  }
+  for (uint32_t c = 0; c < world.num_chains(); ++c) {
+    for (const Receipt& r : world.chain(ChainId{c})->receipts()) {
+      if (r.tag != "escrow" || r.status.ok()) continue;
+      auto it = site.find({r.chain.v, r.contract.v});
+      if (it == site.end()) continue;
+      DealSlot& slot = (*slots)[it->second];
+      PartyId broker = pool.BrokerParty(slot.rec.broker - 1);
+      if (!(r.sender == broker)) continue;
+      slot.has_adversary = true;
+      slot.adversary = broker;
+      slot.rec.tainted = true;
+    }
+  }
+}
+
 }  // namespace
 
 uint64_t TrafficDealSeed(uint64_t base_seed, uint64_t deal_index) {
@@ -255,6 +289,12 @@ TrafficReport RunTraffic(const TrafficOptions& options) {
     env.world().chain(id)->set_max_txs_per_block(options.block_capacity);
     pool.push_back(id);
   }
+
+  // The broker subsystem: B shared broker identities with finite working
+  // capital and commodity inventory, deals round-robined over them. Inert
+  // when num_brokers == 0 (no parties, tokens, or RNG draws), which is what
+  // keeps zero-broker runs bit-identical to the legacy engine.
+  BrokerPool broker_pool(&env, options.brokers, pool);
 
   const std::vector<Protocol>& mix =
       options.protocol_mix.empty()
@@ -346,6 +386,12 @@ TrafficReport RunTraffic(const TrafficOptions& options) {
     }
     slot.checker = std::make_unique<DealChecker>(
         &env.world(), slot.spec, slot.runtime->escrow_contracts());
+    if (rec.broker != 0) {
+      // The broker's balances move with every concurrent deal she is in;
+      // her per-deal token expectation is undefined. Her solvency is
+      // asserted across the whole deal set by the portfolio check.
+      slot.checker->MarkSharedParty(slot.spec.parties[0]);
+    }
     slot.checker->CaptureInitial();
     rec.started = true;
   };
@@ -374,6 +420,13 @@ TrafficReport RunTraffic(const TrafficOptions& options) {
       slots[d - 1].has_adversary = true;
       slots[d - 1].adversary = adversary;
       slots[d - 1].rec.tainted = true;
+    } else if (broker_pool.IsBrokerDeal(d)) {
+      // Figure-1 shape: this deal's middle party is a shared broker whose
+      // capital/inventory the deal locks while in flight.
+      slot.spec = broker_pool.MakeDeal(d, rec.seed);
+      rec.broker = broker_pool.BrokerOf(d) + 1;
+      rec.broker_capital_need = broker_pool.CapitalNeed(d);
+      rec.broker_inventory_need = broker_pool.InventoryNeed(d);
     } else {
       GenParams gen;
       gen.n_parties = options.min_parties +
@@ -421,6 +474,10 @@ TrafficReport RunTraffic(const TrafficOptions& options) {
       factory.tower_operator = tower_operator;
       factory.towers = &towers;
     }
+    if (rec.broker != 0) {
+      factory.broker_pool = &broker_pool;
+      factory.deal_index = d;
+    }
 
     // Legacy path: no controller, deploy up front at the arrival time —
     // the exact call sequence of the pre-admission engine, so fingerprints
@@ -446,13 +503,19 @@ TrafficReport RunTraffic(const TrafficOptions& options) {
     const Tick retry_delay =
         options.admission.retry_delay > 0 ? options.admission.retry_delay : 1;
     admission_event = [&env, &slots, &controller, &admission_event,
-                       &deploy_deal, &own_admission_events,
+                       &deploy_deal, &own_admission_events, &broker_pool,
                        retry_delay](size_t d) {
       --own_admission_events;  // this event just fired
       DealSlot& slot = slots[d];
       TrafficDealRecord& rec = slot.rec;
+      // Broker deals carry the third signal: this broker's live free
+      // capital/inventory versus what the deal would lock.
+      BrokerSignal broker_signal;
+      const bool has_broker_signal = rec.broker != 0;
+      if (has_broker_signal) broker_signal = broker_pool.SignalFor(d);
       AdmissionDecision decision =
-          controller.Decide(rec.admission_retries, own_admission_events);
+          controller.Decide(rec.admission_retries, own_admission_events,
+                            has_broker_signal ? &broker_signal : nullptr);
       if (decision == AdmissionDecision::kDelay) {
         ++rec.admission_retries;
         ++own_admission_events;
@@ -491,6 +554,13 @@ TrafficReport RunTraffic(const TrafficOptions& options) {
       });
   env.world().scheduler().Run();
   env.world().scheduler().SetStepObserver(nullptr);
+
+  // --- broker over-commitment: identified from on-chain evidence (bounced
+  //     broker escrow pulls) and tainted before validation, so the bounced
+  //     deal's clean abort is judged as the defense it is ---
+  if (broker_pool.enabled()) {
+    TaintBouncedBrokerEscrows(env.world(), &slots, broker_pool);
+  }
 
   // --- per-deal gas/receipt attribution: one sequential pass. Gas that
   //     reaches no deal's tag is leakage in the accounting and is reported
@@ -536,6 +606,7 @@ TrafficReport RunTraffic(const TrafficOptions& options) {
   // so a changed schedule or policy can never alias an old fingerprint.
   const bool open_loop_fp = options.arrival != ArrivalProcess::kFixedStagger ||
                             options.admission.enabled;
+  const bool broker_fp = broker_pool.enabled();
   std::vector<Tick> latencies;
   std::vector<uint64_t> gas_values;
   uint64_t fp = 0x452821E638D01377ULL;
@@ -592,6 +663,12 @@ TrafficReport RunTraffic(const TrafficOptions& options) {
                                       << 1);
       fp = MixFingerprint(fp, rec.admission_wait);
     }
+    if (broker_fp) {
+      if (rec.broker != 0) ++report.broker_deals;
+      fp = MixFingerprint(fp, rec.broker);
+      fp = MixFingerprint(fp, rec.broker_capital_need);
+      fp = MixFingerprint(fp, rec.broker_inventory_need);
+    }
   }
 
   report.latency_p50 = Percentile(latencies, 50);
@@ -621,6 +698,49 @@ TrafficReport RunTraffic(const TrafficOptions& options) {
     fp = MixFingerprint(fp, incident.loser_deal);
     fp = MixFingerprint(fp, incident.winner_deal);
     fp = MixFingerprint(fp, incident.party);
+  }
+
+  // --- per-broker aggregation: gas/latency attribution, occupancy
+  //     timelines, and the portfolio conformance check, folded into the
+  //     fingerprint so a changed broker fate can never alias a report ---
+  if (broker_pool.enabled()) {
+    std::vector<BrokerDealOutcome> outcomes;
+    outcomes.reserve(report.broker_deals);
+    for (size_t d = 0; d < num_deals; ++d) {
+      const TrafficDealRecord& rec = slots[d].rec;
+      if (rec.broker == 0) continue;
+      BrokerDealOutcome outcome;
+      outcome.deal_index = d;
+      outcome.arrival_at = rec.arrival_at;
+      outcome.admitted_at = rec.admitted_at;
+      outcome.settle_time = rec.settle_time;
+      outcome.latency = rec.latency;
+      outcome.started = rec.started;
+      outcome.committed = rec.committed;
+      outcome.aborted = rec.aborted;
+      outcome.shed = rec.shed;
+      outcome.all_settled = rec.all_settled;
+      outcome.gas = rec.gas;
+      outcomes.push_back(outcome);
+    }
+    report.brokers = broker_pool.BuildRecords(outcomes);
+    report.broker_blocked = controller.stats().broker_blocked;
+    for (const BrokerRecord& broker : report.brokers) {
+      if (!broker.portfolio_ok) ++report.broker_portfolio_violations;
+      fp = MixFingerprint(fp, broker.index);
+      fp = MixFingerprint(fp, broker.party);
+      fp = MixFingerprint(fp, broker.deals);
+      fp = MixFingerprint(fp, broker.committed);
+      fp = MixFingerprint(fp, broker.aborted);
+      fp = MixFingerprint(fp, broker.shed);
+      fp = MixFingerprint(fp, broker.delayed);
+      fp = MixFingerprint(fp, broker.gas);
+      fp = MixFingerprint(fp, static_cast<uint64_t>(broker.coin_delta));
+      fp = MixFingerprint(fp, static_cast<uint64_t>(broker.inventory_delta));
+      fp = MixFingerprint(fp, broker.peak_capital_in_use);
+      fp = MixFingerprint(fp, broker.peak_inventory_in_use);
+      fp = MixFingerprint(fp, broker.portfolio_ok ? 1 : 0);
+    }
   }
   report.fingerprint = fp;
 
@@ -652,6 +772,34 @@ std::string TrafficReport::Summary() const {
         peak_backlog_seen,
         static_cast<unsigned long long>(peak_occupancy_seen));
     s += line;
+  }
+  if (broker_deals > 0) {
+    std::snprintf(
+        line, sizeof(line),
+        "brokers: %zu brokers hosting %zu deals, portfolio violations=%zu, "
+        "blocked admission decisions=%zu\n",
+        brokers.size(), broker_deals, broker_portfolio_violations,
+        broker_blocked);
+    s += line;
+    for (const BrokerRecord& b : brokers) {
+      std::snprintf(
+          line, sizeof(line),
+          "  broker %zu: deals=%zu committed=%zu aborted=%zu shed=%zu "
+          "delayed=%zu gas=%llu lat p50/max=%llu/%llu, peak capital %llu/"
+          "%llu, peak inventory %llu/%llu, net %+lld coins %+lld units%s\n",
+          b.index, b.deals, b.committed, b.aborted, b.shed, b.delayed,
+          static_cast<unsigned long long>(b.gas),
+          static_cast<unsigned long long>(b.latency_p50),
+          static_cast<unsigned long long>(b.latency_max),
+          static_cast<unsigned long long>(b.peak_capital_in_use),
+          static_cast<unsigned long long>(b.capital_limit),
+          static_cast<unsigned long long>(b.peak_inventory_in_use),
+          static_cast<unsigned long long>(b.inventory_limit),
+          static_cast<long long>(b.coin_delta),
+          static_cast<long long>(b.inventory_delta),
+          b.portfolio_ok ? "" : "  PORTFOLIO VIOLATION");
+      s += line;
+    }
   }
   std::snprintf(
       line, sizeof(line),

@@ -53,11 +53,15 @@
 #include <vector>
 
 #include "core/admission.h"
+#include "core/broker_pool.h"
 #include "core/protocol_driver.h"
 #include "sim/scheduler.h"
 
 namespace xdeal {
 
+/// The full workload description of one traffic run: scale, arrival
+/// process, admission policy, per-deal shape ranges, protocol mix, broker
+/// subsystem, and injections. RunTraffic is a pure function of this struct.
 struct TrafficOptions {
   uint64_t base_seed = 1;
   /// D: how many concurrent deals the workload admits.
@@ -129,6 +133,15 @@ struct TrafficOptions {
   /// as a refund client. 0 = no watchtowers.
   size_t watchtower_every = 0;
 
+  /// Broker subsystem (core/broker_pool.h): with num_brokers > 0, every
+  /// `broker_every`-th deal becomes a Figure-1-style broker deal whose
+  /// middle party is one of B shared broker identities with finite working
+  /// capital and inventory; broker occupancy feeds the admission controller
+  /// as a third signal, and per-broker records (portfolio conformance,
+  /// occupancy timelines, gas/latency attribution) land in the report.
+  /// Default (0 brokers) reproduces legacy traffic bit-for-bit.
+  BrokerOptions brokers;
+
   /// Worker threads for post-run per-deal validation (0 = hardware).
   size_t num_threads = 1;
 };
@@ -153,6 +166,11 @@ struct TrafficDealRecord {
   /// the deviating party is excluded from their compliant sets, and
   /// Property 3 — which assumes all parties compliant — is not asserted.
   bool tainted = false;
+  /// Broker hosting this deal, as index + 1 (0 = not a broker deal), plus
+  /// the working capital / inventory the deal locks while in flight.
+  size_t broker = 0;
+  uint64_t broker_capital_need = 0;
+  uint64_t broker_inventory_need = 0;
   size_t parties = 0;
   size_t assets = 0;
   size_t transfers = 0;
@@ -196,6 +214,9 @@ struct DoubleSpendIncident {
   uint64_t seed = 0;  // loser deal's derived seed
 };
 
+/// Everything one traffic run produced: per-deal records, per-broker
+/// records, violations/incidents, and the aggregate metrics the benches
+/// chart — all a deterministic function of the options.
 struct TrafficReport {
   size_t num_deals = 0;
   size_t cbc_shards = 1;
@@ -204,6 +225,13 @@ struct TrafficReport {
   size_t mixed = 0;
   size_t timelock_deals = 0;
   size_t cbc_deals = 0;
+  /// How many deals took the broker shape (0 when brokers are disabled).
+  size_t broker_deals = 0;
+  /// Brokers whose portfolio check failed: they ended worse off across
+  /// their whole deal set (Property 1 lifted to portfolios).
+  size_t broker_portfolio_violations = 0;
+  /// Admission decisions at which the broker signal reported a shortfall.
+  size_t broker_blocked = 0;
 
   // Admission-control outcome (all zero when the controller is disabled).
   size_t shed = 0;           // deals never deployed (load the policy refused)
@@ -243,6 +271,10 @@ struct TrafficReport {
   std::vector<TrafficDealRecord> deals;
   std::vector<TrafficViolation> violations;
   std::vector<DoubleSpendIncident> double_spends;
+  /// Per-broker aggregation (empty when brokers are disabled): capital /
+  /// inventory occupancy timelines, gas/latency attribution, and the
+  /// portfolio conformance verdict.
+  std::vector<BrokerRecord> brokers;
 
   /// Order-sensitive hash over every per-deal record; equal fingerprints
   /// mean bit-identical reports (the thread-count-independence invariant).

@@ -1,0 +1,27 @@
+// Deterministic nearest-rank percentile, shared by every report
+// aggregation (traffic engine, broker pool) so the recipe can never
+// silently diverge between per-run and per-broker statistics.
+
+#ifndef XDEAL_UTIL_PERCENTILE_H_
+#define XDEAL_UTIL_PERCENTILE_H_
+
+#include <algorithm>
+#include <vector>
+
+namespace xdeal {
+
+/// The smallest value with at least p% of the samples at or below it,
+/// computed over a scratch copy (nearest-rank method; empty input -> T{}).
+template <typename T>
+T Percentile(std::vector<T> values, int p) {
+  if (values.empty()) return T{};
+  std::sort(values.begin(), values.end());
+  size_t rank = (values.size() * static_cast<size_t>(p) + 99) / 100;
+  if (rank == 0) rank = 1;
+  if (rank > values.size()) rank = values.size();
+  return values[rank - 1];
+}
+
+}  // namespace xdeal
+
+#endif  // XDEAL_UTIL_PERCENTILE_H_

@@ -18,9 +18,10 @@ Usage:
 Metric policy (classified by name, see classify()):
 
   exact          conformance counters and swept frontier/knee positions
-                 (committed, violations, shed, knee rate, min safe delta,
-                 conformance_ok). All simulated — any drift is a real
-                 behaviour change and must be an intentional re-baseline.
+                 (committed, violations, shed, delayed, knee rate, broker
+                 knee capital, min safe delta, conformance_ok). All
+                 simulated — any drift is a real behaviour change and must
+                 be an intentional re-baseline.
   lower_better   simulated latencies and gas costs: fail when the fresh
                  value exceeds baseline * (1 + tolerance).
   higher_better  simulated throughput (deals/goodput per kilotick): fail
@@ -52,7 +53,10 @@ def classify(name):
         return "wall"
     if name == "conformance_ok" or name.endswith("committed") or \
             name.endswith("violations") or name.endswith("_shed") or \
-            name.endswith("knee_rate") or name.endswith("min_safe_delta"):
+            name.endswith("_delayed") or name.endswith("knee_rate") or \
+            name.endswith("knee_capital") or \
+            name.endswith("blocked_decisions") or \
+            name.endswith("min_safe_delta"):
         return "exact"
     if "latency" in name or "gas" in name:
         return "lower_better"

@@ -1,0 +1,172 @@
+#!/usr/bin/env python3
+"""Render a self-contained HTML trend page from BENCH_*.json artifacts.
+
+Input: bench reports (the {"bench", "git_rev", "metrics": [...]} schema the
+bench binaries write) and/or committed baselines (the {"schema": 1,
+"metrics": [...]} schema bench_gate.py writes), in CHRONOLOGICAL order —
+oldest first. Each file becomes one x-axis point; every metric family
+becomes one inline-SVG chart with one line per label combination. No
+external JS/CSS, so the single output file can be archived as a CI
+artifact and opened anywhere.
+
+Usage:
+  # Nightly: trend of the committed baseline vs tonight's soak.
+  python3 tools/bench_trend.py --out BENCH_trend.html \\
+      BENCH_baseline.json BENCH_soak.json
+
+  # Local: a directory of downloaded bench-reports artifacts.
+  python3 tools/bench_trend.py --out trend.html artifacts/*/BENCH_*.json
+
+Only gated metric families (see tools/bench_gate.py classify()) are
+charted by default; --all charts every family, including wall-clock.
+"""
+
+import argparse
+import html
+import json
+import sys
+
+from bench_gate import classify
+
+WIDTH, HEIGHT, PAD = 640, 220, 44
+PALETTE = ["#2563eb", "#dc2626", "#059669", "#d97706", "#7c3aed",
+           "#0891b2", "#be185d", "#4d7c0f", "#b45309", "#1e40af"]
+MAX_SERIES = 12
+
+
+def load_points(paths):
+    """Returns [(label, {(bench, metric, labels): value})] per input file."""
+    points = []
+    for path in paths:
+        with open(path) as f:
+            report = json.load(f)
+        if "schema" in report:  # a committed bench_gate baseline
+            rev = report.get("generated_from_git_rev", "baseline")
+            metrics = {}
+            for entry in report.get("metrics", []):
+                key = (entry["bench"], entry["name"],
+                       tuple(sorted(entry.get("labels", {}).items())))
+                metrics[key] = float(entry["value"])
+        else:  # a raw bench report
+            rev = report.get("git_rev", path)
+            bench = report.get("bench", path)
+            metrics = {}
+            for metric in report.get("metrics", []):
+                key = (bench, metric["name"],
+                       tuple(sorted(metric.get("labels", {}).items())))
+                metrics[key] = float(metric["value"])
+        points.append((str(rev)[:12], metrics))
+    return points
+
+
+def svg_chart(title, series, x_labels):
+    """One SVG line chart. series: {series_name: [value-or-None per x]}."""
+    values = [v for line in series.values() for v in line if v is not None]
+    if not values:
+        return ""
+    lo, hi = min(values), max(values)
+    if hi == lo:
+        hi = lo + 1.0
+    n = max(2, len(x_labels))
+
+    def x(i):
+        return PAD + (WIDTH - 2 * PAD) * i / (n - 1)
+
+    def y(v):
+        return HEIGHT - PAD + (2 * PAD - HEIGHT) * (v - lo) / (hi - lo)
+
+    parts = [f'<svg viewBox="0 0 {WIDTH} {HEIGHT}" class="chart" '
+             f'role="img" aria-label="{html.escape(title)}">',
+             f'<text x="{PAD}" y="16" class="title">'
+             f'{html.escape(title)}</text>']
+    # Axis frame + min/max gridline labels.
+    parts.append(f'<line x1="{PAD}" y1="{HEIGHT - PAD}" x2="{WIDTH - PAD}" '
+                 f'y2="{HEIGHT - PAD}" class="axis"/>')
+    for v in (lo, hi):
+        parts.append(f'<text x="{PAD - 6}" y="{y(v) + 4}" '
+                     f'class="tick" text-anchor="end">{v:g}</text>')
+    for i, label in enumerate(x_labels):
+        parts.append(f'<text x="{x(i)}" y="{HEIGHT - PAD + 16}" '
+                     f'class="tick" text-anchor="middle">'
+                     f'{html.escape(label)}</text>')
+
+    clipped = list(series.items())
+    for si, (name, line) in enumerate(clipped[:MAX_SERIES]):
+        color = PALETTE[si % len(PALETTE)]
+        path = []
+        for i, v in enumerate(line):
+            if v is None:
+                continue
+            path.append(f"{'M' if not path else 'L'}{x(i):.1f},{y(v):.1f}")
+            parts.append(f'<circle cx="{x(i):.1f}" cy="{y(v):.1f}" r="3" '
+                         f'fill="{color}"><title>{html.escape(name)} = '
+                         f'{v:g}</title></circle>')
+        if path:
+            parts.append(f'<path d="{" ".join(path)}" fill="none" '
+                         f'stroke="{color}" stroke-width="1.5"/>')
+        parts.append(f'<text x="{WIDTH - PAD + 4}" '
+                     f'y="{30 + 14 * si}" class="legend" fill="{color}">'
+                     f'{html.escape(name)}</text>')
+    if len(clipped) > MAX_SERIES:
+        parts.append(f'<text x="{WIDTH - PAD + 4}" '
+                     f'y="{30 + 14 * MAX_SERIES}" class="legend">'
+                     f'(+{len(clipped) - MAX_SERIES} more)</text>')
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", required=True, help="output HTML path")
+    parser.add_argument("--all", action="store_true",
+                        help="chart every metric family, incl. wall-clock")
+    parser.add_argument("files", nargs="+",
+                        help="bench reports/baselines, oldest first")
+    args = parser.parse_args()
+
+    points = load_points(args.files)
+    x_labels = [label for label, _ in points]
+
+    # Group into one chart per (bench, metric name); one line per label set.
+    families = {}
+    for i, (_, metrics) in enumerate(points):
+        for (bench, name, labels), value in metrics.items():
+            if not args.all and classify(name) in ("wall", "info"):
+                continue
+            family = families.setdefault((bench, name), {})
+            series_name = ",".join(f"{k}={v}" for k, v in labels) or name
+            family.setdefault(series_name, [None] * len(points))[i] = value
+
+    charts = []
+    for (bench, name), series in sorted(families.items()):
+        chart = svg_chart(f"{bench}: {name}", series, x_labels)
+        if chart:
+            charts.append(chart)
+
+    page = f"""<!DOCTYPE html>
+<html lang="en"><head><meta charset="utf-8">
+<title>xdeal bench trend</title>
+<style>
+ body {{ font: 14px system-ui, sans-serif; margin: 24px; color: #111; }}
+ .chart {{ width: {WIDTH}px; max-width: 100%; display: block;
+           margin: 12px 0 28px; overflow: visible; }}
+ .title {{ font-size: 13px; font-weight: 600; }}
+ .tick, .legend {{ font-size: 10px; fill: #555; }}
+ .axis {{ stroke: #bbb; }}
+</style></head><body>
+<h1>xdeal bench trend</h1>
+<p>{len(points)} report(s), oldest → newest: {html.escape(" → ".join(x_labels))}.
+Gated simulated metrics only{" (plus wall-clock/info)" if args.all else ""};
+see docs/BENCH_SCHEMA.md for what each metric means.</p>
+{"".join(charts)}
+</body></html>
+"""
+    with open(args.out, "w") as f:
+        f.write(page)
+    print(f"wrote {args.out}: {len(charts)} charts over {len(points)} "
+          f"report(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
