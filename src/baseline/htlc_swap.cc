@@ -213,7 +213,8 @@ Status HtlcSwapRun::Start() {
     }
     size_t leg_copy = i;
     world_->scheduler().ScheduleAt(
-        config_.setup_time, [this, leg_copy, a = args.Take()]() mutable {
+        config_.setup_time, EventLabel::Timer(spec_.legs[i].from.v),
+        [this, leg_copy, a = args.Take()]() mutable {
           const SwapLeg& l = spec_.legs[leg_copy];
           world_->Submit(l.from, l.asset.chain, l.asset.token,
                          CallData{"approve", std::move(a)}, "setup");
@@ -235,10 +236,11 @@ Status HtlcSwapRun::Start() {
   // Kickoff + refund watchdogs.
   for (const auto& [pid, strategy] : parties_) {
     SwapParty* raw = strategy.get();
-    world_->scheduler().ScheduleAt(config_.start_time,
+    world_->scheduler().ScheduleAt(config_.start_time, EventLabel::Timer(pid),
                                    [raw] { raw->OnStart(); });
     Tick watch = TimeoutOfLeg(raw->index_) + config_.refund_margin;
-    world_->scheduler().ScheduleAt(watch, [raw] { raw->OnRefundWatch(); });
+    world_->scheduler().ScheduleAt(watch, EventLabel::Timer(pid),
+                                   [raw] { raw->OnRefundWatch(); });
   }
   return Status::OK();
 }

@@ -53,7 +53,7 @@ uint64_t Blockchain::SubmitAt(Tick arrival, PartyId sender,
                                          std::move(call), std::move(tag),
                                          deal_tag});
   if (schedule) {
-    world_->scheduler().ScheduleAt(boundary,
+    world_->scheduler().ScheduleAt(boundary, EventLabel::BlockProduction(id_.v),
                                    [this, boundary] { ProduceBlock(boundary); });
   }
   return seq;
@@ -129,7 +129,7 @@ void Blockchain::ProduceBlock(Tick boundary) {
         std::make_move_iterator(txs.end()));
     txs.resize(max_txs_per_block_);
     if (schedule) {
-      world_->scheduler().ScheduleAt(next,
+      world_->scheduler().ScheduleAt(next, EventLabel::BlockProduction(id_.v),
                                      [this, next] { ProduceBlock(next); });
     }
   }
@@ -170,7 +170,8 @@ void Blockchain::ProduceBlock(Tick boundary) {
       Receipt snapshot = receipts_[idx];
       Observer observer = cb;
       world_->scheduler().ScheduleAfter(
-          delay, [observer, snapshot] { observer(snapshot); });
+          delay, EventLabel::Observation(id_.v, who.id),
+          [observer, snapshot] { observer(snapshot); });
     }
   }
 }

@@ -136,9 +136,9 @@ class LateVotingParty : public TimelockParty {
   void OnCommitPhase() override {
     if (!satisfied()) return;
     auto* self_ptr = this;
-    world().scheduler().ScheduleAfter(lateness_, [self_ptr] {
-      self_ptr->TimelockParty::OnCommitPhase();
-    });
+    world().scheduler().ScheduleAfter(
+        lateness_, EventLabel::Timer(self().v),
+        [self_ptr] { self_ptr->TimelockParty::OnCommitPhase(); });
   }
 
  private:

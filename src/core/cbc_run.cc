@@ -328,7 +328,8 @@ void CbcRun::SetupApprovals() {
       w.U8(static_cast<uint8_t>(spender.kind));
       w.U32(spender.id);
       world_->scheduler().ScheduleAt(
-          config_.setup_time, [this, e, args = w.Take()]() mutable {
+          config_.setup_time, EventLabel::Timer(e.party.v),
+          [this, e, args = w.Take()]() mutable {
             world_->Submit(e.party, spec_.assets[e.asset].chain,
                            spec_.assets[e.asset].token,
                            CallData{"approve", std::move(args)}, "setup",
@@ -347,7 +348,7 @@ void CbcRun::SetupApprovals() {
     uint32_t asset_copy = asset_index;
     uint32_t party_copy = party_id;
     world_->scheduler().ScheduleAt(
-        config_.setup_time,
+        config_.setup_time, EventLabel::Timer(party_copy),
         [this, asset_copy, party_copy, args = w.Take()]() mutable {
           world_->Submit(PartyId{party_copy}, spec_.assets[asset_copy].chain,
                          spec_.assets[asset_copy].token,
@@ -361,18 +362,20 @@ void CbcRun::SchedulePhases() {
   // Clearing: the first party records startDeal.
   CbcParty* starter = parties_.at(spec_.parties.front().v).get();
   world_->scheduler().ScheduleAt(config_.start_deal_time,
+                                 EventLabel::Timer(spec_.parties.front().v),
                                  [starter] { starter->OnStartDealPhase(); });
 
   for (const auto& [pid, strategy] : parties_) {
     CbcParty* raw = strategy.get();
-    world_->scheduler().ScheduleAt(config_.escrow_time,
+    world_->scheduler().ScheduleAt(config_.escrow_time, EventLabel::Timer(pid),
                                    [raw] { raw->OnEscrowPhase(); });
-    world_->scheduler().ScheduleAt(deployment_.validation_time, [raw] {
+    world_->scheduler().ScheduleAt(deployment_.validation_time,
+                                   EventLabel::Timer(pid), [raw] {
       raw->OnValidatePhase();
       raw->OnVotePhase();
     });
     world_->scheduler().ScheduleAt(
-        deployment_.vote_time + config_.abort_patience,
+        deployment_.vote_time + config_.abort_patience, EventLabel::Timer(pid),
         [raw] { raw->OnAbortDeadline(); });
   }
   for (size_t i = 0; i < spec_.transfers.size(); ++i) {
@@ -382,6 +385,7 @@ void CbcRun::SchedulePhases() {
                      : static_cast<Tick>(i) * config_.step_gap);
     CbcParty* actor = parties_.at(spec_.transfers[i].from.v).get();
     world_->scheduler().ScheduleAt(when,
+                                   EventLabel::Timer(spec_.transfers[i].from.v),
                                    [actor, i] { actor->OnTransferStep(i); });
   }
   // Optional mid-deal validator reconfigurations.

@@ -500,6 +500,92 @@ SweepReport AggregateOutcomes(const std::vector<ScenarioSpec>& specs,
   return report;
 }
 
+bool ExhaustivelyExplorable(const ScenarioSpec& sc) {
+  if (sc.protocol != Protocol::kTimelock && sc.protocol != Protocol::kCbc) {
+    return false;
+  }
+  if (sc.network != SweepNetwork::kSynchronous &&
+      sc.network != SweepNetwork::kDosWindow) {
+    return false;
+  }
+  return sc.shape.n_parties >= 2 && sc.shape.n_parties <= 4;
+}
+
+ExploreCell ToExploreCell(const ScenarioSpec& sc) {
+  ExploreCell cell;
+  cell.protocol = sc.protocol;
+  cell.gen = GenParamsFor(sc);
+  cell.timings = DealTimings::DefaultsFor(sc.protocol);
+  cell.timings.delta =
+      sc.network == SweepNetwork::kDosWindow ? kDosDelta : kSweepDelta;
+  cell.deviant_position = sc.position;
+  if (sc.adversary != SweepAdversary::kNone) {
+    const SweepAdversary kind = sc.adversary;
+    if (sc.protocol == Protocol::kTimelock) {
+      cell.timelock_adversary = [kind] { return MakeTimelockAdversary(kind); };
+    } else {
+      cell.cbc_adversary = [kind] { return MakeCbcAdversary(kind); };
+    }
+  }
+  cell.dos_window = sc.network == SweepNetwork::kDosWindow;
+  cell.dos_beneficiary_position = sc.position;
+  return cell;
+}
+
+ExhaustiveSweepReport RunExhaustiveSweep(const SweepAxes& axes,
+                                         const SweepOptions& options) {
+  ExhaustiveSweepReport report;
+  std::vector<ScenarioSpec> specs =
+      BuildScenarioMatrix(axes, options.base_seed);
+  ExploreOptions explore_options;
+  explore_options.num_threads = options.num_threads;
+  explore_options.max_runs_per_branch = options.max_runs_per_branch;
+  uint64_t fp = 0x243F6A8885A308D3ULL;
+  for (const ScenarioSpec& sc : specs) {
+    if (!ExhaustivelyExplorable(sc)) continue;
+    ExhaustiveCellOutcome cell;
+    cell.spec = sc;
+    cell.report = ExploreDeal(ToExploreCell(sc), explore_options);
+    report.orders += cell.report.stats.orders;
+    report.executions += cell.report.stats.executions;
+    report.sleep_blocked += cell.report.stats.sleep_blocked;
+    report.violations += cell.report.violation_count;
+    if (cell.report.violation_count > 0) ++report.violation_cells;
+    report.complete = report.complete && cell.report.stats.complete;
+    fp = MixFingerprint(fp, cell.report.fingerprint);
+    report.cells.push_back(std::move(cell));
+  }
+  report.fingerprint = fp;
+  return report;
+}
+
+std::string ExhaustiveSweepReport::Summary() const {
+  std::string s;
+  char line[256];
+  std::snprintf(line, sizeof(line),
+                "cells=%zu orders=%llu blocked=%llu executions=%llu "
+                "violations=%llu violation_cells=%llu complete=%d "
+                "fingerprint=%016llx\n",
+                cells.size(), static_cast<unsigned long long>(orders),
+                static_cast<unsigned long long>(sleep_blocked),
+                static_cast<unsigned long long>(executions),
+                static_cast<unsigned long long>(violations),
+                static_cast<unsigned long long>(violation_cells),
+                complete ? 1 : 0,
+                static_cast<unsigned long long>(fingerprint));
+  s += line;
+  for (const ExhaustiveCellOutcome& c : cells) {
+    std::snprintf(line, sizeof(line),
+                  "%-9s %-22s %-14s n=%zu seed=%llu %s\n",
+                  ToString(c.spec.protocol), ToString(c.spec.adversary),
+                  ToString(c.spec.network), c.spec.shape.n_parties,
+                  static_cast<unsigned long long>(c.spec.seed),
+                  c.report.Summary().c_str());
+    s += line;
+  }
+  return s;
+}
+
 SweepReport RunSweep(const SweepAxes& axes, const SweepOptions& options) {
   std::vector<ScenarioSpec> specs = BuildScenarioMatrix(axes,
                                                         options.base_seed);

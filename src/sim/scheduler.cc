@@ -4,27 +4,96 @@
 
 namespace xdeal {
 
-void Scheduler::ScheduleAt(Tick t, Callback fn) {
-  if (t < now_) t = now_;
-  queue_.push(Event{t, next_seq_++, std::move(fn)});
+bool ChoicePolicy::ShouldDrop(const EnabledEvent& /*chosen*/) { return false; }
+
+size_t DefaultChoicePolicy::Choose(
+    const std::vector<EnabledEvent>& /*enabled*/) {
+  return 0;
+}
+
+size_t ScriptedChoicePolicy::Choose(const std::vector<EnabledEvent>& enabled) {
+  if (next_ >= script_.size()) {
+    ++next_;
+    return 0;
+  }
+  size_t choice = script_[next_++];
+  return choice < enabled.size() ? choice : 0;
+}
+
+void Scheduler::Push(Event ev) {
+  queue_.push(std::move(ev));
   if (queue_.size() > stats_.max_pending) {
     stats_.max_pending = queue_.size();
     stats_.max_pending_at = now_;
   }
 }
 
-void Scheduler::ScheduleAfter(Tick delay, Callback fn) {
+void Scheduler::ScheduleAt(Tick t, EventLabel label, Callback fn) {
+  if (t < now_) t = now_;
+  Push(Event{t, next_seq_++, label, std::move(fn)});
+}
+
+void Scheduler::ScheduleAfter(Tick delay, EventLabel label, Callback fn) {
   // Saturating add: kTickMax means "never" and must not wrap.
   Tick t = (delay > kTickMax - now_) ? kTickMax : now_ + delay;
-  queue_.push(Event{t, next_seq_++, std::move(fn)});
-  if (queue_.size() > stats_.max_pending) {
-    stats_.max_pending = queue_.size();
-    stats_.max_pending_at = now_;
+  Push(Event{t, next_seq_++, label, std::move(fn)});
+}
+
+// With a policy installed: gather every event tied at the earliest pending
+// time, collapse same-(kind, chain, actor) ties into FIFO channels (only the
+// lowest-seq member of a channel is enabled — see the header), let the policy
+// choose, and reinsert the rest. The pop order of the tie group is (time,
+// seq), so `ties` is already seq-sorted.
+bool Scheduler::PolicyStep() {
+  std::vector<Event> ties;
+  Tick t = queue_.top().time;
+  while (!queue_.empty() && queue_.top().time == t) {
+    // Move out before pop (see Step for why the const_cast is safe).
+    ties.push_back(std::move(const_cast<Event&>(queue_.top())));
+    queue_.pop();
   }
+
+  std::vector<EnabledEvent> enabled;
+  std::vector<size_t> tie_index;  // enabled index -> ties index
+  enabled.reserve(ties.size());
+  for (size_t i = 0; i < ties.size(); ++i) {
+    const EventLabel& label = ties[i].label;
+    bool shadowed = false;
+    if (label.kind != EventKind::kInternal) {
+      for (size_t j = 0; j < i && !shadowed; ++j) {
+        const EventLabel& prev = ties[j].label;
+        shadowed = prev.kind == label.kind && prev.chain == label.chain &&
+                   prev.actor == label.actor;
+      }
+    }
+    if (!shadowed) {
+      enabled.push_back(EnabledEvent{ties[i].seq, ties[i].time, label});
+      tie_index.push_back(i);
+    }
+  }
+
+  size_t choice = policy_->Choose(enabled);
+  if (choice >= enabled.size()) choice = 0;
+  size_t chosen_tie = tie_index[choice];
+  Event ev = std::move(ties[chosen_tie]);
+  for (size_t i = 0; i < ties.size(); ++i) {
+    if (i != chosen_tie) Push(std::move(ties[i]));
+  }
+
+  now_ = ev.time;
+  if (policy_->ShouldDrop(enabled[choice])) {
+    ++stats_.dropped;
+    return true;
+  }
+  ev.fn();
+  ++stats_.executed;
+  if (step_observer_) step_observer_(now_, queue_.size());
+  return true;
 }
 
 bool Scheduler::Step() {
   if (queue_.empty()) return false;
+  if (policy_ != nullptr) return PolicyStep();
   // Move out before pop: the callback may schedule new events. The const_cast
   // is safe because the event is popped immediately and never compared again.
   Event ev = std::move(const_cast<Event&>(queue_.top()));

@@ -1,9 +1,34 @@
-// Deterministic discrete-event scheduler.
+// Deterministic discrete-event scheduler with a pluggable choose-point.
 //
 // All activity in the system — transaction submission, block production,
 // observation notifications, party timeouts — is an event on this scheduler.
-// Events at equal times run in schedule order (FIFO by sequence number), so
-// every run is exactly reproducible given the same seed.
+// With no ChoicePolicy installed (the default), events at equal times run in
+// schedule order (FIFO by sequence number), so every run is exactly
+// reproducible given the same seed.
+//
+// A ChoicePolicy turns the same-tick tie-break into an explicit choose-point:
+// at each step the policy sees the set of currently-enabled events (all
+// events at the earliest pending time, with their dependence labels) and
+// picks which fires next. This is the seam the exhaustive interleaving
+// explorer (core/explore.h) drives with dynamic partial-order reduction, and
+// the same seam doubles as a deterministic fault-injection API (a policy may
+// also drop the event it selected — a lost message).
+//
+// Determinism invariants:
+//   - No policy (nullptr): execution order is exactly (time, seq) ascending —
+//     bit-for-bit the historical order; golden fingerprints depend on this.
+//   - DefaultChoicePolicy reproduces the no-policy order exactly (it always
+//     picks the lowest-seq enabled event and drops nothing).
+//   - Same policy decisions => same execution, because all other scheduler
+//     state is deterministic.
+//
+// Channel discipline: same-tick events with identical non-internal labels
+// (same kind, chain, actor) form a FIFO chain — only the lowest-seq member
+// is presented as enabled, the rest become eligible after it fires. This
+// encodes ordered per-actor message channels (a party's subscription socket
+// delivers one block's receipts in on-chain order) and keeps the explored
+// interleaving space free of spurious k! permutations that no real network
+// could produce.
 
 #ifndef XDEAL_SIM_SCHEDULER_H_
 #define XDEAL_SIM_SCHEDULER_H_
@@ -21,11 +46,104 @@ using Tick = uint64_t;
 
 constexpr Tick kTickMax = ~static_cast<Tick>(0);
 
+/// What kind of system activity a scheduled event represents. Labels drive
+/// the explorer's independence relation; kInternal (the default for the
+/// unlabeled Schedule* overloads) conservatively conflicts with everything.
+enum class EventKind : uint8_t {
+  kInternal = 0,     // unlabeled: assume it may touch any state
+  kTxArrival,        // a submitted transaction reaching a chain's mempool
+  kBlockProduction,  // a chain producing the block at a boundary
+  kObservation,      // a receipt notification delivered to an observer
+  kTimer,            // a party/protocol phase hook firing
+};
+
+/// Dependence metadata for one scheduled event: which chain's queue/state the
+/// callback touches and which actor's (party's/observer's) local state it
+/// mutates. kNoId marks a dimension as not applicable.
+struct EventLabel {
+  /// Sentinel for "no chain" / "no actor".
+  static constexpr uint32_t kNoId = 0xFFFFFFFFu;
+
+  EventKind kind = EventKind::kInternal;
+  uint32_t chain = kNoId;  // chain whose mempool/ledger the event touches
+  uint32_t actor = kNoId;  // party/endpoint whose local state it mutates
+
+  /// A transaction from party `sender` arriving at `chain`'s mempool.
+  static EventLabel TxArrival(uint32_t chain, uint32_t sender) {
+    return EventLabel{EventKind::kTxArrival, chain, sender};
+  }
+  /// `chain` producing the block at a boundary.
+  static EventLabel BlockProduction(uint32_t chain) {
+    return EventLabel{EventKind::kBlockProduction, chain, kNoId};
+  }
+  /// A receipt of `chain` delivered to observer endpoint `observer`.
+  static EventLabel Observation(uint32_t chain, uint32_t observer) {
+    return EventLabel{EventKind::kObservation, chain, observer};
+  }
+  /// A protocol phase hook owned by `actor` (a party id).
+  static EventLabel Timer(uint32_t actor) {
+    return EventLabel{EventKind::kTimer, EventLabel::kNoId, actor};
+  }
+};
+
+/// One event eligible to fire now, as presented to a ChoicePolicy: identity
+/// (seq — stable for the lifetime of the event), time, and dependence label.
+struct EnabledEvent {
+  uint64_t seq = 0;
+  Tick time = 0;
+  EventLabel label;
+};
+
+/// Chooses which of the currently-enabled events fires next. `enabled` is
+/// sorted by seq ascending and never empty; index 0 is the default (FIFO)
+/// choice. Implementations must be deterministic functions of the enabled
+/// sets they have seen — the explorer's replay guarantee depends on it.
+class ChoicePolicy {
+ public:
+  virtual ~ChoicePolicy() = default;
+
+  /// Picks the index into `enabled` of the event to fire next. Out-of-range
+  /// returns are clamped to 0.
+  virtual size_t Choose(const std::vector<EnabledEvent>& enabled) = 0;
+
+  /// Fault-injection hook: if true, the chosen event is consumed without
+  /// running its callback (a dropped message). Default: never drop.
+  virtual bool ShouldDrop(const EnabledEvent& chosen);
+};
+
+/// The explicit form of the built-in tie-break: always fire the lowest-seq
+/// enabled event. Installing this policy is bit-for-bit equivalent to
+/// installing none (tested by sim_test).
+class DefaultChoicePolicy : public ChoicePolicy {
+ public:
+  size_t Choose(const std::vector<EnabledEvent>& enabled) override;
+};
+
+/// Replays a recorded decision sequence: the i-th Choose call returns the
+/// i-th scripted index (clamped); after the script is exhausted every call
+/// returns 0 (the default order). This is how an explorer trace becomes a
+/// deterministic reproducer.
+class ScriptedChoicePolicy : public ChoicePolicy {
+ public:
+  explicit ScriptedChoicePolicy(std::vector<uint32_t> script)
+      : script_(std::move(script)) {}
+
+  size_t Choose(const std::vector<EnabledEvent>& enabled) override;
+
+  /// How many Choose calls have been served so far.
+  size_t calls() const { return next_; }
+
+ private:
+  std::vector<uint32_t> script_;
+  size_t next_ = 0;
+};
+
 /// Load counters maintained by the scheduler: how many events ran and how
 /// deep the queue ever got. Heavy-traffic engines read these to quantify
 /// backlog pressure (a proxy for scheduling fairness under contention).
 struct SchedulerStats {
   uint64_t executed = 0;    // events run so far
+  uint64_t dropped = 0;     // events consumed unrun by a policy drop
   size_t max_pending = 0;   // high-water mark of the event queue
   Tick max_pending_at = 0;  // sim time when the high-water mark was set
 };
@@ -48,11 +166,21 @@ class Scheduler {
     step_observer_ = std::move(observer);
   }
 
+  /// Installs (or clears, with nullptr) the same-tick choose-point policy.
+  /// Non-owning; the policy must outlive the scheduler or be cleared first.
+  void SetChoicePolicy(ChoicePolicy* policy) { policy_ = policy; }
+
   /// Schedules `fn` at absolute time `t` (clamped to now if in the past).
-  void ScheduleAt(Tick t, Callback fn);
+  void ScheduleAt(Tick t, Callback fn) { ScheduleAt(t, EventLabel{}, std::move(fn)); }
+  /// Schedules `fn` at absolute time `t` with a dependence label.
+  void ScheduleAt(Tick t, EventLabel label, Callback fn);
 
   /// Schedules `fn` `delay` ticks from now.
-  void ScheduleAfter(Tick delay, Callback fn);
+  void ScheduleAfter(Tick delay, Callback fn) {
+    ScheduleAfter(delay, EventLabel{}, std::move(fn));
+  }
+  /// Schedules `fn` `delay` ticks from now with a dependence label.
+  void ScheduleAfter(Tick delay, EventLabel label, Callback fn);
 
   /// Runs a single event; returns false if the queue is empty.
   bool Step();
@@ -65,6 +193,7 @@ class Scheduler {
   struct Event {
     Tick time;
     uint64_t seq;
+    EventLabel label;
     Callback fn;
   };
   struct Later {
@@ -74,10 +203,14 @@ class Scheduler {
     }
   };
 
+  void Push(Event ev);
+  bool PolicyStep();
+
   Tick now_ = 0;
   uint64_t next_seq_ = 0;
   SchedulerStats stats_;
   StepObserver step_observer_;
+  ChoicePolicy* policy_ = nullptr;
   std::priority_queue<Event, std::vector<Event>, Later> queue_;
 };
 

@@ -104,6 +104,109 @@ TEST(SchedulerTest, SaturatingScheduleAfter) {
   EXPECT_FALSE(fired);  // "never" event does not fire within the limit
 }
 
+// A policy that records the enabled-set size at every choose point and
+// always takes the default choice.
+class RecordingPolicy : public ChoicePolicy {
+ public:
+  size_t Choose(const std::vector<EnabledEvent>& enabled) override {
+    sizes.push_back(enabled.size());
+    return 0;
+  }
+  std::vector<size_t> sizes;
+};
+
+TEST(ChoicePolicyTest, DefaultPolicyMatchesNoPolicyBitForBit) {
+  std::vector<int> no_policy, with_default;
+  {
+    Scheduler sched;
+    for (int i = 0; i < 4; ++i) {
+      sched.ScheduleAt(5, EventLabel::Timer(i),
+                       [&no_policy, i] { no_policy.push_back(i); });
+    }
+    sched.Run();
+  }
+  {
+    Scheduler sched;
+    DefaultChoicePolicy policy;
+    sched.SetChoicePolicy(&policy);
+    for (int i = 0; i < 4; ++i) {
+      sched.ScheduleAt(5, EventLabel::Timer(i),
+                       [&with_default, i] { with_default.push_back(i); });
+    }
+    sched.Run();
+  }
+  EXPECT_EQ(no_policy, with_default);
+}
+
+TEST(ChoicePolicyTest, ScriptedPolicyReordersAndClampsOutOfRange) {
+  Scheduler sched;
+  // Indices: 2 picks the last of three ties, 7 is out of range (clamps to
+  // the default 0), then the exhausted script also defaults to 0.
+  ScriptedChoicePolicy policy({2, 7});
+  sched.SetChoicePolicy(&policy);
+  std::vector<int> order;
+  for (int i = 0; i < 3; ++i) {
+    sched.ScheduleAt(5, EventLabel::Timer(i),
+                     [&order, i] { order.push_back(i); });
+  }
+  sched.Run();
+  EXPECT_EQ(order, (std::vector<int>{2, 0, 1}));
+  EXPECT_EQ(policy.calls(), 3u);
+}
+
+TEST(ChoicePolicyTest, SameChannelTiesCollapseToOneChoice) {
+  // Three same-tick events on one channel (same kind/chain/actor) are a
+  // FIFO queue, not a choice; two more on distinct channels are choices.
+  // The policy must see 3 enabled events (one per channel), and the
+  // same-channel events must retain their submission order.
+  Scheduler sched;
+  RecordingPolicy policy;
+  sched.SetChoicePolicy(&policy);
+  std::vector<int> order;
+  for (int i = 0; i < 3; ++i) {
+    sched.ScheduleAt(5, EventLabel::TxArrival(/*chain=*/0, /*sender=*/1),
+                     [&order, i] { order.push_back(i); });
+  }
+  sched.ScheduleAt(5, EventLabel::TxArrival(/*chain=*/1, /*sender=*/1),
+                   [&order] { order.push_back(10); });
+  sched.ScheduleAt(5, EventLabel::Timer(/*actor=*/2),
+                   [&order] { order.push_back(20); });
+  sched.Run();
+  ASSERT_FALSE(policy.sizes.empty());
+  EXPECT_EQ(policy.sizes.front(), 3u);
+  std::vector<int> channel0;
+  for (int v : order) {
+    if (v < 3) channel0.push_back(v);
+  }
+  EXPECT_EQ(channel0, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(ChoicePolicyTest, ShouldDropConsumesEventWithoutRunningIt) {
+  // Drop every observation: the callback never runs, the event is gone
+  // (not retried), and stats().dropped counts it.
+  class DropObservations : public ChoicePolicy {
+   public:
+    size_t Choose(const std::vector<EnabledEvent>&) override { return 0; }
+    bool ShouldDrop(const EnabledEvent& chosen) override {
+      return chosen.label.kind == EventKind::kObservation;
+    }
+  };
+  Scheduler sched;
+  DropObservations policy;
+  sched.SetChoicePolicy(&policy);
+  bool observed = false, timed = false;
+  sched.ScheduleAt(5, EventLabel::Observation(/*chain=*/0, /*observer=*/1),
+                   [&observed] { observed = true; });
+  sched.ScheduleAt(5, EventLabel::Timer(/*actor=*/1),
+                   [&timed] { timed = true; });
+  sched.Run();
+  EXPECT_FALSE(observed);
+  EXPECT_TRUE(timed);
+  EXPECT_EQ(sched.stats().dropped, 1u);
+  EXPECT_EQ(sched.stats().executed, 1u);
+  EXPECT_EQ(sched.pending(), 0u);
+}
+
 TEST(SynchronousNetworkTest, DelaysWithinBounds) {
   SynchronousNetwork net(2, 9);
   Rng rng(1);

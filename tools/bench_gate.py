@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Bench-trajectory regression gate for the BENCH_*.json artifacts.
 
-The bench binaries (bench_traffic, bench_sweep) emit machine-readable
+The bench binaries (bench_traffic, bench_sweep, bench_explore) emit machine-readable
 reports; this tool diffs a fresh set against the committed baseline so CI
 holds the line on the performance trajectory instead of merely archiving
 it.
@@ -9,19 +9,21 @@ it.
 Usage:
   # CI / local gate: fail on regressions against the committed baseline.
   python3 tools/bench_gate.py check --baseline BENCH_baseline.json \
-      BENCH_traffic.json BENCH_sweep.json
+      BENCH_traffic.json BENCH_sweep.json BENCH_explore.json
 
   # One-command re-baseline after an intentional perf/behaviour change:
   python3 tools/bench_gate.py rebaseline --out BENCH_baseline.json \
-      BENCH_traffic.json BENCH_sweep.json
+      BENCH_traffic.json BENCH_sweep.json BENCH_explore.json
 
 Metric policy (classified by name, see classify()):
 
   exact          conformance counters and swept frontier/knee positions
                  (committed, violations, shed, delayed, knee rate, broker
-                 knee capital, min safe delta, conformance_ok). All
-                 simulated — any drift is a real behaviour change and must
-                 be an intentional re-baseline.
+                 knee capital, min safe delta, conformance_ok), plus every
+                 explore_* DPOR counter (inequivalent orders, pruned runs,
+                 violating orders — deterministic properties of the deal).
+                 All simulated — any drift is a real behaviour change and
+                 must be an intentional re-baseline.
   lower_better   simulated latencies and gas costs: fail when the fresh
                  value exceeds baseline * (1 + tolerance).
   higher_better  simulated throughput (deals/goodput per kilotick): fail
@@ -51,6 +53,13 @@ def classify(name):
     if "wall_ms" in name or name.endswith("_per_sec") or \
             name in ("speedup", "shard_speedup"):
         return "wall"
+    # DPOR reduction counters (bench_explore): the number of inequivalent
+    # orders, pruned re-executions, and violating orders of a fixed cell are
+    # properties of the deal, not of a seed or a machine — any drift is a
+    # semantic change to the scheduler, the independence relation, or a
+    # protocol, and must be an intentional re-baseline.
+    if name.startswith("explore_"):
+        return "exact"
     if name == "conformance_ok" or name.endswith("committed") or \
             name.endswith("violations") or name.endswith("_shed") or \
             name.endswith("_delayed") or name.endswith("knee_rate") or \
@@ -108,7 +117,7 @@ def rebaseline(args):
         "comment": "Committed bench baseline. Regenerate with: "
                    "python3 tools/bench_gate.py rebaseline "
                    "--out BENCH_baseline.json BENCH_traffic.json "
-                   "BENCH_sweep.json",
+                   "BENCH_sweep.json BENCH_explore.json",
         "generated_from_git_rev": git_rev,
         "metrics": entries,
     }
