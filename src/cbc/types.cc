@@ -166,7 +166,6 @@ Status VerifyQuorum(const std::vector<ValidatorSig>& sigs,
       return Status::InvalidArgument("proof: duplicate validator signature");
     }
   }
-  size_t valid = 0;
   for (const ValidatorSig& vs : sigs) {
     bool member = false;
     for (const PublicKey& v : validators) {
@@ -178,15 +177,32 @@ Status VerifyQuorum(const std::vector<ValidatorSig>& sigs,
     if (!member) {
       return Status::PermissionDenied("proof: signer is not a validator");
     }
+    // Gas is still charged per signature: the metered cost of checking a
+    // certificate is unchanged by HOW the simulator verifies it, so
+    // receipts (and every fingerprint folded over them) stay identical.
     if (gas != nullptr) {
       XDEAL_RETURN_IF_ERROR(gas->ChargeSigVerify());
     }
-    if (!Verify(vs.validator, message, vs.sig)) {
-      return Status::Unverified("proof: bad validator signature");
-    }
-    ++valid;
   }
-  if (valid < quorum) {
+  // The quorum's signatures are independent, so verify them as ONE batch
+  // (a single shared-squaring multi-exponentiation instead of 2f+1
+  // sequential PowMod pairs). On a bad batch, BatchVerify falls back to
+  // per-signature verification and names the first culprit.
+  std::vector<BatchItem> batch;
+  batch.reserve(sigs.size());
+  for (const ValidatorSig& vs : sigs) {
+    batch.push_back(BatchItem{vs.validator, message, vs.sig});
+  }
+  BatchVerifyResult verdict = BatchVerify(batch);
+  if (!verdict.ok) {
+    std::string blame =
+        verdict.first_bad >= 0
+            ? "proof: bad validator signature (signer " +
+                  sigs[verdict.first_bad].validator.Fingerprint() + ")"
+            : "proof: bad validator signature";
+    return Status::Unverified(blame);
+  }
+  if (sigs.size() < quorum) {
     return Status::Unverified("proof: not enough validator signatures");
   }
   return Status::OK();

@@ -17,6 +17,17 @@ Hash256 Block::ComputeHash(uint64_t height, Tick timestamp,
   return Sha256Digest(w.bytes());
 }
 
+const Receipt* ObservationCursor::Next() {
+  if (chain_ == nullptr) return nullptr;
+  if (indexes_ == nullptr) {
+    auto it = chain_->tag_index_.find(deal_tag_);
+    if (it == chain_->tag_index_.end()) return nullptr;
+    indexes_ = &it->second;
+  }
+  if (pos_ >= indexes_->size()) return nullptr;
+  return &chain_->receipts_[(*indexes_)[pos_++]];
+}
+
 Blockchain::Blockchain(World* world, ChainId id, std::string name,
                        Tick block_interval)
     : world_(world),
@@ -60,15 +71,50 @@ uint64_t Blockchain::SubmitAt(Tick arrival, PartyId sender,
 }
 
 void Blockchain::Subscribe(Endpoint who, Observer cb) {
-  observers_.emplace_back(who, std::move(cb));
+  unfiltered_observers_.push_back(observers_.size());
+  observers_.push_back(ObserverRec{who, std::move(cb), 0, false});
 }
 
-uint64_t Blockchain::GasForTag(const std::string& tag) const {
-  uint64_t sum = 0;
-  for (const Receipt& r : receipts_) {
-    if (r.tag == tag) sum += r.gas_used;
+void Blockchain::Subscribe(Endpoint who, uint64_t deal_tag, Observer cb) {
+  observers_by_tag_[deal_tag].push_back(observers_.size());
+  observers_.push_back(ObserverRec{who, std::move(cb), deal_tag, true});
+}
+
+ReceiptView Blockchain::TaggedReceipts(uint64_t deal_tag) const {
+  auto it = tag_index_.find(deal_tag);
+  if (it == tag_index_.end()) return ReceiptView();
+  return ReceiptView(&receipts_, &it->second);
+}
+
+ReceiptView Blockchain::ContractReceipts(uint64_t deal_tag,
+                                         ContractId contract) const {
+  auto it = tag_contract_index_.find(std::make_pair(deal_tag, contract.v));
+  if (it == tag_contract_index_.end()) return ReceiptView();
+  return ReceiptView(&receipts_, &it->second);
+}
+
+bool Blockchain::TagIndexMatchesFullScan() const {
+  std::unordered_map<uint64_t, std::vector<uint32_t>> scan_tags;
+  std::map<std::pair<uint64_t, uint32_t>, std::vector<uint32_t>> scan_pairs;
+  for (size_t i = 0; i < receipts_.size(); ++i) {
+    const Receipt& r = receipts_[i];
+    scan_tags[r.deal_tag].push_back(static_cast<uint32_t>(i));
+    scan_pairs[std::make_pair(r.deal_tag, r.contract.v)].push_back(
+        static_cast<uint32_t>(i));
   }
-  return sum;
+  if (scan_tags.size() != tag_index_.size() ||
+      scan_pairs.size() != tag_contract_index_.size()) {
+    return false;
+  }
+  for (const auto& [tag, indexes] : scan_tags) {
+    auto it = tag_index_.find(tag);
+    if (it == tag_index_.end() || it->second != indexes) return false;
+  }
+  for (const auto& [key, indexes] : scan_pairs) {
+    auto it = tag_contract_index_.find(key);
+    if (it == tag_contract_index_.end() || it->second != indexes) return false;
+  }
+  return true;
 }
 
 Receipt Blockchain::Execute(const PendingTx& tx, Tick now, uint64_t height) {
@@ -106,6 +152,58 @@ Receipt Blockchain::Execute(const PendingTx& tx, Tick now, uint64_t height) {
   receipt.sig_verifies = gas.sig_verifies();
   receipt.storage_writes = gas.storage_writes();
   return receipt;
+}
+
+void Blockchain::ScheduleDelivery(const ObserverRec& obs, Tick delay,
+                                  size_t receipt_index) {
+  // Copy the receipt into the closure: the vector may grow later.
+  Receipt snapshot = receipts_[receipt_index];
+  Observer observer = obs.cb;
+  world_->scheduler().ScheduleAfter(
+      delay, EventLabel::Observation(id_.v, obs.who.id),
+      [observer = std::move(observer), snapshot = std::move(snapshot)] {
+        observer(snapshot);
+      });
+}
+
+void Blockchain::DeliverBroadcast(const std::vector<size_t>& receipt_indexes) {
+  // Legacy delivery, bit-for-bit: one delay draw from the World's RNG per
+  // (observer, block), every receipt to every observer — filtered consumers
+  // keep ignoring foreign receipts themselves, exactly as before the index
+  // existed. The golden fingerprints pin this path.
+  Endpoint self = world_->ChainEndpoint(id_);
+  for (const ObserverRec& obs : observers_) {
+    Tick delay = world_->SampleDelay(self, obs.who);
+    for (size_t idx : receipt_indexes) ScheduleDelivery(obs, delay, idx);
+  }
+}
+
+void Blockchain::DeliverIndexed(const std::vector<size_t>& receipt_indexes,
+                                uint64_t height) {
+  // Indexed delivery: each receipt reaches only the observers subscribed to
+  // its deal_tag (plus unfiltered observers), so per-block delivery is
+  // O(receipts × interested observers), not O(receipts × all observers).
+  // Delays come from a keyed per-(chain, observer, block) stream instead of
+  // the World's sequential RNG, so skipping uninterested observers draws
+  // nothing and cannot perturb anyone else's schedule.
+  std::map<uint64_t, std::vector<size_t>> by_tag;
+  for (size_t idx : receipt_indexes) {
+    by_tag[receipts_[idx].deal_tag].push_back(idx);
+  }
+  for (const auto& [tag, idxs] : by_tag) {
+    auto it = observers_by_tag_.find(tag);
+    if (it == observers_by_tag_.end()) continue;
+    for (size_t oi : it->second) {
+      const ObserverRec& obs = observers_[oi];
+      Tick delay = world_->KeyedObservationDelay(id_, obs.who, height);
+      for (size_t idx : idxs) ScheduleDelivery(obs, delay, idx);
+    }
+  }
+  for (size_t oi : unfiltered_observers_) {
+    const ObserverRec& obs = observers_[oi];
+    Tick delay = world_->KeyedObservationDelay(id_, obs.who, height);
+    for (size_t idx : receipt_indexes) ScheduleDelivery(obs, delay, idx);
+  }
 }
 
 void Blockchain::ProduceBlock(Tick boundary) {
@@ -153,7 +251,11 @@ void Blockchain::ProduceBlock(Tick boundary) {
     w.U8(static_cast<uint8_t>(r.status.code()));
     leaf_hashes.push_back(Sha256Digest(w.bytes()));
 
-    receipt_indexes.push_back(receipts_.size());
+    uint32_t pos = static_cast<uint32_t>(receipts_.size());
+    tag_index_[r.deal_tag].push_back(pos);
+    tag_contract_index_[std::make_pair(r.deal_tag, r.contract.v)].push_back(
+        pos);
+    receipt_indexes.push_back(pos);
     receipts_.push_back(std::move(r));
   }
   block.entries_root = MerkleRoot(leaf_hashes);
@@ -161,18 +263,10 @@ void Blockchain::ProduceBlock(Tick boundary) {
                                   block.parent_hash, block.entries_root);
   blocks_.push_back(block);
 
-  // Deliver observation notifications with per-observer delays.
-  Endpoint self = world_->ChainEndpoint(id_);
-  for (const auto& [who, cb] : observers_) {
-    Tick delay = world_->SampleDelay(self, who);
-    for (size_t idx : receipt_indexes) {
-      // Copy the receipt into the closure: the vector may grow later.
-      Receipt snapshot = receipts_[idx];
-      Observer observer = cb;
-      world_->scheduler().ScheduleAfter(
-          delay, EventLabel::Observation(id_.v, who.id),
-          [observer, snapshot] { observer(snapshot); });
-    }
+  if (world_->observation_delivery() == ObservationDelivery::kBroadcast) {
+    DeliverBroadcast(receipt_indexes);
+  } else {
+    DeliverIndexed(receipt_indexes, height);
   }
 }
 

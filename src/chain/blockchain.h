@@ -7,6 +7,13 @@
 // Parties subscribe to a chain and receive receipt notifications after a
 // network-model observation delay — this is the only way information leaves
 // a chain.
+//
+// Receipts are indexed at block-seal time by deal_tag and by
+// (deal_tag, contract), so observation is O(own receipts): consumers read
+// their slice through ReceiptView (a whole filtered history) or an
+// ObservationCursor (only what appended since the last look) instead of
+// scanning the world. The unfiltered receipts() vector remains available as
+// the differential-testing oracle for the index.
 
 #ifndef XDEAL_CHAIN_BLOCKCHAIN_H_
 #define XDEAL_CHAIN_BLOCKCHAIN_H_
@@ -15,6 +22,8 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "chain/contract.h"
@@ -57,6 +66,87 @@ struct Block {
 
   static Hash256 ComputeHash(uint64_t height, Tick timestamp,
                              const Hash256& parent, const Hash256& root);
+};
+
+/// A read-only, index-backed view over the subset of a chain's receipts
+/// matching a deal_tag (optionally narrowed to one contract). Obtained from
+/// Blockchain::TaggedReceipts / ContractReceipts in O(log #keys); iteration
+/// costs O(matching receipts), never O(chain length). Views are invalidated
+/// only by destroying the chain; producing more blocks simply extends them.
+class ReceiptView {
+ public:
+  /// Forward iterator dereferencing to the underlying Receipt.
+  class Iterator {
+   public:
+    Iterator(const std::vector<Receipt>* receipts,
+             const std::vector<uint32_t>* indexes, size_t pos)
+        : receipts_(receipts), indexes_(indexes), pos_(pos) {}
+    const Receipt& operator*() const {
+      return (*receipts_)[(*indexes_)[pos_]];
+    }
+    const Receipt* operator->() const { return &operator*(); }
+    Iterator& operator++() {
+      ++pos_;
+      return *this;
+    }
+    bool operator!=(const Iterator& o) const { return pos_ != o.pos_; }
+    bool operator==(const Iterator& o) const { return pos_ == o.pos_; }
+
+   private:
+    const std::vector<Receipt>* receipts_;
+    const std::vector<uint32_t>* indexes_;
+    size_t pos_;
+  };
+
+  /// An empty view (no matching receipts).
+  ReceiptView() = default;
+
+  size_t size() const { return indexes_ == nullptr ? 0 : indexes_->size(); }
+  bool empty() const { return size() == 0; }
+  /// The i-th matching receipt, in chain order.
+  const Receipt& operator[](size_t i) const {
+    return (*receipts_)[(*indexes_)[i]];
+  }
+  Iterator begin() const { return Iterator(receipts_, indexes_, 0); }
+  Iterator end() const { return Iterator(receipts_, indexes_, size()); }
+
+ private:
+  friend class Blockchain;
+  ReceiptView(const std::vector<Receipt>* receipts,
+              const std::vector<uint32_t>* indexes)
+      : receipts_(receipts), indexes_(indexes) {}
+
+  const std::vector<Receipt>* receipts_ = nullptr;
+  const std::vector<uint32_t>* indexes_ = nullptr;  // nullptr = empty view
+};
+
+/// Incremental observation point over one chain's receipts for one deal_tag:
+/// each Next() call returns the next matching receipt appended since the
+/// cursor last looked, or nullptr when drained (more may appear after further
+/// blocks — the cursor stays valid and picks them up). This is THE way for a
+/// long-lived consumer to fold "what happened since my last observation"
+/// without rescanning history. Default-constructed cursors are empty.
+class ObservationCursor {
+ public:
+  ObservationCursor() = default;
+
+  /// The next unseen matching receipt in chain order, or nullptr if drained.
+  const Receipt* Next();
+
+  /// Receipts consumed so far (== position in the tag's index).
+  size_t consumed() const { return pos_; }
+  uint64_t deal_tag() const { return deal_tag_; }
+
+ private:
+  friend class Blockchain;
+  ObservationCursor(const Blockchain* chain, uint64_t deal_tag)
+      : chain_(chain), deal_tag_(deal_tag) {}
+
+  const Blockchain* chain_ = nullptr;
+  uint64_t deal_tag_ = 0;
+  size_t pos_ = 0;
+  // Cached pointer into the chain's tag index (node-stable once created).
+  const std::vector<uint32_t>* indexes_ = nullptr;
 };
 
 /// An append-only contract-hosting ledger.
@@ -106,14 +196,36 @@ class Blockchain {
   /// after an observation delay sampled from the network model.
   void Subscribe(Endpoint who, Observer cb);
 
+  /// Tag-filtered subscription. Under the World's default broadcast delivery
+  /// this behaves exactly like Subscribe (every receipt is delivered and the
+  /// consumer's own matching stays the filter — bit-compatible with the
+  /// legacy event stream); under indexed delivery only receipts whose
+  /// deal_tag matches are delivered, making per-block delivery O(interested
+  /// observers), not O(all observers).
+  void Subscribe(Endpoint who, uint64_t deal_tag, Observer cb);
+
   const std::vector<Block>& blocks() const { return blocks_; }
   const std::vector<Receipt>& receipts() const { return receipts_; }
 
+  /// All receipts carrying `deal_tag`, in chain order — O(log #tags), backed
+  /// by the index built at block-seal time.
+  ReceiptView TaggedReceipts(uint64_t deal_tag) const;
+
+  /// All receipts carrying `deal_tag` that executed on `contract`.
+  ReceiptView ContractReceipts(uint64_t deal_tag, ContractId contract) const;
+
+  /// A fresh cursor over `deal_tag`'s receipts, positioned at the start.
+  ObservationCursor MakeCursor(uint64_t deal_tag) const {
+    return ObservationCursor(this, deal_tag);
+  }
+
+  /// Differential oracle: recomputes every tag/(tag, contract) bucket by
+  /// full scan and compares against the incremental index. Returns true iff
+  /// the index is exactly the scan. O(chain length) — test/debug only.
+  bool TagIndexMatchesFullScan() const;
+
   /// Total gas consumed by all executed transactions.
   uint64_t total_gas() const { return total_gas_; }
-
-  /// Sum of gas for receipts whose tag matches.
-  uint64_t GasForTag(const std::string& tag) const;
 
   /// Next block boundary strictly after `t`.
   Tick NextBoundaryAfter(Tick t) const {
@@ -131,6 +243,8 @@ class Blockchain {
   }
 
  private:
+  friend class ObservationCursor;
+
   struct PendingTx {
     uint64_t seq;
     PartyId sender;
@@ -140,8 +254,20 @@ class Blockchain {
     uint64_t deal_tag;
   };
 
+  struct ObserverRec {
+    Endpoint who;
+    Observer cb;
+    uint64_t deal_tag = 0;
+    bool filtered = false;
+  };
+
   void ProduceBlock(Tick boundary);
   Receipt Execute(const PendingTx& tx, Tick now, uint64_t height);
+  void DeliverBroadcast(const std::vector<size_t>& receipt_indexes);
+  void DeliverIndexed(const std::vector<size_t>& receipt_indexes,
+                      uint64_t height);
+  void ScheduleDelivery(const ObserverRec& obs, Tick delay,
+                        size_t receipt_index);
 
   World* world_;
   ChainId id_;
@@ -155,7 +281,18 @@ class Blockchain {
   std::map<Tick, std::vector<PendingTx>> mempool_;  // keyed by boundary
   std::vector<Block> blocks_;
   std::vector<Receipt> receipts_;
-  std::vector<std::pair<Endpoint, Observer>> observers_;
+  // Receipt indexes, appended at block-seal time in chain order. Values are
+  // positions in receipts_. Node-based maps: ReceiptView/ObservationCursor
+  // cache pointers to the bucket vectors, which stay valid as buckets grow.
+  std::unordered_map<uint64_t, std::vector<uint32_t>> tag_index_;
+  std::map<std::pair<uint64_t, uint32_t>, std::vector<uint32_t>>
+      tag_contract_index_;
+  std::vector<ObserverRec> observers_;
+  // Observer positions by subscription tag (filtered subscriptions only) —
+  // lets indexed delivery fan a receipt out to exactly the observers that
+  // asked for its deal, independent of how many others watch the chain.
+  std::unordered_map<uint64_t, std::vector<size_t>> observers_by_tag_;
+  std::vector<size_t> unfiltered_observers_;
 };
 
 }  // namespace xdeal

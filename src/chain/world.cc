@@ -5,7 +5,7 @@
 namespace xdeal {
 
 World::World(uint64_t seed, std::unique_ptr<NetworkModel> net)
-    : rng_(seed), network_(std::move(net)) {
+    : seed_(seed), rng_(seed), network_(std::move(net)) {
   assert(network_ != nullptr);
 }
 
@@ -50,15 +50,23 @@ Tick World::SampleDelay(Endpoint from, Endpoint to) {
   return network_->SampleDelay(scheduler_.now(), from, to, &rng_);
 }
 
+Tick World::KeyedObservationDelay(ChainId chain, Endpoint who,
+                                  uint64_t block_height) {
+  // Chained SplitMix64 mixes: each stage fully avalanches before the next
+  // input is folded in, so (chain, who, height) tuples map to well-spread
+  // stream seeds with no structured collisions.
+  uint64_t h = SplitMix64(seed_ ^ 0x0b5e7a1d4ed0c9f3ULL).Next();
+  h = SplitMix64(h ^ chain.v).Next();
+  h = SplitMix64(h ^ who.id).Next();
+  h = SplitMix64(h ^ block_height).Next();
+  Rng local(h);
+  return network_->SampleDelay(scheduler_.now(), ChainEndpoint(chain), who,
+                               &local);
+}
+
 uint64_t World::TotalGas() const {
   uint64_t sum = 0;
   for (const auto& c : chains_) sum += c->total_gas();
-  return sum;
-}
-
-uint64_t World::TotalGasForTag(const std::string& tag) const {
-  uint64_t sum = 0;
-  for (const auto& c : chains_) sum += c->GasForTag(tag);
   return sum;
 }
 

@@ -22,6 +22,23 @@
 
 namespace xdeal {
 
+/// How chains deliver receipt observations to subscribers.
+///
+/// kBroadcast is the legacy mode and the default: every receipt goes to
+/// every observer of the chain (one delay draw from the World's sequential
+/// RNG per observer per block), and tag-filtered subscriptions behave like
+/// plain ones — consumers filter for themselves. Bit-compatible with every
+/// historical fingerprint.
+///
+/// kIndexed delivers each receipt only to the observers subscribed to its
+/// deal_tag (plus unfiltered observers), with observation delays drawn from
+/// a keyed per-(chain, observer, block) stream instead of the sequential
+/// RNG. Per-block delivery work becomes O(receipts × interested observers)
+/// — the mode that makes D=10^5 shared-chain workloads linear. Schedules
+/// (and thus fingerprints) differ from broadcast mode, but runs remain
+/// fully deterministic for a given seed.
+enum class ObservationDelivery { kBroadcast, kIndexed };
+
 class World {
  public:
   /// `seed` drives every random choice; `net` supplies message delays.
@@ -31,6 +48,7 @@ class World {
   const Scheduler& scheduler() const { return scheduler_; }
   Rng& rng() { return rng_; }
   Tick now() const { return scheduler_.now(); }
+  uint64_t seed() const { return seed_; }
 
   /// Registers a party (keys derived deterministically from seed + name).
   PartyId RegisterParty(const std::string& name);
@@ -59,8 +77,27 @@ class World {
               CallData call, std::string tag = "", uint64_t deal_tag = 0);
 
   /// Samples a one-way delay between two endpoints (exposed for components
-  /// like block observation that need the same model).
+  /// like block observation that need the same model). Consumes the World's
+  /// sequential RNG stream.
   Tick SampleDelay(Endpoint from, Endpoint to);
+
+  /// Observation delay for kIndexed delivery: drawn through the network
+  /// model from a private stream keyed on (world seed, chain, observer,
+  /// block height). A pure function of its inputs — it consumes nothing
+  /// from the sequential RNG, so delivery may skip any subset of observers
+  /// without perturbing anyone else's draws.
+  Tick KeyedObservationDelay(ChainId chain, Endpoint who,
+                             uint64_t block_height);
+
+  /// Selects the observation delivery mode (see ObservationDelivery). Flip
+  /// before the first block is produced; mid-run switches would mix the two
+  /// delay streams.
+  void set_observation_delivery(ObservationDelivery mode) {
+    observation_delivery_ = mode;
+  }
+  ObservationDelivery observation_delivery() const {
+    return observation_delivery_;
+  }
 
   Endpoint PartyEndpoint(PartyId p) const { return Endpoint{p.v}; }
   Endpoint ChainEndpoint(ChainId c) const {
@@ -69,16 +106,17 @@ class World {
 
   /// Sum of gas across all chains (global cost, Figure 4 rows).
   uint64_t TotalGas() const;
-  uint64_t TotalGasForTag(const std::string& tag) const;
 
  private:
   static constexpr uint32_t kChainEndpointBase = 1u << 24;
 
   Scheduler scheduler_;
+  uint64_t seed_;
   Rng rng_;
   std::unique_ptr<NetworkModel> network_;
   KeyDirectory key_directory_;
   std::vector<std::unique_ptr<Blockchain>> chains_;
+  ObservationDelivery observation_delivery_ = ObservationDelivery::kBroadcast;
 };
 
 }  // namespace xdeal

@@ -303,10 +303,14 @@ Status CbcRun::Start() {
       config_.ValidationTime(spec_.transfers.size());
   deployment_.vote_time = deployment_.validation_time;
 
-  // Every party watches the CBC.
+  // Every party watches the CBC — scoped to this deal's tag, so under
+  // indexed delivery a party on a shared CBC chain is woken only by its own
+  // deal's startDeal/vote receipts, not by every deal's. The decisive
+  // receipt of our deal (the vote that flips the log's outcome) always
+  // carries our tag, so claim liveness is preserved.
   for (const auto& [pid, strategy] : parties_) {
     CbcParty* raw = strategy.get();
-    cbc->Subscribe(world_->PartyEndpoint(PartyId{pid}),
+    cbc->Subscribe(world_->PartyEndpoint(PartyId{pid}), config_.deal_tag,
                    [raw](const Receipt& r) { raw->OnObservedCbcReceipt(r); });
   }
 
@@ -423,17 +427,16 @@ CbcResult CbcRun::Collect() const {
   }
   result.atomic = !(any_released && any_refunded);
 
-  // Every transaction this run submits targets an asset chain or the CBC
-  // itself, so only those need scanning — in a multi-deal World iterating
-  // every chain would be quadratic.
+  // Phase gas + timing from the per-tag receipt index: O(this deal's own
+  // receipts) per chain. On a shared CBC chain carrying 10^5 deals' votes
+  // the old full scan was the quadratic hot path.
   std::set<uint32_t> deal_chains = {cbc_chain_.v};
   for (const AssetRef& asset : spec_.assets) deal_chains.insert(asset.chain.v);
   for (uint32_t c : deal_chains) {
     const Blockchain* chain = world_->chain(ChainId{c});
     if (chain == nullptr) continue;
-    for (const Receipt& r : chain->receipts()) {
+    for (const Receipt& r : chain->TaggedReceipts(config_.deal_tag)) {
       if (!r.status.ok()) continue;
-      if (r.deal_tag != config_.deal_tag) continue;  // another deal's traffic
       if (r.tag == "escrow") result.gas_escrow += r.gas_used;
       if (r.tag == "transfer") result.gas_transfer += r.gas_used;
       if (r.tag == "cbc-vote" || r.tag == "cbc-start") {

@@ -35,8 +35,11 @@ LedgerSnapshot LedgerSnapshot::Capture(const World& world,
 }
 
 DealChecker::DealChecker(const World* world, DealSpec spec,
-                         std::vector<ContractId> escrows)
-    : world_(world), spec_(std::move(spec)), escrows_(std::move(escrows)) {
+                         std::vector<ContractId> escrows, uint64_t deal_tag)
+    : world_(world),
+      spec_(std::move(spec)),
+      escrows_(std::move(escrows)),
+      deal_tag_(deal_tag) {
   assert(escrows_.size() == spec_.NumAssets());
 }
 
@@ -56,9 +59,12 @@ const DealEscrowView* DealChecker::ViewOf(uint32_t asset) const {
 bool DealChecker::ExecutedOutgoingTransfer(PartyId p, uint32_t asset) const {
   const Blockchain* chain = world_->chain(spec_.assets[asset].chain);
   if (chain == nullptr) return false;
-  for (const Receipt& r : chain->receipts()) {
-    if (r.function == "transfer" && r.status.ok() && r.sender == p &&
-        r.contract == escrows_[asset]) {
+  // Everything a deal submits to its own escrow contract carries the deal's
+  // tag, so the (tag, contract) index sees exactly the receipts the old
+  // full scan matched on `r.contract`.
+  for (const Receipt& r :
+       chain->ContractReceipts(deal_tag_, escrows_[asset])) {
+    if (r.function == "transfer" && r.status.ok() && r.sender == p) {
       return true;
     }
   }

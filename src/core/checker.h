@@ -55,9 +55,12 @@ struct PartyVerdict {
 class DealChecker {
  public:
   /// `escrows` maps asset index -> the deal's escrow contract on that
-  /// asset's chain (must implement DealEscrowView).
+  /// asset's chain (must implement DealEscrowView). `deal_tag` is the tag
+  /// the deal's transactions carry (chain/blockchain.h); receipt lookups go
+  /// through the per-tag receipt index, so evaluation costs O(this deal's
+  /// receipts) even in a world running 10^5 concurrent deals.
   DealChecker(const World* world, DealSpec spec,
-              std::vector<ContractId> escrows);
+              std::vector<ContractId> escrows, uint64_t deal_tag = 0);
 
   /// Call before the run executes (after minting / before escrow phase).
   void CaptureInitial();
@@ -96,6 +99,7 @@ class DealChecker {
   const World* world_;
   DealSpec spec_;
   std::vector<ContractId> escrows_;
+  uint64_t deal_tag_ = 0;
   std::set<uint32_t> shared_parties_;  // PartyId values, see MarkSharedParty
   LedgerSnapshot initial_;
   bool captured_ = false;

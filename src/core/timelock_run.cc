@@ -241,7 +241,10 @@ Status TimelockRun::Start() {
 
   // Wire observation: each party subscribes to every chain hosting one of
   // its outgoing assets (and, for simplicity, incoming too — parties may
-  // watch any public chain; strategies filter).
+  // watch any public chain; strategies filter). The subscription is scoped
+  // to this deal's tag: under indexed delivery (chain/world.h) a party is
+  // only woken for its own deal's receipts instead of every receipt on a
+  // shared chain.
   for (const auto& [pid, strategy] : parties_) {
     std::set<ChainId> chains;
     for (uint32_t a = 0; a < spec_.NumAssets(); ++a) {
@@ -250,7 +253,7 @@ Status TimelockRun::Start() {
     for (ChainId c : chains) {
       TimelockParty* raw = strategy.get();
       world_->chain(c)->Subscribe(
-          world_->PartyEndpoint(PartyId{pid}),
+          world_->PartyEndpoint(PartyId{pid}), config_.deal_tag,
           [raw](const Receipt& r) { raw->OnObservedReceipt(r); });
     }
   }
@@ -354,17 +357,15 @@ TimelockResult TimelockRun::Collect() const {
     bool vacuous = esc->core().Depositors().empty();
     result.all_settled = result.all_settled && (esc->settled() || vacuous);
   }
-  // Phase gas + timing from receipts. Every transaction this run submits
-  // targets one of the deal's asset chains, so only those need scanning —
-  // in a multi-deal World iterating every chain would be quadratic.
+  // Phase gas + timing from the per-tag receipt index: O(this deal's own
+  // receipts) per chain, regardless of how many other deals share them.
   std::set<uint32_t> deal_chains;
   for (const AssetRef& asset : spec_.assets) deal_chains.insert(asset.chain.v);
   for (uint32_t c : deal_chains) {
     const Blockchain* chain = world_->chain(ChainId{c});
     if (chain == nullptr) continue;
-    for (const Receipt& r : chain->receipts()) {
+    for (const Receipt& r : chain->TaggedReceipts(config_.deal_tag)) {
       if (!r.status.ok()) continue;
-      if (r.deal_tag != config_.deal_tag) continue;  // another deal's traffic
       if (r.tag == "escrow") result.gas_escrow += r.gas_used;
       if (r.tag == "transfer") result.gas_transfer += r.gas_used;
       if (r.tag == "commit") {

@@ -64,12 +64,14 @@ class TrafficPartyFactory : public PartyFactory {
   }
 };
 
-/// One deal's full lifetime inside the shared World.
+/// One deal's full lifetime inside the shared World. The runtime and
+/// checker are arena-allocated (one run-scoped Arena owns all D of them);
+/// the slot holds non-owning pointers.
 struct DealSlot {
   TrafficDealRecord rec;
   DealSpec spec;
-  std::unique_ptr<DealRuntime> runtime;
-  std::unique_ptr<DealChecker> checker;
+  DealRuntime* runtime = nullptr;
+  DealChecker* checker = nullptr;
   /// Configured at generation time; must outlive Deploy, which may fire from
   /// an admission event mid-run, so it lives in the slot.
   TrafficPartyFactory factory;
@@ -281,6 +283,15 @@ TrafficReport RunTraffic(const TrafficOptions& options) {
   env_config.seed = options.base_seed;
   env_config.block_interval = options.block_interval;
   DealEnv env(std::move(env_config));
+  if (options.indexed_observation) {
+    // Must flip before any block is produced: delivery mode is part of the
+    // run's deterministic schedule (chain/world.h).
+    env.world().set_observation_delivery(ObservationDelivery::kIndexed);
+  }
+
+  // Every per-deal runtime and checker lives here — one bump allocation
+  // each instead of 2D heap round-trips at D = 10^5.
+  Arena arena;
 
   // The shared chain pool every deal's assets are multiplexed onto.
   std::vector<ChainId> pool;
@@ -362,8 +373,8 @@ TrafficReport RunTraffic(const TrafficOptions& options) {
   // path this runs inline during generation (bit-compatible with the
   // pre-admission engine); with the controller on it runs from an admission
   // event mid-simulation.
-  auto deploy_deal = [&env, &slots, &options, &timelock_driver,
-                      &cbc_driver](size_t d, Tick admit_time) {
+  auto deploy_deal = [&env, &slots, &options, &timelock_driver, &cbc_driver,
+                      &arena](size_t d, Tick admit_time) {
     DealSlot& slot = slots[d];
     TrafficDealRecord& rec = slot.rec;
     rec.admitted_at = admit_time;
@@ -377,15 +388,16 @@ TrafficReport RunTraffic(const TrafficOptions& options) {
     ProtocolDriver& driver = rec.protocol == Protocol::kCbc
                                  ? static_cast<ProtocolDriver&>(*cbc_driver)
                                  : timelock_driver;
-    slot.runtime = driver.CreateDeal(&env.world(), slot.spec, timings,
-                                     &slot.factory);
+    slot.runtime = driver.CreateDealIn(&arena, &env.world(), slot.spec,
+                                       timings, &slot.factory);
     Status started = slot.runtime->Deploy();
     if (!started.ok()) {
       rec.violation = "start-failed: " + started.ToString();
       return;
     }
-    slot.checker = std::make_unique<DealChecker>(
-        &env.world(), slot.spec, slot.runtime->escrow_contracts());
+    slot.checker = arena.Create<DealChecker>(
+        &env.world(), slot.spec, slot.runtime->escrow_contracts(),
+        timings.deal_tag);
     if (rec.broker != 0) {
       // The broker's balances move with every concurrent deal she is in;
       // her per-deal token expectation is undefined. Her solvency is
@@ -555,6 +567,17 @@ TrafficReport RunTraffic(const TrafficOptions& options) {
   env.world().scheduler().Run();
   env.world().scheduler().SetStepObserver(nullptr);
 
+  // --- differential oracle: the incrementally built receipt indexes must
+  //     agree with a from-scratch full scan on every chain ---
+  std::vector<uint32_t> index_mismatch_chains;
+  if (options.fullscan_oracle) {
+    for (uint32_t c = 0; c < env.world().num_chains(); ++c) {
+      if (!env.world().chain(ChainId{c})->TagIndexMatchesFullScan()) {
+        index_mismatch_chains.push_back(c);
+      }
+    }
+  }
+
   // --- broker over-commitment: identified from on-chain evidence (bounced
   //     broker escrow pulls) and tainted before validation, so the bounced
   //     deal's clean abort is judged as the defense it is ---
@@ -690,6 +713,13 @@ TrafficReport RunTraffic(const TrafficOptions& options) {
   if (options.admission.enabled) {
     report.peak_backlog_seen = controller.stats().peak_backlog_seen;
     report.peak_occupancy_seen = controller.stats().peak_occupancy_seen;
+  }
+
+  for (uint32_t c : index_mismatch_chains) {
+    report.violations.push_back(TrafficViolation{
+        0, options.base_seed, Protocol::kTimelock,
+        "receipt-index-mismatch: chain " + std::to_string(c) +
+            " tag index disagrees with full scan"});
   }
 
   fp = MixFingerprint(fp, untagged_gas);

@@ -142,6 +142,21 @@ struct TrafficOptions {
   /// Default (0 brokers) reproduces legacy traffic bit-for-bit.
   BrokerOptions brokers;
 
+  /// Observation data path. Default (false) is legacy broadcast delivery —
+  /// every receipt to every subscribed observer, bit-compatible with the
+  /// pre-index fingerprints. True switches the World to indexed delivery
+  /// (chain/world.h): receipts fan out only to observers subscribed to
+  /// their deal tag, making per-block delivery O(deal's own receipts)
+  /// instead of O(receipts x all observers) — the knob that removes the
+  /// O(D^2) hot path on shared chains at D = 10^5. Indexed runs have their
+  /// own (deterministic, thread-count-independent) fingerprints.
+  bool indexed_observation = false;
+  /// Differential-testing oracle: after the run, recompute every chain's
+  /// per-tag receipt index by full scan and require it to match the
+  /// incrementally built one; any mismatch is reported as a violation.
+  /// Costs a full receipt sweep — for tests, not for big-D benches.
+  bool fullscan_oracle = false;
+
   /// Worker threads for post-run per-deal validation (0 = hardware).
   size_t num_threads = 1;
 };

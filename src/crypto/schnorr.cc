@@ -113,4 +113,91 @@ bool Verify(const PublicKey& key, std::string_view message,
   return Verify(key, ToBytes(message), sig);
 }
 
+namespace {
+
+/// The i-th batch coefficient: ~128 bits from H(batch_seed || i), forced
+/// odd. Odd coefficients cannot annihilate the order-2 subgroup of Z_p*
+/// (p-1 is even), closing the classic batch forgery where a -1 factor
+/// hides behind an even z_i.
+U256 BatchCoefficient(const Hash256& batch_seed, uint64_t index) {
+  ByteWriter w;
+  w.Str("xdeal-batch-z-v1");
+  w.Raw(batch_seed.bytes.data(), batch_seed.bytes.size());
+  w.U64(index);
+  U256 z = U256::FromHash(Sha256Digest(w.bytes()));
+  z = U256::FromLimbsBigEndian(0, 0, z.limb(1), z.limb(0));  // low 128 bits
+  if (!z.IsOdd()) z = z.Add(U256(1));
+  return z;
+}
+
+}  // namespace
+
+BatchVerifyResult BatchVerify(const std::vector<BatchItem>& items) {
+  BatchVerifyResult out;
+  if (items.empty()) {
+    out.ok = true;
+    return out;
+  }
+  const U256& p = SchnorrGroup::P();
+  const U256& n = SchnorrGroup::N();
+
+  // Degenerate values fail individual verification outright — catch them
+  // before they can poison (or trivially satisfy) the combined equation.
+  for (size_t i = 0; i < items.size(); ++i) {
+    const BatchItem& item = items[i];
+    if (item.sig.r.IsZero() || item.key.y.IsZero() || item.sig.r >= p ||
+        item.key.y >= p) {
+      out.first_bad = static_cast<int>(i);
+      return out;
+    }
+  }
+
+  // Fiat-Shamir batch seed over every (r, y, m): coefficients are fixed
+  // only after the whole batch is, so no item can be chosen against them.
+  ByteWriter seed_writer;
+  seed_writer.Str("xdeal-batch-seed-v1");
+  for (const BatchItem& item : items) {
+    seed_writer.Raw(item.sig.r.ToBytes());
+    seed_writer.Raw(item.key.y.ToBytes());
+    seed_writer.Blob(item.message);
+  }
+  Hash256 batch_seed = Sha256Digest(seed_writer.bytes());
+
+  // g^(Σ z_i·s_i mod n)  ==  Π r_i^{z_i} · y_i^{(z_i·e_i mod n)}  (mod p).
+  // Exponent arithmetic mod n = p-1 is sound: every group element's order
+  // divides n, so oversized attacker-supplied s values reduce the same way
+  // individual verification's g^s does.
+  U256 s_combined;
+  std::vector<std::pair<U256, U256>> terms;
+  terms.reserve(items.size() * 2);
+  for (size_t i = 0; i < items.size(); ++i) {
+    const BatchItem& item = items[i];
+    U256 z = BatchCoefficient(batch_seed, i);
+    U256 e = Challenge(item.sig.r, item.key, item.message);
+    s_combined = U256::AddMod(s_combined, U256::MulMod(z, item.sig.s, n), n);
+    terms.emplace_back(item.sig.r, z);
+    terms.emplace_back(item.key.y, U256::MulMod(z, e, n));
+  }
+  U256 lhs = U256::PowMod(SchnorrGroup::G(), s_combined, p);
+  U256 rhs = U256::MultiExpMod(terms, p);
+  if (lhs == rhs) {
+    out.ok = true;
+    return out;
+  }
+
+  // Combined check failed: at least one signature is bad. Re-verify
+  // individually to attribute blame.
+  out.used_fallback = true;
+  for (size_t i = 0; i < items.size(); ++i) {
+    if (!Verify(items[i].key, items[i].message, items[i].sig)) {
+      out.first_bad = static_cast<int>(i);
+      return out;
+    }
+  }
+  // Unreachable in exact arithmetic (all-valid batches satisfy the combined
+  // equation identically); individual verification is the ground truth.
+  out.ok = true;
+  return out;
+}
+
 }  // namespace xdeal

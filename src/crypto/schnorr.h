@@ -22,6 +22,7 @@
 #define XDEAL_CRYPTO_SCHNORR_H_
 
 #include <string>
+#include <vector>
 
 #include "crypto/sha256.h"
 #include "crypto/u256.h"
@@ -92,6 +93,34 @@ class KeyPair {
 bool Verify(const PublicKey& key, const Bytes& message, const Signature& sig);
 bool Verify(const PublicKey& key, std::string_view message,
             const Signature& sig);
+
+/// One (key, message, signature) triple of a verification batch.
+struct BatchItem {
+  PublicKey key;
+  Bytes message;
+  Signature sig;
+};
+
+/// Outcome of BatchVerify. `ok` matches exactly what verifying each item
+/// individually would conclude; `first_bad` names the first invalid item
+/// when !ok; `used_fallback` reports that the combined check failed and the
+/// per-signature fallback ran to attribute blame.
+struct BatchVerifyResult {
+  bool ok = false;
+  bool used_fallback = false;
+  int first_bad = -1;
+};
+
+/// Verifies a batch of independent Schnorr signatures with ONE combined
+/// check: random 128-bit coefficients z_i (deterministically derived from
+/// the whole batch, Fiat-Shamir style) reduce the k verification equations
+/// to  g^(Σ z_i·s_i) == Π r_i^{z_i} · y_i^{z_i·e_i}  (mod p), evaluated as
+/// a single shared-squaring multi-exponentiation — the O(1)-squaring-chains
+/// fast path for 2f+1-signature status certificates. If the combined check
+/// fails, falls back to per-signature verification to name the culprit.
+/// Equivalent to individually verifying every item (up to ~2^-128 soundness
+/// of the random linear combination). An empty batch verifies trivially.
+BatchVerifyResult BatchVerify(const std::vector<BatchItem>& items);
 
 }  // namespace xdeal
 

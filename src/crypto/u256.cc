@@ -365,6 +365,32 @@ U256 U256::PowMod(const U256& base, const U256& exp, const U256& m) {
   return result;
 }
 
+U256 U256::MultiExpMod(const std::vector<std::pair<U256, U256>>& terms,
+                       const U256& m) {
+  if (m == U256(1)) return U256();
+  U256 result(1);
+  if (terms.empty()) return result;
+
+  std::vector<U256> bases;
+  bases.reserve(terms.size());
+  int bits = 0;
+  for (const auto& [base, exp] : terms) {
+    bases.push_back(Mod(base, m));
+    if (exp.BitLength() > bits) bits = exp.BitLength();
+  }
+  // One shared squaring chain over the longest exponent; at each bit
+  // position, multiply in every base whose exponent has that bit set.
+  for (int i = bits - 1; i >= 0; --i) {
+    result = MulMod(result, result, m);
+    for (size_t t = 0; t < terms.size(); ++t) {
+      if (terms[t].second.Bit(i)) {
+        result = MulMod(result, bases[t], m);
+      }
+    }
+  }
+  return result;
+}
+
 U256 U256::InvMod(const U256& a, const U256& m) {
   // Extended Euclid, tracking the Bezout coefficient of `a` modulo m.
   U256 r0 = m;

@@ -12,6 +12,8 @@
 #include <cstdint>
 #include <string>
 #include <string_view>
+#include <utility>
+#include <vector>
 
 #include "crypto/sha256.h"
 #include "util/bytes.h"
@@ -86,6 +88,16 @@ class U256 {
   static U256 MulMod(const U256& a, const U256& b, const U256& m);
   static U256 PowMod(const U256& base, const U256& exp, const U256& m);
   static U256 Mod(const U256& a, const U256& m);
+
+  /// Simultaneous multi-exponentiation: Π base_i^{exp_i} mod m over all
+  /// (base, exp) pairs in `terms`, via an interleaved square-and-multiply
+  /// that shares ONE squaring chain across every term (Shamir's trick
+  /// generalized to k bases). For k terms of b-bit exponents this costs
+  /// b squarings + (set bits) multiplies instead of k·b squarings — the
+  /// kernel behind batched Schnorr certificate verification. `m` must be
+  /// nonzero; an empty `terms` yields 1 mod m.
+  static U256 MultiExpMod(const std::vector<std::pair<U256, U256>>& terms,
+                          const U256& m);
 
   /// Modular inverse via extended binary GCD; returns zero if gcd(a,m) != 1.
   static U256 InvMod(const U256& a, const U256& m);

@@ -1,0 +1,116 @@
+// Arena: a bump allocator with a destructor registry.
+//
+// A traffic run at D = 10^5 deals creates hundreds of thousands of small,
+// identically-scoped objects — one DealRuntime and one DealChecker per deal,
+// all born during generation and all dying together when the run's report is
+// folded. Allocating each through operator new costs a malloc round-trip and
+// scatters them across the heap; the arena carves them out of large
+// contiguous blocks instead (one pointer bump per object) and destroys the
+// whole population in one sweep.
+//
+// Usage:
+//   Arena arena;
+//   Foo* foo = arena.Create<Foo>(args...);   // lives until the arena dies
+//
+// Objects are destroyed in reverse creation order when the arena is
+// destroyed (or Reset). The arena never gives memory back mid-flight and is
+// not thread-safe; it is meant for single-threaded build-up phases like deal
+// generation, not concurrent allocation.
+
+#ifndef XDEAL_UTIL_ARENA_H_
+#define XDEAL_UTIL_ARENA_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace xdeal {
+
+class Arena {
+ public:
+  Arena() = default;
+  ~Arena() { Reset(); }
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Constructs a T inside the arena. The object lives until Reset() or the
+  /// arena's destruction; its destructor runs then (registered only for
+  /// non-trivially-destructible types).
+  template <typename T, typename... Args>
+  T* Create(Args&&... args) {
+    void* slot = Allocate(sizeof(T), alignof(T));
+    T* obj = new (slot) T(std::forward<Args>(args)...);
+    if constexpr (!std::is_trivially_destructible_v<T>) {
+      destructors_.push_back(Finalizer{
+          obj, [](void* p) { static_cast<T*>(p)->~T(); }});
+    }
+    return obj;
+  }
+
+  /// Raw aligned storage from the current block (a fresh block if it does
+  /// not fit). No destructor is registered.
+  void* Allocate(size_t size, size_t align) {
+    uintptr_t cur = reinterpret_cast<uintptr_t>(next_);
+    uintptr_t aligned = (cur + (align - 1)) & ~(uintptr_t{align} - 1);
+    size_t needed = (aligned - cur) + size;
+    if (needed > remaining_) {
+      NewBlock(size + align);
+      cur = reinterpret_cast<uintptr_t>(next_);
+      aligned = (cur + (align - 1)) & ~(uintptr_t{align} - 1);
+      needed = (aligned - cur) + size;
+    }
+    next_ += needed;
+    remaining_ -= needed;
+    ++allocations_;
+    return reinterpret_cast<void*>(aligned);
+  }
+
+  /// Runs every registered destructor (reverse creation order) and releases
+  /// all blocks. The arena is reusable afterwards.
+  void Reset() {
+    for (auto it = destructors_.rbegin(); it != destructors_.rend(); ++it) {
+      it->destroy(it->object);
+    }
+    destructors_.clear();
+    blocks_.clear();
+    next_ = nullptr;
+    remaining_ = 0;
+  }
+
+  /// Observability for tests and benches.
+  size_t allocations() const { return allocations_; }
+  size_t blocks() const { return blocks_.size(); }
+  size_t bytes_reserved() const { return bytes_reserved_; }
+
+ private:
+  struct Finalizer {
+    void* object;
+    void (*destroy)(void*);
+  };
+
+  static constexpr size_t kBlockSize = 64 * 1024;
+
+  void NewBlock(size_t min_size) {
+    size_t size = min_size > kBlockSize ? min_size : kBlockSize;
+    blocks_.push_back(std::make_unique<char[]>(size));
+    next_ = blocks_.back().get();
+    remaining_ = size;
+    bytes_reserved_ += size;
+  }
+
+  std::vector<std::unique_ptr<char[]>> blocks_;
+  std::vector<Finalizer> destructors_;
+  char* next_ = nullptr;
+  size_t remaining_ = 0;
+  size_t allocations_ = 0;
+  size_t bytes_reserved_ = 0;
+};
+
+}  // namespace xdeal
+
+#endif  // XDEAL_UTIL_ARENA_H_

@@ -131,7 +131,8 @@ TEST(CbcServiceTest, DealsOnDistinctShardsSettleIndependently) {
     runtimes.push_back(driver.CreateDeal(&env.world(), spec, timings));
     ASSERT_TRUE(runtimes.back()->Deploy().ok());
     checkers.push_back(std::make_unique<DealChecker>(
-        &env.world(), spec, runtimes.back()->escrow_contracts()));
+        &env.world(), spec, runtimes.back()->escrow_contracts(),
+        timings.deal_tag));
     checkers.back()->CaptureInitial();
   }
   ASSERT_EQ(shards_used.size(), 2u);

@@ -109,5 +109,148 @@ TEST(SchnorrTest, FingerprintStable) {
   EXPECT_EQ(kp.public_key().Fingerprint().size(), 8u);
 }
 
+// --- batched verification ---
+
+std::vector<BatchItem> MakeBatch(size_t k, const std::string& prefix) {
+  std::vector<BatchItem> items;
+  for (size_t i = 0; i < k; ++i) {
+    KeyPair kp = KeyPair::FromSeed(prefix + "-signer-" + std::to_string(i));
+    Bytes msg = ToBytes(prefix + "-msg-" + std::to_string(i % 3));
+    items.push_back({kp.public_key(), msg, kp.Sign(msg)});
+  }
+  return items;
+}
+
+TEST(SchnorrBatchTest, EmptyBatchVerifiesTrivially) {
+  BatchVerifyResult verdict = BatchVerify({});
+  EXPECT_TRUE(verdict.ok);
+  EXPECT_FALSE(verdict.used_fallback);
+  EXPECT_EQ(verdict.first_bad, -1);
+}
+
+TEST(SchnorrBatchTest, ValidBatchesMatchIndividualVerification) {
+  // Batch sizes covering 2f+1 for f in {0..4} plus a single-item batch:
+  // the combined check must accept exactly when every item verifies alone,
+  // without running the fallback.
+  for (size_t k : {1u, 3u, 5u, 7u, 9u}) {
+    std::vector<BatchItem> items = MakeBatch(k, "ok-" + std::to_string(k));
+    for (const BatchItem& item : items) {
+      ASSERT_TRUE(Verify(item.key, item.message, item.sig));
+    }
+    BatchVerifyResult verdict = BatchVerify(items);
+    EXPECT_TRUE(verdict.ok) << "k=" << k;
+    EXPECT_FALSE(verdict.used_fallback) << "k=" << k;
+    EXPECT_EQ(verdict.first_bad, -1) << "k=" << k;
+  }
+}
+
+TEST(SchnorrBatchTest, CorruptedBatchFallsBackAndNamesTheCulprit) {
+  // Whichever single item is corrupted — tampered s, tampered r, wrong
+  // message, swapped key — the combined check fails, the per-signature
+  // fallback runs, and first_bad is exactly the corrupted index.
+  for (size_t bad : {0u, 2u, 4u}) {
+    std::vector<BatchItem> items = MakeBatch(5, "bad-s");
+    items[bad].sig.s = U256::AddMod(items[bad].sig.s, U256(1),
+                                    SchnorrGroup::N());
+    BatchVerifyResult verdict = BatchVerify(items);
+    EXPECT_FALSE(verdict.ok) << "bad=" << bad;
+    EXPECT_TRUE(verdict.used_fallback) << "bad=" << bad;
+    EXPECT_EQ(verdict.first_bad, static_cast<int>(bad));
+  }
+  {
+    std::vector<BatchItem> items = MakeBatch(5, "bad-msg");
+    items[3].message = ToBytes("a different message");
+    BatchVerifyResult verdict = BatchVerify(items);
+    EXPECT_FALSE(verdict.ok);
+    EXPECT_TRUE(verdict.used_fallback);
+    EXPECT_EQ(verdict.first_bad, 3);
+  }
+  {
+    std::vector<BatchItem> items = MakeBatch(5, "bad-key");
+    items[1].key = KeyPair::FromSeed("impostor").public_key();
+    BatchVerifyResult verdict = BatchVerify(items);
+    EXPECT_FALSE(verdict.ok);
+    EXPECT_TRUE(verdict.used_fallback);
+    EXPECT_EQ(verdict.first_bad, 1);
+  }
+}
+
+TEST(SchnorrBatchTest, MultipleBadItemsReportTheFirst) {
+  std::vector<BatchItem> items = MakeBatch(7, "multi-bad");
+  items[2].sig.s = U256::AddMod(items[2].sig.s, U256(1), SchnorrGroup::N());
+  items[5].sig.s = U256::AddMod(items[5].sig.s, U256(1), SchnorrGroup::N());
+  BatchVerifyResult verdict = BatchVerify(items);
+  EXPECT_FALSE(verdict.ok);
+  EXPECT_TRUE(verdict.used_fallback);
+  EXPECT_EQ(verdict.first_bad, 2);
+}
+
+TEST(SchnorrBatchTest, DegenerateValuesRejectedBeforeTheCombinedCheck) {
+  // Zero r, zero y, and out-of-range r are caught by the pre-checks (the
+  // combined equation would misbehave on them), attributed without running
+  // the fallback path.
+  {
+    std::vector<BatchItem> items = MakeBatch(3, "degen-r");
+    items[1].sig.r = U256();
+    BatchVerifyResult verdict = BatchVerify(items);
+    EXPECT_FALSE(verdict.ok);
+    EXPECT_FALSE(verdict.used_fallback);
+    EXPECT_EQ(verdict.first_bad, 1);
+  }
+  {
+    std::vector<BatchItem> items = MakeBatch(3, "degen-y");
+    items[2].key = PublicKey{U256()};
+    BatchVerifyResult verdict = BatchVerify(items);
+    EXPECT_FALSE(verdict.ok);
+    EXPECT_FALSE(verdict.used_fallback);
+    EXPECT_EQ(verdict.first_bad, 2);
+  }
+  {
+    std::vector<BatchItem> items = MakeBatch(3, "degen-range");
+    items[0].sig.r = SchnorrGroup::P();
+    BatchVerifyResult verdict = BatchVerify(items);
+    EXPECT_FALSE(verdict.ok);
+    EXPECT_FALSE(verdict.used_fallback);
+    EXPECT_EQ(verdict.first_bad, 0);
+  }
+}
+
+TEST(SchnorrBatchTest, QuorumShapedBatchesAgreeWithPerSigOverManySeeds) {
+  // Randomized differential sweep shaped like status certificates (same
+  // message, 2f+1 distinct signers), occasionally corrupted: BatchVerify's
+  // verdict must equal per-signature verification every time.
+  Rng rng(7);
+  for (int round = 0; round < 20; ++round) {
+    size_t f = 1 + rng.Below(4);
+    size_t k = 2 * f + 1;
+    Bytes msg(24);
+    for (auto& b : msg) b = static_cast<uint8_t>(rng.Below(256));
+    std::vector<BatchItem> items;
+    for (size_t v = 0; v < k; ++v) {
+      KeyPair kp = KeyPair::FromSeed("sweep-" + std::to_string(round) + "-" +
+                                     std::to_string(v));
+      items.push_back({kp.public_key(), msg, kp.Sign(msg)});
+    }
+    int corrupted = -1;
+    if (rng.Below(2) == 0) {
+      corrupted = static_cast<int>(rng.Below(k));
+      items[corrupted].sig.s = U256::AddMod(items[corrupted].sig.s, U256(1),
+                                            SchnorrGroup::N());
+    }
+    bool all_valid = true;
+    int first_bad = -1;
+    for (size_t i = 0; i < items.size(); ++i) {
+      if (!Verify(items[i].key, items[i].message, items[i].sig)) {
+        all_valid = false;
+        if (first_bad < 0) first_bad = static_cast<int>(i);
+      }
+    }
+    BatchVerifyResult verdict = BatchVerify(items);
+    EXPECT_EQ(verdict.ok, all_valid) << "round " << round;
+    EXPECT_EQ(verdict.first_bad, first_bad) << "round " << round;
+    EXPECT_EQ(verdict.used_fallback, corrupted >= 0) << "round " << round;
+  }
+}
+
 }  // namespace
 }  // namespace xdeal

@@ -10,20 +10,27 @@ external JS/CSS, so the single output file can be archived as a CI
 artifact and opened anywhere.
 
 Usage:
-  # Nightly: trend of the committed baseline vs tonight's soak.
+  # Nightly: baseline + the cached rolling history window of soak reports.
   python3 tools/bench_trend.py --out BENCH_trend.html \\
-      BENCH_baseline.json BENCH_soak.json
+      BENCH_baseline.json bench-history/
 
   # Local: a directory of downloaded bench-reports artifacts.
   python3 tools/bench_trend.py --out trend.html artifacts/*/BENCH_*.json
+
+A directory argument expands to its *.json files in sorted (filename)
+order, so history windows named sortably — e.g. zero-padded run numbers —
+chart chronologically without the caller globbing. --max-points N keeps
+only the newest N points when the history outgrows the chart.
 
 Only gated metric families (see tools/bench_gate.py classify()) are
 charted by default; --all charts every family, including wall-clock.
 """
 
 import argparse
+import glob
 import html
 import json
+import os
 import sys
 
 from bench_gate import classify
@@ -120,11 +127,26 @@ def main():
     parser.add_argument("--out", required=True, help="output HTML path")
     parser.add_argument("--all", action="store_true",
                         help="chart every metric family, incl. wall-clock")
+    parser.add_argument("--max-points", type=int, default=0, metavar="N",
+                        help="keep only the newest N points (0 = all)")
     parser.add_argument("files", nargs="+",
-                        help="bench reports/baselines, oldest first")
+                        help="bench reports/baselines (or directories of "
+                             "them), oldest first")
     args = parser.parse_args()
 
-    points = load_points(args.files)
+    paths = []
+    for arg in args.files:
+        if os.path.isdir(arg):
+            paths.extend(sorted(glob.glob(os.path.join(arg, "*.json"))))
+        else:
+            paths.append(arg)
+    if not paths:
+        print("no reports found", file=sys.stderr)
+        return 1
+
+    points = load_points(paths)
+    if args.max_points > 0:
+        points = points[-args.max_points:]
     x_labels = [label for label, _ in points]
 
     # Group into one chart per (bench, metric name); one line per label set.
