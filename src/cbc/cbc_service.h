@@ -26,6 +26,7 @@
 #include "cbc/validators.h"
 #include "chain/world.h"
 #include "crypto/sha256.h"
+#include "util/det.h"
 
 namespace xdeal {
 
@@ -57,7 +58,7 @@ class CbcService {
   /// Deterministic, stable deal→shard assignment: a function of the deal id
   /// bytes and S only — independent of World state, insertion order, or how
   /// many deals the service has seen.
-  size_t ShardOf(const Hash256& deal_id) const;
+  XDEAL_DETERMINISTIC size_t ShardOf(const Hash256& deal_id) const;
 
   ChainId chain(size_t shard) const { return shards_[shard].chain; }
   ValidatorSet& validators(size_t shard) { return shards_[shard].validators; }
@@ -74,7 +75,7 @@ class CbcService {
 
   /// Serves a status certificate for `deal_id` from its shard's validators
   /// (the log must be the one hosted on that shard's chain).
-  StatusCertificate IssueStatus(const CbcLogContract& log,
+  XDEAL_DETERMINISTIC StatusCertificate IssueStatus(const CbcLogContract& log,
                                 const Hash256& deal_id) const;
 
   /// Rotates one shard's validator set and returns the reconfiguration

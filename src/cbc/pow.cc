@@ -104,8 +104,19 @@ double AnalyticAttackProbability(double alpha, unsigned confirmations) {
   if (alpha >= 0.5) return 1.0;
   if (alpha <= 0.0) return 0.0;
   // Probability the adversary's Poisson race wins k+1 blocks before the
-  // honest majority does; the geometric catch-up bound.
-  return std::pow(alpha / (1.0 - alpha), confirmations + 1);
+  // honest majority does; the geometric catch-up bound. Computed by exact
+  // binary exponentiation — IEEE-754 multiplies are correctly rounded, so
+  // the result is bit-identical everywhere, unlike libm's std::pow (the
+  // same reasoning as admission.cc's libm-free -ln(u)). base < 1, so the
+  // iteration underflows gracefully toward 0 and can never overflow.
+  const double base = alpha / (1.0 - alpha);
+  double result = 1.0;
+  double sq = base;
+  for (unsigned e = confirmations + 1; e != 0; e >>= 1) {
+    if (e & 1u) result *= sq;
+    sq *= sq;
+  }
+  return result;
 }
 
 unsigned ConfirmationsForValue(double deal_value, double alpha,

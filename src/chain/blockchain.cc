@@ -94,7 +94,10 @@ ReceiptView Blockchain::ContractReceipts(uint64_t deal_tag,
 }
 
 bool Blockchain::TagIndexMatchesFullScan() const {
-  std::unordered_map<uint64_t, std::vector<uint32_t>> scan_tags;
+  // std::map, not unordered: this oracle's mismatch path feeds test
+  // diagnostics, and det-lint forbids unordered iteration anywhere under a
+  // deterministic root. Sorted order costs nothing here (test-only oracle).
+  std::map<uint64_t, std::vector<uint32_t>> scan_tags;
   std::map<std::pair<uint64_t, uint32_t>, std::vector<uint32_t>> scan_pairs;
   for (size_t i = 0; i < receipts_.size(); ++i) {
     const Receipt& r = receipts_[i];

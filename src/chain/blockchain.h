@@ -31,6 +31,7 @@
 #include "crypto/sha256.h"
 #include "sim/network.h"
 #include "sim/scheduler.h"
+#include "util/det.h"
 
 namespace xdeal {
 
@@ -183,7 +184,7 @@ class Blockchain {
   /// execute in the block at the next interval boundary (or a later one when
   /// block capacity is limited and earlier arrivals fill the block). Returns
   /// the tx seq. `deal_tag` labels the receipt for per-deal accounting.
-  uint64_t SubmitAt(Tick arrival, PartyId sender, ContractId contract,
+  XDEAL_DETERMINISTIC uint64_t SubmitAt(Tick arrival, PartyId sender, ContractId contract,
                     CallData call, std::string tag, uint64_t deal_tag = 0);
 
   /// Caps how many transactions one block may include; overflow rolls over
@@ -222,7 +223,18 @@ class Blockchain {
   /// Differential oracle: recomputes every tag/(tag, contract) bucket by
   /// full scan and compares against the incremental index. Returns true iff
   /// the index is exactly the scan. O(chain length) — test/debug only.
-  bool TagIndexMatchesFullScan() const;
+  XDEAL_DETERMINISTIC bool TagIndexMatchesFullScan() const;
+
+  /// Test hook: forces both unordered indexes to at least `bucket_count`
+  /// buckets, permuting their internal iteration order. Rehashing a
+  /// node-based unordered_map moves no elements, so ReceiptView /
+  /// ObservationCursor pointers into the bucket vectors stay valid; only
+  /// bucket traversal order changes. Determinism tests call this between
+  /// runs to prove no observable result depends on that order.
+  void RehashIndexes(size_t bucket_count) {
+    tag_index_.rehash(bucket_count);
+    observers_by_tag_.rehash(bucket_count);
+  }
 
   /// Total gas consumed by all executed transactions.
   uint64_t total_gas() const { return total_gas_; }
@@ -261,7 +273,7 @@ class Blockchain {
     bool filtered = false;
   };
 
-  void ProduceBlock(Tick boundary);
+  XDEAL_DETERMINISTIC void ProduceBlock(Tick boundary);
   Receipt Execute(const PendingTx& tx, Tick now, uint64_t height);
   void DeliverBroadcast(const std::vector<size_t>& receipt_indexes);
   void DeliverIndexed(const std::vector<size_t>& receipt_indexes,

@@ -18,6 +18,7 @@
 #include "chain/ids.h"
 #include "sim/network.h"
 #include "sim/scheduler.h"
+#include "util/det.h"
 #include "util/rng.h"
 
 namespace xdeal {
@@ -73,20 +74,20 @@ class World {
   /// results arrive through chain subscription or direct state reads.
   /// `deal_tag` labels the resulting receipt so multi-deal workloads can
   /// attribute gas/latency per deal (0 = untagged).
-  void Submit(PartyId from, ChainId chain_id, ContractId contract,
+  XDEAL_DETERMINISTIC void Submit(PartyId from, ChainId chain_id, ContractId contract,
               CallData call, std::string tag = "", uint64_t deal_tag = 0);
 
   /// Samples a one-way delay between two endpoints (exposed for components
   /// like block observation that need the same model). Consumes the World's
   /// sequential RNG stream.
-  Tick SampleDelay(Endpoint from, Endpoint to);
+  XDEAL_DETERMINISTIC Tick SampleDelay(Endpoint from, Endpoint to);
 
   /// Observation delay for kIndexed delivery: drawn through the network
   /// model from a private stream keyed on (world seed, chain, observer,
   /// block height). A pure function of its inputs — it consumes nothing
   /// from the sequential RNG, so delivery may skip any subset of observers
   /// without perturbing anyone else's draws.
-  Tick KeyedObservationDelay(ChainId chain, Endpoint who,
+  XDEAL_DETERMINISTIC Tick KeyedObservationDelay(ChainId chain, Endpoint who,
                              uint64_t block_height);
 
   /// Selects the observation delivery mode (see ObservationDelivery). Flip

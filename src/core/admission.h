@@ -34,6 +34,7 @@
 #include <vector>
 
 #include "sim/scheduler.h"
+#include "util/det.h"
 
 namespace xdeal {
 
@@ -53,18 +54,21 @@ const char* ToString(ArrivalProcess p);
 
 /// -ln(u) for u in (0, 1], computed without libm so results are bit-stable
 /// across platforms. Max relative error ~1e-11 — far below tick rounding.
+XDEAL_DETERMINISTIC
 double NegLogU01(double u);
 
 /// Inter-arrival gap (ticks) preceding deal `deal_index` under kPoisson:
 /// an exponential sample with mean `mean_gap`, rounded to the nearest tick.
 /// Derived from an independent SplitMix64 stream of (base_seed, deal_index)
 /// so arrivals never alias the per-deal shape seeds.
+XDEAL_DETERMINISTIC
 Tick PoissonArrivalGap(uint64_t base_seed, uint64_t deal_index,
                        double mean_gap);
 
 /// Arrival time per deal (nondecreasing, arrivals[0] may be 0). For
 /// kFixedStagger this is exactly {0, gap, 2*gap, ...} — the schedule the
 /// legacy admission_gap stagger produced.
+XDEAL_DETERMINISTIC
 std::vector<Tick> BuildArrivalSchedule(ArrivalProcess process,
                                        size_t num_deals, uint64_t base_seed,
                                        double mean_gap);

@@ -45,6 +45,7 @@
 #include "core/deal_gen.h"
 #include "core/env.h"
 #include "core/protocol_driver.h"
+#include "util/det.h"
 
 namespace xdeal {
 
@@ -163,7 +164,7 @@ class BrokerPool {
 
   /// Generates the broker-linked spec for deal `deal_index` (buy- or
   /// sell-side, units drawn from `seed`) and records its resource needs.
-  DealSpec MakeDeal(size_t deal_index, uint64_t seed);
+  XDEAL_DETERMINISTIC DealSpec MakeDeal(size_t deal_index, uint64_t seed);
 
   /// Working capital (coins) deal `deal_index` locks while in flight;
   /// 0 for sell-side and non-broker deals.
@@ -175,7 +176,7 @@ class BrokerPool {
   /// The live admission signal for deal `deal_index`: free = the broker's
   /// on-chain balance minus reservations whose escrow deposit has not yet
   /// landed on chain. Prunes settled/landed reservations as a side effect.
-  BrokerSignal SignalFor(size_t deal_index);
+  XDEAL_DETERMINISTIC BrokerSignal SignalFor(size_t deal_index);
 
   /// PartyFactory::OnDeployed hook: registers the deployed deal's escrow
   /// view so the reservation it opened can be tracked until its deposit
@@ -185,7 +186,7 @@ class BrokerPool {
   /// Post-run: folds per-deal outcomes into per-broker records (gas/latency
   /// attribution, occupancy timeline, portfolio conformance). `outcomes`
   /// must cover exactly the broker deals, in index order.
-  std::vector<BrokerRecord> BuildRecords(
+  XDEAL_DETERMINISTIC std::vector<BrokerRecord> BuildRecords(
       const std::vector<BrokerDealOutcome>& outcomes) const;
 
  private:

@@ -28,6 +28,7 @@
 #include "contracts/cbc_escrow.h"
 #include "core/deal_spec.h"
 #include "core/protocol_driver.h"
+#include "util/det.h"
 
 namespace xdeal {
 
@@ -134,8 +135,8 @@ class CbcRun {
   CbcRun(World* world, DealSpec spec, CbcConfig config, CbcService* service,
          StrategyFactory factory = nullptr);
 
-  Status Start();
-  CbcResult Collect() const;
+  XDEAL_DETERMINISTIC Status Start();
+  XDEAL_DETERMINISTIC CbcResult Collect() const;
 
   const CbcDeployment& deployment() const { return deployment_; }
   const DealSpec& spec() const { return spec_; }

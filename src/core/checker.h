@@ -29,6 +29,7 @@
 #include "chain/world.h"
 #include "contracts/escrow_view.h"
 #include "core/deal_spec.h"
+#include "util/det.h"
 
 namespace xdeal {
 
@@ -74,17 +75,17 @@ class DealChecker {
   void MarkSharedParty(PartyId p);
 
   /// Evaluates one party after the scheduler has drained.
-  PartyVerdict Evaluate(PartyId p) const;
+  XDEAL_DETERMINISTIC PartyVerdict Evaluate(PartyId p) const;
 
   /// Property 1 over a set of compliant parties.
-  bool SafetyHolds(const std::vector<PartyId>& compliant) const;
+  XDEAL_DETERMINISTIC bool SafetyHolds(const std::vector<PartyId>& compliant) const;
 
   /// Property 2 over a set of compliant parties.
-  bool WeakLivenessHolds(const std::vector<PartyId>& compliant) const;
+  XDEAL_DETERMINISTIC bool WeakLivenessHolds(const std::vector<PartyId>& compliant) const;
 
   /// Property 3: every escrow released and token ledgers match the expected
   /// commit outcome exactly (call only for all-compliant runs).
-  bool StrongLivenessHolds() const;
+  XDEAL_DETERMINISTIC bool StrongLivenessHolds() const;
 
   /// True if every asset chain settled the same way (the CBC guarantee:
   /// "the deal either commits everywhere or aborts everywhere").

@@ -35,6 +35,7 @@
 #include "core/deal_gen.h"
 #include "core/protocol_driver.h"
 #include "sim/scheduler.h"
+#include "util/det.h"
 
 namespace xdeal {
 
@@ -157,11 +158,13 @@ struct ExploreReport {
 
 /// Enumerates every inequivalent delivery order of `cell` and validates
 /// each terminal state against Properties 1-3.
+XDEAL_DETERMINISTIC
 ExploreReport ExploreDeal(const ExploreCell& cell,
                           const ExploreOptions& options);
 
 /// Re-executes `cell` under the recorded choice script and validates the
 /// terminal state (the reproducer entry point for ExploreViolation traces).
+XDEAL_DETERMINISTIC
 ExploreRunResult ReplayTrace(const ExploreCell& cell,
                              const ChoiceTrace& trace);
 

@@ -32,6 +32,7 @@
 #include "contracts/timelock_escrow.h"
 #include "core/deal_spec.h"
 #include "core/protocol_driver.h"
+#include "util/det.h"
 
 namespace xdeal {
 
@@ -136,10 +137,10 @@ class TimelockRun {
 
   /// Deploys contracts, schedules all phases, and wires subscriptions.
   /// Call once, then world->scheduler().Run().
-  Status Start();
+  XDEAL_DETERMINISTIC Status Start();
 
   /// Collects results after the scheduler has drained.
-  TimelockResult Collect() const;
+  XDEAL_DETERMINISTIC TimelockResult Collect() const;
 
   const TimelockDeployment& deployment() const { return deployment_; }
   const DealSpec& spec() const { return spec_; }

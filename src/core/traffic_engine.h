@@ -56,6 +56,7 @@
 #include "core/broker_pool.h"
 #include "core/protocol_driver.h"
 #include "sim/scheduler.h"
+#include "util/det.h"
 
 namespace xdeal {
 
@@ -301,11 +302,13 @@ struct TrafficReport {
 
 /// Per-deal RNG seed: a SplitMix64 hash of (base_seed, deal_index), on an
 /// independent stream from ScenarioSeed so sweep and traffic never alias.
+XDEAL_DETERMINISTIC
 uint64_t TrafficDealSeed(uint64_t base_seed, uint64_t deal_index);
 
 /// The whole pipeline: generate D deals in one World over a shared chain
 /// pool, drive the scheduler to quiescence, validate every deal (in
 /// parallel), and fold the deterministic report.
+XDEAL_DETERMINISTIC
 TrafficReport RunTraffic(const TrafficOptions& options);
 
 }  // namespace xdeal

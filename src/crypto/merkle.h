@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "crypto/sha256.h"
+#include "util/det.h"
 #include "util/result.h"
 
 namespace xdeal {
@@ -27,6 +28,7 @@ using MerkleProof = std::vector<MerkleStep>;
 /// Computes the Merkle root of a list of leaf hashes.
 /// The root of an empty list is the all-zero hash; a single leaf is its own
 /// root after one hashing level (domain-separated from leaves).
+XDEAL_DETERMINISTIC
 Hash256 MerkleRoot(const std::vector<Hash256>& leaves);
 
 /// Builds a membership proof for the leaf at `index`.
@@ -34,6 +36,7 @@ Result<MerkleProof> BuildMerkleProof(const std::vector<Hash256>& leaves,
                                      size_t index);
 
 /// Verifies that `leaf` is committed under `root` via `proof`.
+XDEAL_DETERMINISTIC
 bool VerifyMerkleProof(const Hash256& leaf, const MerkleProof& proof,
                        const Hash256& root);
 

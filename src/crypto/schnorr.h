@@ -27,6 +27,7 @@
 #include "crypto/sha256.h"
 #include "crypto/u256.h"
 #include "util/bytes.h"
+#include "util/det.h"
 #include "util/result.h"
 
 namespace xdeal {
@@ -77,7 +78,7 @@ class KeyPair {
   const PublicKey& public_key() const { return public_key_; }
 
   /// Signs a message (any byte string).
-  Signature Sign(const Bytes& message) const;
+  XDEAL_DETERMINISTIC Signature Sign(const Bytes& message) const;
   Signature Sign(std::string_view message) const;
 
  private:
@@ -90,7 +91,7 @@ class KeyPair {
 /// Verifies that `sig` is a valid signature on `message` under `key`.
 /// Counts as one "signature verification" for gas purposes (the caller,
 /// i.e. a contract, charges kGasSigVerify).
-bool Verify(const PublicKey& key, const Bytes& message, const Signature& sig);
+XDEAL_DETERMINISTIC bool Verify(const PublicKey& key, const Bytes& message, const Signature& sig);
 bool Verify(const PublicKey& key, std::string_view message,
             const Signature& sig);
 
@@ -120,7 +121,7 @@ struct BatchVerifyResult {
 /// fails, falls back to per-signature verification to name the culprit.
 /// Equivalent to individually verifying every item (up to ~2^-128 soundness
 /// of the random linear combination). An empty batch verifies trivially.
-BatchVerifyResult BatchVerify(const std::vector<BatchItem>& items);
+XDEAL_DETERMINISTIC BatchVerifyResult BatchVerify(const std::vector<BatchItem>& items);
 
 }  // namespace xdeal
 

@@ -13,6 +13,7 @@
 #include <string_view>
 
 #include "util/bytes.h"
+#include "util/det.h"
 
 namespace xdeal {
 
@@ -62,15 +63,19 @@ class Sha256 {
 };
 
 /// One-shot helpers.
-Hash256 Sha256Digest(const Bytes& data);
-Hash256 Sha256Digest(std::string_view data);
+XDEAL_DETERMINISTIC Hash256 Sha256Digest(const Bytes& data);
+XDEAL_DETERMINISTIC Hash256 Sha256Digest(std::string_view data);
 
 struct Hash256Hasher {
   size_t operator()(const Hash256& h) const {
-    size_t v;
-    static_assert(sizeof(v) <= 32);
-    __builtin_memcpy(&v, h.bytes.data(), sizeof(v));
-    return v;
+    // Fold the first 8 digest bytes big-endian, byte by byte. A memcpy into
+    // the size_t would read them in host order, making the hash value — and
+    // any bucket layout derived from it — differ across endianness.
+    uint64_t v = 0;
+    for (size_t i = 0; i < 8; ++i) {
+      v = (v << 8) | h.bytes[i];
+    }
+    return static_cast<size_t>(v);
   }
 };
 

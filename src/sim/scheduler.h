@@ -38,6 +38,8 @@
 #include <queue>
 #include <vector>
 
+#include "util/det.h"
+
 namespace xdeal {
 
 /// Simulated time, in abstract ticks. The protocols express Δ (the
@@ -183,11 +185,11 @@ class Scheduler {
   void ScheduleAfter(Tick delay, EventLabel label, Callback fn);
 
   /// Runs a single event; returns false if the queue is empty.
-  bool Step();
+  XDEAL_DETERMINISTIC bool Step();
 
   /// Runs events until the queue is empty or the next event is after
   /// `limit`. Returns the number of events executed.
-  size_t Run(Tick limit = kTickMax);
+  XDEAL_DETERMINISTIC size_t Run(Tick limit = kTickMax);
 
  private:
   struct Event {

@@ -11,18 +11,19 @@
 #include <cstdint>
 #include <string>
 
+#include "util/det.h"
 #include "util/rng.h"
 
 namespace xdeal {
 
 /// Folds one 64-bit value into the running fingerprint.
-inline uint64_t MixFingerprint(uint64_t h, uint64_t v) {
+XDEAL_DETERMINISTIC inline uint64_t MixFingerprint(uint64_t h, uint64_t v) {
   SplitMix64 sm(h ^ (v + 0x9E3779B97F4A7C15ULL));
   return sm.Next();
 }
 
 /// FNV-1a over a string, for folding violation text into a fingerprint.
-inline uint64_t FingerprintString(const std::string& s) {
+XDEAL_DETERMINISTIC inline uint64_t FingerprintString(const std::string& s) {
   uint64_t h = 0xcbf29ce484222325ULL;
   for (unsigned char c : s) {
     h ^= c;

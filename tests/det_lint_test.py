@@ -1,0 +1,362 @@
+#!/usr/bin/env python3
+"""Fixture suite for tools/det_lint.py.
+
+Each test writes a small, self-contained C++ snippet into a temp directory
+and runs the analyzer over it, asserting on the exit code and the JSON
+report. Coverage:
+
+  * every source class in the taxonomy fires on a minimal trigger
+    (unordered-iter, unstable-hash, pointer-order, libm-call, ambient-env,
+    parallel-float-accum, endian-memcpy);
+  * an XDEAL_DET_OK with a nonempty reason suppresses — and the reason is
+    carried into the report; an empty reason fails the gate outright;
+  * reachability gating: a source in a function no root can reach passes
+    the default gate but fails `--all` (the nightly full-audit mode);
+  * taint propagates through the call graph (root -> helper -> source) and
+    the reported path names the chain;
+  * a no-false-positive fixture mirroring World::KeyedObservationDelay
+    (counter-mode SplitMix64 mixing, seeded Rng) produces zero findings.
+
+CTest runs this via `python3 tests/det_lint_test.py` (see CMakeLists.txt,
+test name `det_lint_fixtures`); it needs only the stdlib.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import unittest
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+TOOL = os.path.join(REPO, "tools", "det_lint.py")
+
+
+def run_lint(snippets, extra_args=()):
+    """Writes {filename: source} into a temp dir, runs det_lint over it.
+
+    Returns (exit_code, report_dict, combined_output).
+    """
+    with tempfile.TemporaryDirectory(prefix="det_lint_fix_") as tmp:
+        for name, src in snippets.items():
+            path = os.path.join(tmp, name)
+            os.makedirs(os.path.dirname(path), exist_ok=True)
+            with open(path, "w") as f:
+                f.write(src)
+        report_path = os.path.join(tmp, "report.json")
+        proc = subprocess.run(
+            [sys.executable, TOOL, "--src", tmp, "--json", report_path,
+             *extra_args],
+            capture_output=True, text=True)
+        report = {}
+        if os.path.exists(report_path):
+            with open(report_path) as f:
+                report = json.load(f)
+        return proc.returncode, report, proc.stdout + proc.stderr
+
+
+def violation_classes(report):
+    return sorted(v["class"] for v in report.get("violations", []))
+
+
+class SourceClassTests(unittest.TestCase):
+    """One minimal trigger per taxonomy class, each under a marked root."""
+
+    def assert_single_violation(self, snippet, klass, detail_substr=None):
+        code, report, out = run_lint({"fixture.cc": snippet})
+        self.assertEqual(code, 1, out)
+        self.assertEqual(violation_classes(report), [klass], out)
+        if detail_substr:
+            self.assertIn(detail_substr, report["violations"][0]["detail"])
+
+    def test_unordered_iter(self):
+        self.assert_single_violation("""
+            #include <unordered_map>
+            #include <vector>
+            std::unordered_map<int, int> counts;
+            XDEAL_DETERMINISTIC int Drain() {
+              int total = 0;
+              for (const auto& [k, v] : counts) total += v;
+              return total;
+            }
+            """, "unordered-iter", "counts")
+
+    def test_unstable_hash(self):
+        self.assert_single_violation("""
+            #include <functional>
+            #include <string>
+            XDEAL_DETERMINISTIC unsigned long Fold(const std::string& s) {
+              return std::hash<std::string>{}(s);
+            }
+            """, "unstable-hash", "std::hash")
+
+    def test_pointer_order_comparator(self):
+        self.assert_single_violation("""
+            #include <algorithm>
+            #include <vector>
+            struct Node { int weight; };
+            XDEAL_DETERMINISTIC void Rank(std::vector<Node*>& nodes) {
+              std::sort(nodes.begin(), nodes.end(),
+                        [](Node* a, Node* b) { return a < b; });
+            }
+            """, "pointer-order", "pointer values")
+
+    def test_pointer_keyed_container_iteration(self):
+        self.assert_single_violation("""
+            #include <map>
+            struct Obs { int v; };
+            std::map<Obs*, int> by_site;
+            XDEAL_DETERMINISTIC int Sum() {
+              int total = 0;
+              for (const auto& [site, v] : by_site) total += v;
+              return total;
+            }
+            """, "pointer-order", "by_site")
+
+    def test_libm_call(self):
+        self.assert_single_violation("""
+            #include <cmath>
+            XDEAL_DETERMINISTIC double Score(double x) {
+              return std::log(1.0 + x);
+            }
+            """, "libm-call", "log")
+
+    def test_exact_libm_functions_allowed(self):
+        # sqrt/fabs/floor are exactly specified by IEEE-754 — not findings.
+        code, report, out = run_lint({"fixture.cc": """
+            #include <cmath>
+            XDEAL_DETERMINISTIC double Norm(double x, double y) {
+              return std::sqrt(std::fabs(x) + std::floor(y));
+            }
+            """})
+        self.assertEqual(code, 0, out)
+        self.assertEqual(report["violations"], [])
+
+    def test_ambient_clock(self):
+        self.assert_single_violation("""
+            #include <chrono>
+            XDEAL_DETERMINISTIC long Stamp() {
+              auto t = std::chrono::steady_clock::now();
+              return t.time_since_epoch().count();
+            }
+            """, "ambient-env", "steady_clock::now")
+
+    def test_ambient_rand(self):
+        self.assert_single_violation("""
+            #include <cstdlib>
+            XDEAL_DETERMINISTIC int Pick() { return rand() % 7; }
+            """, "ambient-env", "rand")
+
+    def test_ambient_random_device(self):
+        self.assert_single_violation("""
+            #include <random>
+            XDEAL_DETERMINISTIC unsigned Seed() {
+              std::random_device rd;
+              return rd();
+            }
+            """, "ambient-env", "random_device")
+
+    def test_parallel_float_accum(self):
+        self.assert_single_violation("""
+            #include <cstddef>
+            void ParallelFor(std::size_t n, void (*fn)(std::size_t));
+            XDEAL_DETERMINISTIC double Mean(std::size_t n) {
+              double sum = 0.0;
+              ParallelFor(n, nullptr);
+              sum += 1.0;  // stand-in for the per-item merge
+              return sum / n;
+            }
+            """, "parallel-float-accum", "sum")
+
+    def test_serial_float_accum_allowed(self):
+        # The same += with no parallel dispatch in scope is fine: a serial
+        # fold has one fixed order.
+        code, report, out = run_lint({"fixture.cc": """
+            XDEAL_DETERMINISTIC double Mean(const double* xs, int n) {
+              double sum = 0.0;
+              for (int i = 0; i < n; ++i) sum += xs[i];
+              return sum / n;
+            }
+            """})
+        self.assertEqual(code, 0, out)
+        self.assertEqual(report["violations"], [])
+
+    def test_endian_memcpy(self):
+        self.assert_single_violation("""
+            #include <cstdint>
+            #include <cstring>
+            XDEAL_DETERMINISTIC std::uint64_t Load(const unsigned char* p) {
+              std::uint64_t v;
+              std::memcpy(&v, p, sizeof(v));
+              return v;
+            }
+            """, "endian-memcpy", "host-endian")
+
+
+class SuppressionTests(unittest.TestCase):
+    SNIPPET = """
+        #include <unordered_set>
+        std::unordered_set<int> members;
+        XDEAL_DETERMINISTIC bool AllEven() {
+          {REASON}
+          for (int m : members) if (m % 2) return false;
+          return true;
+        }
+        """
+
+    def test_nonempty_reason_suppresses_and_is_reported(self):
+        src = self.SNIPPET.replace("{REASON}", 'XDEAL_DET_OK("bool-returning '
+                                   'universal quantifier; order cannot reach '
+                                   'the result");')
+        code, report, out = run_lint({"fixture.cc": src})
+        self.assertEqual(code, 0, out)
+        self.assertEqual(report["violations"], [])
+        self.assertEqual(len(report["suppressed"]), 1, out)
+        self.assertIn("universal quantifier", report["suppressed"][0]["reason"])
+
+    def test_empty_reason_fails_the_gate(self):
+        src = self.SNIPPET.replace("{REASON}", 'XDEAL_DET_OK("");')
+        code, report, out = run_lint({"fixture.cc": src})
+        self.assertEqual(code, 1, out)
+        self.assertEqual(len(report["empty_reason_suppressions"]), 1, out)
+
+    def test_suppression_scope_ends_with_function(self):
+        # A suppression in one function must not mute a finding in the next.
+        code, report, out = run_lint({"fixture.cc": """
+            #include <unordered_set>
+            std::unordered_set<int> members;
+            XDEAL_DETERMINISTIC bool AllEven() {
+              XDEAL_DET_OK("set-universal check, order-insensitive");
+              for (int m : members) if (m % 2) return false;
+              return true;
+            }
+            XDEAL_DETERMINISTIC int Total() {
+              int t = 0;
+              for (int m : members) t += m;
+              return t;
+            }
+            """})
+        self.assertEqual(code, 1, out)
+        self.assertEqual(violation_classes(report), ["unordered-iter"], out)
+        self.assertEqual(report["violations"][0]["function"], "Total")
+
+    def test_unused_suppression_warns(self):
+        code, report, out = run_lint({"fixture.cc": """
+            XDEAL_DETERMINISTIC int Pure(int x) {
+              XDEAL_DET_OK("nothing here needs this");
+              return x * 2;
+            }
+            """})
+        self.assertEqual(code, 0, out)
+        self.assertEqual(len(report["unused_suppressions"]), 1, out)
+        self.assertIn("unused", out)
+
+
+class ReachabilityTests(unittest.TestCase):
+    def test_unreachable_source_passes_default_gate_fails_all(self):
+        snippets = {"fixture.cc": """
+            #include <cstdlib>
+            XDEAL_DETERMINISTIC int Root(int x) { return x + 1; }
+            int DebugOnly() { return rand(); }
+            """}
+        code, report, out = run_lint(snippets)
+        self.assertEqual(code, 0, out)
+        self.assertEqual(report["violations"], [])
+        self.assertEqual(len(report["unreachable_findings"]), 1, out)
+
+        code, report, out = run_lint(snippets, extra_args=["--all"])
+        self.assertEqual(code, 1, out)
+        self.assertEqual(violation_classes(report), ["ambient-env"], out)
+
+    def test_taint_propagates_through_call_graph(self):
+        code, report, out = run_lint({"fixture.cc": """
+            #include <cmath>
+            double Kernel(double x) { return std::exp(x); }
+            double Helper(double x) { return Kernel(x) + 1.0; }
+            XDEAL_DETERMINISTIC double Report(double x) {
+              return Helper(x) * 2.0;
+            }
+            """})
+        self.assertEqual(code, 1, out)
+        self.assertEqual(violation_classes(report), ["libm-call"], out)
+        path = report["violations"][0]["path"]
+        self.assertEqual(path, ["Report", "Helper", "Kernel"], out)
+
+    def test_method_roots_resolve_across_files(self):
+        code, report, out = run_lint({
+            "engine.h": """
+                #include <unordered_map>
+                class Engine {
+                 public:
+                  XDEAL_DETERMINISTIC long Run();
+                 private:
+                  std::unordered_map<int, long> weights_;
+                };
+                """,
+            "engine.cc": """
+                #include "engine.h"
+                long Engine::Run() {
+                  long total = 0;
+                  for (const auto& [k, w] : weights_) total += w;
+                  return total;
+                }
+                """})
+        self.assertEqual(code, 1, out)
+        self.assertEqual(violation_classes(report), ["unordered-iter"], out)
+        self.assertEqual(report["violations"][0]["function"], "Engine::Run")
+
+
+class NoFalsePositiveTests(unittest.TestCase):
+    def test_keyed_delay_pattern_is_clean(self):
+        # Mirrors World::KeyedObservationDelay: counter-mode mixing of a
+        # seed with stable ids through SplitMix64, then a seeded local Rng.
+        # All integer arithmetic, no ambient state — zero findings expected,
+        # reachable or not.
+        code, report, out = run_lint({"fixture.cc": """
+            #include <cstdint>
+            struct SplitMix64 {
+              std::uint64_t s;
+              explicit SplitMix64(std::uint64_t seed) : s(seed) {}
+              std::uint64_t Next() {
+                std::uint64_t z = (s += 0x9E3779B97F4A7C15ULL);
+                z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+                z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+                return z ^ (z >> 31);
+              }
+            };
+            XDEAL_DETERMINISTIC std::uint64_t
+            KeyedDelay(std::uint64_t seed, std::uint32_t chain,
+                       std::uint32_t who, std::uint64_t tick) {
+              SplitMix64 key(seed ^ 0x6b79656444656c61ULL);
+              key.s ^= SplitMix64(chain).Next();
+              key.s ^= SplitMix64(who).Next();
+              key.s ^= SplitMix64(tick).Next();
+              SplitMix64 rng(key.Next());
+              return 1 + rng.Next() % 16;
+            }
+            """})
+        self.assertEqual(code, 0, out)
+        self.assertEqual(report["violations"], [])
+        self.assertEqual(report["unreachable_findings"], [])
+
+    def test_lookup_without_iteration_is_clean(self):
+        # .find()/.count()/.at() on an unordered container do not depend on
+        # iteration order — the exact pattern of blockchain's tag_index_.
+        code, report, out = run_lint({"fixture.cc": """
+            #include <unordered_map>
+            #include <vector>
+            std::unordered_map<unsigned long, std::vector<int>> tag_index;
+            XDEAL_DETERMINISTIC const std::vector<int>*
+            Lookup(unsigned long tag) {
+              auto it = tag_index.find(tag);
+              if (it == tag_index.end()) return nullptr;
+              return &it->second;
+            }
+            """})
+        self.assertEqual(code, 0, out)
+        self.assertEqual(report["violations"], [])
+        self.assertEqual(report["unreachable_findings"], [])
+
+
+if __name__ == "__main__":
+    unittest.main(verbosity=2)

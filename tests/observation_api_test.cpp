@@ -13,6 +13,7 @@
 #include "chain/world.h"
 #include "contracts/fungible_token.h"
 #include "core/traffic_engine.h"
+#include "util/fingerprint.h"
 
 namespace xdeal {
 namespace {
@@ -222,6 +223,50 @@ TEST(ObservationApiTest, IndexedModeDeterministicAcrossThreadsAndShards) {
     EXPECT_EQ(threaded.fingerprint, baseline.fingerprint)
         << "shards=" << shards;
     EXPECT_EQ(threaded.Summary(), baseline.Summary());
+  }
+}
+
+TEST(ObservationApiTest, FingerprintsInvariantUnderBucketPermutation) {
+  // det-lint's central claim, checked dynamically: no observable result may
+  // depend on the iteration order of the chain's unordered indexes. Rehash
+  // permutes exactly that order (and nothing else — the maps are
+  // node-based, so views keep their bucket-vector pointers). Folding the
+  // observed receipt stream into a fingerprint before and after rehashes
+  // with adversarial bucket counts must be bit-identical.
+  auto fold_observations = [](Blockchain* chain) {
+    uint64_t fp = 0x5eedULL;
+    for (uint64_t tag : {7u, 9u, 0u}) {
+      for (const Receipt& r : chain->TaggedReceipts(tag)) {
+        fp = MixFingerprint(fp, r.tx_seq);
+        fp = MixFingerprint(fp, r.gas_used);
+        fp = MixFingerprint(fp, r.block_height);
+        fp = MixFingerprint(fp, FingerprintString(r.function));
+      }
+      ObservationCursor cursor = chain->MakeCursor(tag);
+      while (const Receipt* r = cursor.Next()) {
+        fp = MixFingerprint(fp, r->tx_seq);
+      }
+    }
+    return fp;
+  };
+
+  auto world = MakeWorld();
+  PartyId alice = world->RegisterParty("alice");
+  Blockchain* chain = world->CreateChain("c", 10);
+  ContractId token =
+      chain->Deploy(std::make_unique<FungibleToken>("A", alice));
+  chain->As<FungibleToken>(token)->Mint(Holder::Party(alice), 100);
+  SubmitTagged(world.get(), chain, alice, token, /*deal_tag=*/7, 3);
+  SubmitTagged(world.get(), chain, alice, token, /*deal_tag=*/9, 4);
+  SubmitTagged(world.get(), chain, alice, token, /*deal_tag=*/0, 1);
+  world->scheduler().Run();
+  ASSERT_EQ(chain->receipts().size(), 8u);
+
+  const uint64_t baseline = fold_observations(chain);
+  for (size_t buckets : {1u, 2u, 17u, 64u, 1031u}) {
+    chain->RehashIndexes(buckets);
+    EXPECT_TRUE(chain->TagIndexMatchesFullScan()) << "buckets=" << buckets;
+    EXPECT_EQ(fold_observations(chain), baseline) << "buckets=" << buckets;
   }
 }
 

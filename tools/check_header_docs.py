@@ -17,7 +17,9 @@ Deliberately pragmatic (regex, not a C++ parser). Skipped, by policy:
   - trivial one-line inline accessors (declaration and `{ ... }` body on
     one line),
   - forward declarations (`class Foo;`),
-  - continuation lines of a multi-line declaration.
+  - continuation lines of a multi-line declaration,
+  - annotation macros (`XDEAL_DETERMINISTIC`) / attributes on their own
+    line between the doc comment and the declaration.
 
 Exit status 1 lists every undocumented declaration as file:line.
 """
@@ -45,7 +47,9 @@ def is_comment(line):
 
 def public_regions(lines):
     """Yields, per line index, whether that line is at public scope:
-    namespace scope, a struct body, or a class body after `public:`."""
+    namespace scope, a struct body, or a class body after `public:`.
+    Plain blocks (multi-line inline function bodies) are NOT public scope —
+    local declarations inside them are statements, not API surface."""
     # Stack of (kind, public?) per brace scope; namespace/global = public.
     stack = []
     public = []
@@ -55,6 +59,7 @@ def public_regions(lines):
         m = TYPE_RE.match(code)
         if m and not code.rstrip().endswith(";"):
             pending = "struct" if m.group(2) != "class" else "class"
+        is_namespace = re.match(r"^\s*(inline\s+)?namespace\b", code)
         if re.match(r"^\s*(public|protected|private)\s*:", code):
             if stack and stack[-1][0] == "class-like":
                 stack[-1] = ("class-like",
@@ -65,8 +70,12 @@ def public_regions(lines):
                 if pending is not None:
                     stack.append(("class-like", pending == "struct"))
                     pending = None
+                elif is_namespace:
+                    stack.append(("namespace",
+                                  stack[-1][1] if stack else True))
+                    is_namespace = None  # only the first '{' on the line
                 else:
-                    stack.append(("block", stack[-1][1] if stack else True))
+                    stack.append(("block", False))
             elif ch == "}":
                 if stack:
                     stack.pop()
@@ -143,6 +152,10 @@ def check_file(path):
         for j in range(i - 1, -1, -1):
             if not lines[j].strip():
                 break
+            # Annotation macros / attributes on their own line sit between
+            # the doc comment and the declaration — look through them.
+            if re.match(r"^\s*(XDEAL_\w+|\[\[.*\]\])\s*$", lines[j]):
+                continue
             if is_comment(lines[j]):
                 documented = True
             break

@@ -1,0 +1,1192 @@
+#!/usr/bin/env python3
+"""det-lint: a determinism-taint static analyzer for the xdeal sources.
+
+The repo's central invariant — a run is a pure function of (seed, config),
+bit-identical across thread counts, platforms, and optimization levels — is
+enforced dynamically by the 1-vs-8-thread fingerprint tests. det-lint
+enforces it statically: nothing reachable from a declared deterministic
+root may touch a nondeterminism source without an audited suppression.
+
+Mechanics (src/util/det.h defines the in-source contract):
+
+  1. Parse every translation unit (``*.cc``) and header under the given
+     source roots; ``--compdb`` may point at a ``compile_commands.json``
+     (or its directory) to enumerate TUs the way the other lint jobs do.
+  2. Build the call graph: function definitions are resolved by qualified
+     name where possible and conservatively by simple name otherwise
+     (over-approximation is safe for a taint gate — a spurious edge can
+     only surface a finding early, never hide one).
+  3. Detect nondeterminism *sources* inside each function body (taxonomy
+     below), and *roots*: declarations marked ``XDEAL_DETERMINISTIC``.
+  4. Fail (exit 1) if any source is reachable from a root and not covered
+     by an ``XDEAL_DET_OK("reason")`` suppression in the same function, or
+     if any suppression has an empty reason. ``--json`` writes the full
+     machine-readable report, including suppressed findings with their
+     audit reasons (the nightly job archives this).
+
+Source taxonomy (class ids used in findings and fixtures):
+
+  unordered-iter        iteration (range-for / .begin) over
+                        std::unordered_map / std::unordered_set — order is
+                        a function of hash seeding, bucket count, and
+                        insertion history, none of which are contractual.
+  unstable-hash         std::hash<T> for non-integral T (strings, pointers)
+                        — value is implementation-defined, differs across
+                        stdlibs and builds.
+  pointer-order         ordering on pointer values: iterating a std::set /
+                        std::map keyed by a pointer type, or a comparator
+                        lambda comparing two pointer parameters — addresses
+                        depend on the allocator and ASLR.
+  libm-call             transcendental libm calls (log/exp/pow/sin/...) —
+                        not correctly-rounded, results differ across libm
+                        versions and platforms. Exactly-specified IEEE-754
+                        operations (sqrt, fabs, frexp, ldexp, floor, ...)
+                        are allowed; this is what keeps the libm-free
+                        -ln(u) in admission.cc legal.
+  ambient-env           wall clocks, ambient RNG, environment reads:
+                        time/clock/gettimeofday, std::chrono::*_clock::now,
+                        rand/srand/random_device, getenv.
+  parallel-float-accum  += accumulation into a float/double local in a
+                        function that also issues parallel work
+                        (WorkerPool::ParallelFor / Submit) — reduction
+                        order becomes schedule-dependent.
+  endian-memcpy         memcpy/__builtin_memcpy between a scalar's address
+                        and a byte buffer (``&x`` with ``sizeof``) — bakes
+                        host endianness into serialized bytes.
+
+The analyzer is deliberately self-contained (stdlib only), in the same
+spirit as check_header_docs.py: a tokenizer plus a pragmatic scope tracker,
+not a full C++ front end. When the clang Python bindings are installed
+(CI's det-lint job attempts ``python3-clang``), ``--frontend=clang`` runs a
+libclang cross-check pass that re-verifies root annotations from the real
+AST; the token frontend remains the gate so results never depend on which
+environment ran the tool.
+
+Usage:
+  python3 tools/det_lint.py [--src src] [--compdb build-lint] \
+      [--json report.json] [--all] [-v]
+"""
+
+import argparse
+import json
+import os
+import re
+import sys
+from collections import deque
+
+# --------------------------------------------------------------------------
+# Source taxonomy tables
+# --------------------------------------------------------------------------
+
+# Transcendental libm functions: results are implementation-dependent (libm
+# is not required to be correctly rounded). Exactly-specified IEEE-754
+# operations are deliberately absent: sqrt, fabs, frexp, ldexp, copysign,
+# floor, ceil, trunc, round, fmod, nextafter, fma.
+LIBM_CALLS = {
+    "log", "log2", "log10", "log1p", "exp", "exp2", "expm1", "pow",
+    "sin", "cos", "tan", "asin", "acos", "atan", "atan2",
+    "sinh", "cosh", "tanh", "asinh", "acosh", "atanh",
+    "erf", "erfc", "tgamma", "lgamma", "cbrt", "hypot",
+}
+
+# Ambient environment: wall clocks, process RNG, environment variables.
+AMBIENT_CALLS = {
+    "time", "clock", "gettimeofday", "clock_gettime", "localtime", "gmtime",
+    "rand", "srand", "random", "srandom", "rand_r", "drand48", "getenv",
+}
+AMBIENT_TYPES = {"random_device"}
+CLOCK_NAMES = {"steady_clock", "system_clock", "high_resolution_clock"}
+
+# Integral-ish types whose std::hash is the identity-style stable hash on
+# every implementation we target; anything else (strings, pointers, floats)
+# is implementation-defined.
+STABLE_HASH_TYPES = {
+    "bool", "char", "short", "int", "long", "unsigned", "signed",
+    "int8_t", "int16_t", "int32_t", "int64_t",
+    "uint8_t", "uint16_t", "uint32_t", "uint64_t",
+    "size_t", "ssize_t", "ptrdiff_t", "uintptr_t", "intptr_t",
+    "Tick",  # xdeal tick type: uint64_t
+}
+
+CPP_KEYWORDS = {
+    "alignas", "alignof", "asm", "auto", "bool", "break", "case", "catch",
+    "char", "class", "const", "constexpr", "const_cast", "continue",
+    "decltype", "default", "delete", "do", "double", "dynamic_cast", "else",
+    "enum", "explicit", "extern", "false", "float", "for", "friend", "goto",
+    "if", "inline", "int", "long", "mutable", "namespace", "new", "noexcept",
+    "nullptr", "operator", "private", "protected", "public", "register",
+    "reinterpret_cast", "return", "short", "signed", "sizeof", "static",
+    "static_assert", "static_cast", "struct", "switch", "template", "this",
+    "throw", "true", "try", "typedef", "typeid", "typename", "union",
+    "unsigned", "using", "virtual", "void", "volatile", "while",
+    "final", "override",
+}
+
+ANNOTATION = "XDEAL_DETERMINISTIC"
+SUPPRESSION = "XDEAL_DET_OK"
+
+PARALLEL_CALLS = {"ParallelFor", "Submit"}
+
+# --------------------------------------------------------------------------
+# Lexing
+# --------------------------------------------------------------------------
+
+TOKEN_RE = re.compile(r"::|->|[A-Za-z_]\w*|\d[\w.]*|[^\sA-Za-z_0-9]")
+
+
+class Token:
+    __slots__ = ("text", "line", "kind")
+
+    def __init__(self, text, line):
+        self.text = text
+        self.line = line
+        c = text[0]
+        if c.isalpha() or c == "_":
+            self.kind = "ident"
+        elif c.isdigit():
+            self.kind = "num"
+        else:
+            self.kind = "punct"
+
+    def __repr__(self):
+        return f"{self.text}@{self.line}"
+
+
+def strip_to_code(text):
+    """Removes comments, string/char literals, and preprocessor lines while
+    preserving line numbers. String literals become empty literals so token
+    positions stay sane."""
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        if c == "/" and i + 1 < n and text[i + 1] == "/":
+            j = text.find("\n", i)
+            if j == -1:
+                break
+            i = j
+        elif c == "/" and i + 1 < n and text[i + 1] == "*":
+            j = text.find("*/", i + 2)
+            if j == -1:
+                break
+            out.append("\n" * text.count("\n", i, j + 2))
+            i = j + 2
+        elif c in "\"'":
+            quote = c
+            j = i + 1
+            while j < n:
+                if text[j] == "\\":
+                    j += 2
+                elif text[j] == quote:
+                    break
+                else:
+                    j += 1
+            out.append(quote + quote)
+            out.append("\n" * text.count("\n", i, min(j + 1, n)))
+            i = j + 1
+        else:
+            out.append(c)
+            i += 1
+    code = "".join(out)
+    # Drop preprocessor directives (with continuations), keeping newlines.
+    lines = code.split("\n")
+    cleaned = []
+    in_pp = False
+    for line in lines:
+        stripped = line.lstrip()
+        if in_pp or stripped.startswith("#"):
+            in_pp = stripped.endswith("\\") or (in_pp and line.rstrip().endswith("\\"))
+            cleaned.append("")
+        else:
+            in_pp = False
+            cleaned.append(line)
+    return "\n".join(cleaned)
+
+
+def tokenize(code):
+    tokens = []
+    line = 1
+    pos = 0
+    for m in TOKEN_RE.finditer(code):
+        line += code.count("\n", pos, m.start())
+        pos = m.start()
+        tokens.append(Token(m.group(0), line))
+    return tokens
+
+
+# --------------------------------------------------------------------------
+# Data model
+# --------------------------------------------------------------------------
+
+
+class Finding:
+    def __init__(self, klass, file, line, func, detail):
+        self.klass = klass
+        self.file = file
+        self.line = line
+        self.func = func  # FunctionDef
+        self.detail = detail
+        self.suppressed_by = None  # Suppression or None
+
+    def to_json(self, path=None):
+        d = {
+            "class": self.klass,
+            "file": self.file,
+            "line": self.line,
+            "function": self.func.qual_name if self.func else None,
+            "detail": self.detail,
+        }
+        if self.suppressed_by is not None:
+            d["suppressed"] = True
+            d["reason"] = self.suppressed_by.reason
+            d["suppression_line"] = self.suppressed_by.line
+        if path:
+            d["path"] = path
+        return d
+
+
+class Suppression:
+    def __init__(self, file, line, reason):
+        self.file = file
+        self.line = line
+        self.reason = reason
+        self.used = False
+
+
+class FunctionDef:
+    def __init__(self, qual_name, simple_name, class_name, file, line,
+                 end_line):
+        self.qual_name = qual_name
+        self.simple_name = simple_name
+        self.class_name = class_name  # innermost enclosing class, or None
+        self.file = file
+        self.line = line
+        self.end_line = end_line
+        self.calls = []  # (simple_name, qualifier-or-None)
+        self.findings = []
+        self.suppressions = []
+        self.is_root = False
+
+    def __repr__(self):
+        return self.qual_name
+
+
+class Root:
+    def __init__(self, simple_name, class_name, file, line):
+        self.simple_name = simple_name
+        self.class_name = class_name
+        self.file = file
+        self.line = line
+
+
+# --------------------------------------------------------------------------
+# File analysis
+# --------------------------------------------------------------------------
+
+
+def strip_comments(text):
+    """Removes // and /* */ comments, preserving newlines and string
+    literals (the suppression extractor needs the reason strings that
+    strip_to_code throws away)."""
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        if c == "/" and i + 1 < n and text[i + 1] == "/":
+            j = text.find("\n", i)
+            if j == -1:
+                break
+            i = j
+        elif c == "/" and i + 1 < n and text[i + 1] == "*":
+            j = text.find("*/", i + 2)
+            if j == -1:
+                break
+            out.append("\n" * text.count("\n", i, j + 2))
+            i = j + 2
+        elif c in "\"'":
+            quote = c
+            j = i + 1
+            while j < n:
+                if text[j] == "\\":
+                    j += 2
+                elif text[j] == quote:
+                    break
+                else:
+                    j += 1
+            out.append(text[i:j + 1])
+            i = j + 1
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+def extract_suppressions(text, path):
+    """Finds XDEAL_DET_OK("reason") in comment-stripped (but not
+    string-stripped) text — the reason lives in a string literal, and
+    occurrences inside comments (e.g. det.h's own documentation) must not
+    count. Adjacent literal concatenation is honored."""
+    text = strip_comments(text)
+    sups = []
+    for m in re.finditer(SUPPRESSION + r"\s*\(", text):
+        # Skip the macro's own #define.
+        line_start = text.rfind("\n", 0, m.start()) + 1
+        if text[line_start:m.start()].lstrip().startswith("#define"):
+            continue
+        depth = 1
+        i = m.end()
+        reason_parts = []
+        while i < len(text) and depth > 0:
+            c = text[i]
+            if c == '"':
+                j = i + 1
+                while j < len(text):
+                    if text[j] == "\\":
+                        j += 2
+                        continue
+                    if text[j] == '"':
+                        break
+                    j += 1
+                reason_parts.append(text[i + 1:j])
+                i = j + 1
+                continue
+            if c == "(":
+                depth += 1
+            elif c == ")":
+                depth -= 1
+            i += 1
+        line = text.count("\n", 0, m.start()) + 1
+        sups.append(Suppression(path, line, "".join(reason_parts)))
+    return sups
+
+
+def parse_angle(tokens, i):
+    """tokens[i] == '<'. Returns (inner tokens, index after matching '>')."""
+    depth = 0
+    inner = []
+    n = len(tokens)
+    j = i
+    while j < n:
+        t = tokens[j].text
+        if t == "<":
+            depth += 1
+            if depth > 1:
+                inner.append(tokens[j])
+        elif t == ">":
+            depth -= 1
+            if depth == 0:
+                return inner, j + 1
+            inner.append(tokens[j])
+        else:
+            inner.append(tokens[j])
+        j += 1
+        if j - i > 200:  # malformed / not a template — bail
+            break
+    return inner, i + 1
+
+
+def first_template_arg(inner):
+    """Splits template-argument tokens at top-level commas; returns the
+    first argument's tokens."""
+    depth = 0
+    arg = []
+    for t in inner:
+        if t.text in "<([":
+            depth += 1
+        elif t.text in ">)]":
+            depth -= 1
+        elif t.text == "," and depth == 0:
+            break
+        arg.append(t)
+    return arg
+
+
+class ContainerRegistry:
+    """Names of variables/members declared with order-relevant container
+    types, collected across all files. Name-based and unqualified — a
+    conservative over-approximation."""
+
+    def __init__(self):
+        self.unordered = {}  # name -> (file, line)
+        self.pointer_keyed = {}  # name -> (file, line)
+
+    def collect(self, tokens):
+        n = len(tokens)
+        i = 0
+        while i < n:
+            t = tokens[i]
+            if t.kind == "ident" and t.text in (
+                    "unordered_map", "unordered_set", "unordered_multimap",
+                    "unordered_multiset", "map", "set", "multimap",
+                    "multiset"):
+                unordered = t.text.startswith("unordered")
+                if i + 1 < n and tokens[i + 1].text == "<":
+                    inner, after = parse_angle(tokens, i + 1)
+                    key = first_template_arg(inner)
+                    ptr_key = any(x.text == "*" for x in key)
+                    # Declared name: the identifier right after the closing
+                    # '>' (possibly after '&'/'*' — then it's a ref/ptr to
+                    # the container, still iterable).
+                    j = after
+                    while j < n and tokens[j].text in ("&", "*", "const"):
+                        j += 1
+                    if j < n and tokens[j].kind == "ident" and \
+                            tokens[j].text not in CPP_KEYWORDS:
+                        nxt = tokens[j + 1].text if j + 1 < n else ""
+                        if nxt != "(":  # a function returning the container
+                            name = tokens[j].text
+                            if unordered:
+                                self.unordered[name] = (t.line,)
+                            elif ptr_key:
+                                self.pointer_keyed[name] = (t.line,)
+                    i = after
+                    continue
+            i += 1
+
+
+def find_matching(tokens, i, open_t, close_t):
+    """tokens[i] == open_t; returns index of the matching close_t."""
+    depth = 0
+    n = len(tokens)
+    while i < n:
+        t = tokens[i].text
+        if t == open_t:
+            depth += 1
+        elif t == close_t:
+            depth -= 1
+            if depth == 0:
+                return i
+        i += 1
+    return n - 1
+
+
+class FileParser:
+    """Finds function definitions (with qualified names from the enclosing
+    namespace/class scopes) and records everything between their braces for
+    the body analyzer."""
+
+    def __init__(self, path, tokens):
+        self.path = path
+        self.tokens = tokens
+        self.functions = []
+
+    def parse(self):
+        tokens = self.tokens
+        n = len(tokens)
+        scope = []  # (kind, name) kind in {namespace, class, block}
+        pending = None  # (kind, name) waiting for its '{'
+        i = 0
+        while i < n:
+            t = tokens[i]
+            text = t.text
+            if text == "namespace" and t.kind == "ident":
+                name = ""
+                if i + 1 < n and tokens[i + 1].kind == "ident":
+                    name = tokens[i + 1].text
+                pending = ("namespace", name)
+                i += 1
+            elif text in ("class", "struct") and t.kind == "ident":
+                # 'enum class' handled via the 'enum' branch below.
+                name = None
+                j = i + 1
+                while j < n and tokens[j].text in ("alignas", "(", ")"):
+                    j += 1
+                if j < n and tokens[j].kind == "ident":
+                    name = tokens[j].text
+                # Definition only if '{' appears before ';' at this level.
+                k = j
+                depth = 0
+                is_def = False
+                while k < n and k - j < 400:
+                    tk = tokens[k].text
+                    if tk == "<":
+                        depth += 1
+                    elif tk == ">":
+                        depth -= 1
+                    elif depth == 0 and tk == "{":
+                        is_def = True
+                        break
+                    elif depth == 0 and (tk == ";" or tk == "("):
+                        break
+                    k += 1
+                if is_def and name:
+                    pending = ("class", name)
+                i += 1
+            elif text == "enum":
+                # Skip the whole enum body so enumerators never look like
+                # scopes or calls.
+                j = i + 1
+                while j < n and tokens[j].text not in ("{", ";"):
+                    j += 1
+                if j < n and tokens[j].text == "{":
+                    j = find_matching(tokens, j, "{", "}")
+                i = j + 1
+                pending = None
+            elif text == "{":
+                scope.append(pending if pending else ("block", ""))
+                pending = None
+                i += 1
+            elif text == "}":
+                if scope:
+                    scope.pop()
+                i += 1
+            elif text == "operator" and self._at_decl_scope(scope):
+                # operator definitions: operator==, operator*, operator(),
+                # operator bool, ... — collect the spelling up to the
+                # parameter list's '('.
+                qual = preceding_qualifier(tokens, i)
+                j = i + 1
+                name_parts = []
+                if j + 1 < n and tokens[j].text == "(" and \
+                        tokens[j + 1].text == ")":
+                    name_parts = ["()"]
+                    j += 2
+                else:
+                    while j < n and j - i <= 6 and tokens[j].text != "(":
+                        name_parts.append(tokens[j].text)
+                        j += 1
+                fn_end = None
+                if j < n and tokens[j].text == "(":
+                    fn_end = self._try_function(
+                        j, scope, forced_name="operator" + "".join(name_parts),
+                        forced_qual=qual)
+                i = (fn_end + 1) if fn_end is not None else (i + 1)
+            elif text == "(" and self._at_decl_scope(scope):
+                fn_end = self._try_function(i, scope)
+                if fn_end is not None:
+                    i = fn_end + 1
+                else:
+                    i = find_matching(tokens, i, "(", ")") + 1
+            else:
+                i += 1
+        return self.functions
+
+    @staticmethod
+    def _at_decl_scope(scope):
+        return all(kind != "block" for kind, _ in scope)
+
+    def _try_function(self, open_paren, scope, forced_name=None,
+                      forced_qual=None):
+        """tokens[open_paren] == '(' at namespace/class scope. If this is a
+        function definition, records it and returns the index of its closing
+        body brace; otherwise returns None."""
+        tokens = self.tokens
+        n = len(tokens)
+        close = find_matching(tokens, open_paren, "(", ")")
+        # --- name (and inline qualifier) backwards from the paren ---
+        if forced_name is not None:
+            simple = forced_name
+            qual_parts = list(forced_qual or [])
+        else:
+            k = open_paren - 1
+            if k < 0 or tokens[k].kind != "ident" or \
+                    tokens[k].text in CPP_KEYWORDS:
+                return None
+            simple = tokens[k].text
+            qual_parts = []
+            k -= 1
+            while k - 1 >= 0 and tokens[k].text == "::" and \
+                    tokens[k - 1].kind == "ident":
+                qual_parts.insert(0, tokens[k - 1].text)
+                k -= 2
+                # Skip a template argument list on the qualifier (rare).
+        # --- forward over const/noexcept/ref-qualifiers/init-list to '{' ---
+        j = close + 1
+        seen_colon = False
+        while j < n:
+            tj = tokens[j].text
+            if tj in (";", "=", ")"):  # declaration / `= default` / expr
+                return None
+            if tj == "{":
+                if seen_colon:
+                    # Member brace-init if directly preceded by an ident.
+                    if tokens[j - 1].kind == "ident":
+                        j = find_matching(tokens, j, "{", "}") + 1
+                        continue
+                break
+            if tj == ":":
+                seen_colon = True
+            if tj == "(":
+                j = find_matching(tokens, j, "(", ")")
+            j += 1
+            if j - close > 300:
+                return None
+        if j >= n:
+            return None
+        body_open = j
+        body_close = find_matching(tokens, body_open, "{", "}")
+
+        class_name = None
+        parts = []
+        for kind, name in scope:
+            if name:
+                parts.append(name)
+            if kind == "class":
+                class_name = name
+        parts.extend(qual_parts)
+        if qual_parts:
+            class_name = qual_parts[-1]
+        qual = "::".join(parts + [simple])
+        fn = FunctionDef(qual, simple, class_name, self.path,
+                         tokens[open_paren].line, tokens[body_close].line)
+        fn.body_range = (body_open, body_close)
+        self.functions.append(fn)
+        return body_close
+
+
+# --------------------------------------------------------------------------
+# Body analysis: calls + source findings
+# --------------------------------------------------------------------------
+
+
+def preceding_qualifier(tokens, i):
+    """For tokens[i] an ident: collects `A::B::` qualifier ending at i."""
+    parts = []
+    k = i - 1
+    while k - 1 >= 0 and tokens[k].text == "::" and \
+            tokens[k - 1].kind == "ident":
+        parts.insert(0, tokens[k - 1].text)
+        k -= 2
+    return parts
+
+
+def top_level_args(tokens, open_paren, close_paren):
+    """Splits call-argument tokens between parens at top-level commas."""
+    args = []
+    cur = []
+    depth = 0
+    for t in tokens[open_paren + 1:close_paren]:
+        if t.text in "([{":
+            depth += 1
+        elif t.text in ")]}":
+            depth -= 1
+        if t.text == "," and depth == 0:
+            args.append(cur)
+            cur = []
+        else:
+            cur.append(t)
+    if cur:
+        args.append(cur)
+    return args
+
+
+def analyze_body(fn, tokens, registry):
+    """Fills fn.calls and fn.findings from its body token range."""
+    lo, hi = fn.body_range
+    body = tokens[lo:hi + 1]
+    n = len(body)
+
+    float_locals = set()
+    has_parallel_call = False
+    accum_hits = []  # (name, line)
+
+    i = 0
+    while i < n:
+        t = body[i]
+        text = t.text
+
+        # ---- local float/double declarations ----
+        if text in ("double", "float") and t.kind == "ident":
+            j = i + 1
+            while j < n and body[j].text in ("&", "*", "const"):
+                j += 1
+            if j < n and body[j].kind == "ident" and \
+                    body[j].text not in CPP_KEYWORDS:
+                if j + 1 < n and body[j + 1].text != "(":
+                    float_locals.add(body[j].text)
+
+        # ---- range-for over a registered container ----
+        if text == "for" and i + 1 < n and body[i + 1].text == "(":
+            close = find_matching(body, i + 1, "(", ")")
+            colon = None
+            depth = 0
+            for k in range(i + 2, close):
+                if body[k].text in "([":
+                    depth += 1
+                elif body[k].text in ")]":
+                    depth -= 1
+                elif body[k].text == ":" and depth == 0:
+                    colon = k
+                    break
+            if colon is not None:
+                expr = body[colon + 1:close]
+                self_names = {fn.simple_name}
+                for e in expr:
+                    if e.kind != "ident" or e.text in self_names:
+                        continue
+                    if e.text in registry.unordered:
+                        fn.findings.append(Finding(
+                            "unordered-iter", fn.file, e.line, fn,
+                            f"range-for over unordered container "
+                            f"'{e.text}'"))
+                    elif e.text in registry.pointer_keyed:
+                        fn.findings.append(Finding(
+                            "pointer-order", fn.file, e.line, fn,
+                            f"range-for over pointer-keyed ordered "
+                            f"container '{e.text}'"))
+
+        # ---- .begin()/.rbegin()/.cbegin() on a registered container ----
+        if text in ("begin", "rbegin", "cbegin", "crbegin") and i >= 2 and \
+                body[i - 1].text in (".", "->") and \
+                body[i - 2].kind == "ident":
+            base = body[i - 2].text
+            if base in registry.unordered:
+                fn.findings.append(Finding(
+                    "unordered-iter", fn.file, t.line, fn,
+                    f"iterator over unordered container '{base}'"))
+            elif base in registry.pointer_keyed:
+                fn.findings.append(Finding(
+                    "pointer-order", fn.file, t.line, fn,
+                    f"iterator over pointer-keyed container '{base}'"))
+
+        # ---- std::hash<T> on a non-integral T ----
+        if text == "hash" and i + 1 < n and body[i + 1].text == "<":
+            inner, _after = parse_angle(body, i + 1)
+            arg = first_template_arg(inner)
+            idents = [x.text for x in arg if x.kind == "ident"]
+            is_ptr = any(x.text == "*" for x in arg)
+            stable = (not is_ptr and idents and
+                      all(x in STABLE_HASH_TYPES for x in idents))
+            if arg and not stable:
+                klass = "pointer-order" if is_ptr else "unstable-hash"
+                fn.findings.append(Finding(
+                    klass, fn.file, t.line, fn,
+                    "std::hash<" + " ".join(x.text for x in arg) + ">"))
+
+        # ---- pointer comparator lambda: [..](T* a, T* b) { ... a < b } ----
+        if text == "]" and i + 1 < n and body[i + 1].text == "(":
+            close = find_matching(body, i + 1, "(", ")")
+            params = top_level_args(body, i + 1, close)
+            if len(params) == 2 and \
+                    all(any(x.text == "*" for x in p) for p in params):
+                names = []
+                for p in params:
+                    ids = [x.text for x in p if x.kind == "ident" and
+                           x.text not in CPP_KEYWORDS]
+                    names.append(ids[-1] if ids else None)
+                bo = close + 1
+                while bo < n and body[bo].text != "{":
+                    bo += 1
+                if bo < n and all(names):
+                    bc = find_matching(body, bo, "{", "}")
+                    for k in range(bo, bc):
+                        if body[k].text in ("<", ">") and \
+                                body[k - 1].text in names and \
+                                k + 1 <= bc and body[k + 1].text in names:
+                            fn.findings.append(Finding(
+                                "pointer-order", fn.file, body[k].line, fn,
+                                f"comparator orders pointer values "
+                                f"'{body[k - 1].text} {body[k].text} "
+                                f"{body[k + 1].text}'"))
+                            break
+
+        # ---- calls ----
+        if t.kind == "ident" and text not in CPP_KEYWORDS and \
+                i + 1 < n and body[i + 1].text == "(":
+            qual = preceding_qualifier(body, i)
+            callee = text
+
+            # Variable declaration with ctor args: `Type name(args)` —
+            # treat as a call to Type's constructor.
+            prev = body[i - 1 - 2 * len(qual)] if i - 1 - 2 * len(qual) >= 0 \
+                else None
+            if not qual and prev is not None and prev.kind == "ident" and \
+                    prev.text not in CPP_KEYWORDS:
+                callee = prev.text
+                if prev.text in AMBIENT_TYPES:
+                    fn.findings.append(Finding(
+                        "ambient-env", fn.file, t.line, fn,
+                        f"'{prev.text}' instantiated"))
+
+            if callee in LIBM_CALLS and (not qual or qual == ["std"]):
+                fn.findings.append(Finding(
+                    "libm-call", fn.file, t.line, fn,
+                    f"call to '{callee}' (libm, not correctly rounded)"))
+            elif callee in AMBIENT_CALLS and (not qual or qual == ["std"]):
+                fn.findings.append(Finding(
+                    "ambient-env", fn.file, t.line, fn,
+                    f"call to '{callee}'"))
+            elif callee == "now" and qual and qual[-1] in CLOCK_NAMES:
+                fn.findings.append(Finding(
+                    "ambient-env", fn.file, t.line, fn,
+                    f"call to '{'::'.join(qual)}::now'"))
+            elif callee in ("memcpy", "__builtin_memcpy"):
+                close = find_matching(body, i + 1, "(", ")")
+                args = top_level_args(body, i + 1, close)
+                if len(args) == 3:
+                    amp = (args[0] and args[0][0].text == "&") or \
+                          (args[1] and args[1][0].text == "&")
+                    has_sizeof = any(x.text == "sizeof" for x in args[2])
+                    if amp and has_sizeof:
+                        fn.findings.append(Finding(
+                            "endian-memcpy", fn.file, t.line, fn,
+                            "memcpy between a scalar's bytes and a buffer "
+                            "(host-endian serialization)"))
+            else:
+                if callee in PARALLEL_CALLS:
+                    has_parallel_call = True
+                fn.calls.append((callee, qual[-1] if qual else None))
+
+        # ---- float accumulation ----
+        if text == "+" and i + 1 < n and body[i + 1].text == "=" and \
+                i >= 1 and body[i - 1].kind == "ident" and \
+                body[i - 1].text in float_locals:
+            accum_hits.append((body[i - 1].text, t.line))
+
+        # ---- ambient type declarations (std::random_device rd;) ----
+        if text in AMBIENT_TYPES and t.kind == "ident" and \
+                (i + 1 >= n or body[i + 1].text != "("):
+            fn.findings.append(Finding(
+                "ambient-env", fn.file, t.line, fn,
+                f"'{text}' used"))
+
+        i += 1
+
+    if has_parallel_call:
+        for name, line in accum_hits:
+            fn.findings.append(Finding(
+                "parallel-float-accum", fn.file, line, fn,
+                f"'{name} +=' float accumulation in a function issuing "
+                f"parallel work — reduction order is schedule-dependent"))
+
+
+def extract_roots(path, tokens):
+    """Finds XDEAL_DETERMINISTIC markers and the function name each
+    annotates, with the enclosing class tracked by brace scanning."""
+    roots = []
+    scope = []
+    pending = None
+    n = len(tokens)
+    i = 0
+    while i < n:
+        t = tokens[i]
+        if t.text in ("class", "struct") and t.kind == "ident":
+            j = i + 1
+            if j < n and tokens[j].kind == "ident":
+                k = j
+                depth = 0
+                while k < n and k - j < 400:
+                    tk = tokens[k].text
+                    if tk == "<":
+                        depth += 1
+                    elif tk == ">":
+                        depth -= 1
+                    elif depth == 0 and tk == "{":
+                        pending = tokens[j].text
+                        break
+                    elif depth == 0 and tk in (";", "("):
+                        break
+                    k += 1
+        elif t.text == "{":
+            scope.append(pending)
+            pending = None
+        elif t.text == "}":
+            if scope:
+                scope.pop()
+        elif t.text == ANNOTATION:
+            for j in range(i + 1, min(i + 60, n)):
+                if tokens[j].kind == "ident" and \
+                        tokens[j].text not in CPP_KEYWORDS and \
+                        j + 1 < n and tokens[j + 1].text == "(":
+                    cls = next((s for s in reversed(scope) if s), None)
+                    roots.append(Root(tokens[j].text, cls, path,
+                                      tokens[j].line))
+                    break
+        i += 1
+    return roots
+
+
+# --------------------------------------------------------------------------
+# Optional libclang cross-check
+# --------------------------------------------------------------------------
+
+
+def clang_crosscheck(roots, verbose):
+    """If the clang Python bindings are importable, re-verifies that every
+    token-frontend root annotation is visible as a clang `annotate`
+    attribute spelling in its header (a cheap drift check between the macro
+    and the tool). Returns a list of warning strings; never gates."""
+    try:
+        import clang.cindex  # noqa: F401
+    except ImportError:
+        if verbose:
+            print("note: clang python bindings unavailable; "
+                  "token frontend only")
+        return []
+    warnings = []
+    for r in roots:
+        try:
+            with open(r.file) as f:
+                lines = f.read().splitlines()
+        except OSError:
+            continue
+        window = "\n".join(lines[max(0, r.line - 3):r.line + 2])
+        if ANNOTATION not in window:
+            warnings.append(
+                f"{r.file}:{r.line}: root '{r.simple_name}' not visibly "
+                f"annotated (clang cross-check)")
+    return warnings
+
+
+# --------------------------------------------------------------------------
+# Driver
+# --------------------------------------------------------------------------
+
+
+def enumerate_files(src_roots, compdb):
+    files = set()
+    if compdb:
+        path = compdb
+        if os.path.isdir(path):
+            path = os.path.join(path, "compile_commands.json")
+        with open(path) as f:
+            for entry in json.load(f):
+                file = os.path.normpath(
+                    os.path.join(entry.get("directory", "."), entry["file"]))
+                if "/src/" in file and file.endswith(".cc"):
+                    files.add(file)
+    for root in src_roots:
+        for dirpath, _dirs, names in os.walk(root):
+            for name in names:
+                if name.endswith((".cc", ".h", ".cpp", ".hpp")):
+                    files.add(os.path.join(dirpath, name))
+    return sorted(files)
+
+
+def analyze(files, verbose=False):
+    registry = ContainerRegistry()
+    parsed = []  # (path, tokens)
+    for path in files:
+        try:
+            with open(path) as f:
+                raw = f.read()
+        except OSError as e:
+            print(f"warning: cannot read {path}: {e}", file=sys.stderr)
+            continue
+        code = strip_to_code(raw)
+        tokens = tokenize(code)
+        parsed.append((path, tokens, raw))
+        registry.collect(tokens)
+
+    functions = []
+    roots = []
+    all_suppressions = []
+    for path, tokens, raw in parsed:
+        fns = FileParser(path, tokens).parse()
+        for fn in fns:
+            analyze_body(fn, tokens, registry)
+        functions.extend(fns)
+        roots.extend(extract_roots(path, tokens))
+        sups = extract_suppressions(raw, path)
+        all_suppressions.extend(sups)
+        for fn in fns:
+            for s in sups:
+                if fn.line <= s.line <= fn.end_line:
+                    fn.suppressions.append(s)
+
+    # Apply suppressions: a finding is covered by the nearest preceding
+    # suppression in the same function (suppression line <= finding line).
+    for fn in functions:
+        for finding in fn.findings:
+            best = None
+            for s in fn.suppressions:
+                if s.line <= finding.line and \
+                        (best is None or s.line > best.line):
+                    best = s
+            if best is not None:
+                finding.suppressed_by = best
+                best.used = True
+
+    # Build the call graph index.
+    by_simple = {}
+    for fn in functions:
+        by_simple.setdefault(fn.simple_name, []).append(fn)
+
+    def resolve(call_name, qualifier):
+        cands = by_simple.get(call_name, [])
+        if qualifier:
+            q = [c for c in cands
+                 if qualifier in c.qual_name.split("::")]
+            if q:
+                return q
+        return cands
+
+    # Match roots to definitions.
+    root_fns = []
+    for r in roots:
+        cands = by_simple.get(r.simple_name, [])
+        if r.class_name:
+            scoped = [c for c in cands if c.class_name == r.class_name or
+                      r.class_name in c.qual_name.split("::")]
+            if scoped:
+                cands = scoped
+        for c in cands:
+            c.is_root = True
+        root_fns.extend(cands)
+        if not cands and verbose:
+            print(f"warning: root '{r.simple_name}' ({r.file}:{r.line}) "
+                  f"has no definition in the scanned sources",
+                  file=sys.stderr)
+
+    # BFS reachability with parent pointers for path reconstruction.
+    parent = {}
+    queue = deque()
+    for fn in root_fns:
+        if fn not in parent:
+            parent[fn] = None
+            queue.append(fn)
+    while queue:
+        fn = queue.popleft()
+        for call_name, qualifier in fn.calls:
+            for callee in resolve(call_name, qualifier):
+                if callee not in parent:
+                    parent[callee] = fn
+                    queue.append(callee)
+
+    def path_of(fn):
+        chain = []
+        cur = fn
+        while cur is not None:
+            chain.append(cur.qual_name)
+            cur = parent.get(cur)
+        return list(reversed(chain))
+
+    return {
+        "functions": functions,
+        "roots": roots,
+        "root_fns": root_fns,
+        "reachable": parent,
+        "path_of": path_of,
+        "suppressions": all_suppressions,
+        "registry": registry,
+    }
+
+
+def report(result, include_all=False):
+    """Splits findings into (violations, suppressed, unreachable)."""
+    violations = []
+    suppressed = []
+    unreachable = []
+    reachable = result["reachable"]
+    for fn in result["functions"]:
+        for finding in fn.findings:
+            if finding.suppressed_by is not None:
+                suppressed.append(finding)
+            elif fn in reachable:
+                violations.append(finding)
+            else:
+                unreachable.append(finding)
+    bad_reasons = [s for s in result["suppressions"] if not s.reason.strip()]
+    if include_all:
+        violations = violations + unreachable
+        unreachable = []
+    return violations, suppressed, unreachable, bad_reasons
+
+
+def main(argv=None):
+    ap = argparse.ArgumentParser(
+        description="determinism-taint static analyzer (see module "
+                    "docstring)")
+    ap.add_argument("--src", action="append", default=[],
+                    help="source root(s) to scan (default: src/ next to "
+                         "this tool's repo)")
+    ap.add_argument("--compdb", default=None,
+                    help="compile_commands.json (or its directory) to "
+                         "enumerate translation units")
+    ap.add_argument("--json", dest="json_out", default=None,
+                    help="write the full machine-readable report here")
+    ap.add_argument("--all", action="store_true",
+                    help="gate on every finding, reachable from a root or "
+                         "not (nightly / full-audit mode)")
+    ap.add_argument("--frontend", choices=["tokens", "clang"],
+                    default="tokens",
+                    help="'clang' additionally runs the libclang "
+                         "cross-check when python3-clang is installed")
+    ap.add_argument("-v", "--verbose", action="store_true")
+    args = ap.parse_args(argv)
+
+    src_roots = args.src
+    if not src_roots:
+        repo = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        src_roots = [os.path.join(repo, "src")]
+
+    files = enumerate_files(src_roots, args.compdb)
+    if not files:
+        print("det-lint: no source files found", file=sys.stderr)
+        return 2
+
+    result = analyze(files, verbose=args.verbose)
+    violations, suppressed, unreachable, bad_reasons = report(
+        result, include_all=args.all)
+
+    clang_warnings = []
+    if args.frontend == "clang":
+        clang_warnings = clang_crosscheck(result["roots"], args.verbose)
+
+    unused = [s for s in result["suppressions"] if not s.used]
+
+    if args.verbose:
+        print(f"det-lint: {len(files)} files, "
+              f"{len(result['functions'])} functions, "
+              f"{len(result['root_fns'])} root definitions "
+              f"({len(result['roots'])} annotations), "
+              f"{len(result['reachable'])} functions reachable")
+
+    for s in bad_reasons:
+        print(f"{s.file}:{s.line}: error: {SUPPRESSION} with an empty "
+              f"reason — every suppression must state its audit argument")
+    for v in violations:
+        print(f"{v.file}:{v.line}: error: [{v.klass}] {v.detail}")
+        print(f"    in {v.func.qual_name}")
+        chain = result["path_of"](v.func)
+        if len(chain) > 1:
+            print(f"    reachable from root via: {' -> '.join(chain)}")
+        elif v.func.is_root:
+            print("    (the function is itself a deterministic root)")
+    for w in clang_warnings:
+        print(f"warning: {w}")
+    for s in unused:
+        print(f"{s.file}:{s.line}: warning: unused {SUPPRESSION} "
+              f"(\"{s.reason}\") — no finding in range; delete it or move "
+              f"it next to the site it audits")
+
+    if args.json_out:
+        doc = {
+            "tool": "det-lint",
+            "files": len(files),
+            "functions": len(result["functions"]),
+            "roots": [
+                {"name": r.simple_name, "class": r.class_name,
+                 "file": r.file, "line": r.line}
+                for r in result["roots"]],
+            "reachable_functions": len(result["reachable"]),
+            "violations": [v.to_json(result["path_of"](v.func))
+                           for v in violations],
+            "suppressed": [s.to_json() for s in suppressed],
+            "unreachable_findings": [u.to_json() for u in unreachable],
+            "empty_reason_suppressions": [
+                {"file": s.file, "line": s.line} for s in bad_reasons],
+            "unused_suppressions": [
+                {"file": s.file, "line": s.line, "reason": s.reason}
+                for s in unused],
+        }
+        with open(args.json_out, "w") as f:
+            json.dump(doc, f, indent=2)
+            f.write("\n")
+
+    if violations or bad_reasons:
+        print(f"\nFAILED: {len(violations)} unsuppressed determinism "
+              f"finding(s), {len(bad_reasons)} empty-reason "
+              f"suppression(s). Canonicalize the order, prove it "
+              f"order-insensitive with XDEAL_DET_OK(\"...\"), or keep the "
+              f"source off fingerprint paths.")
+        return 1
+    print(f"OK: no unsuppressed determinism findings "
+          f"({len(suppressed)} audited suppression(s), "
+          f"{len(unreachable)} finding(s) outside root reach, "
+          f"{len(result['reachable'])} functions checked)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
