@@ -41,7 +41,22 @@
 //                  being clean, scarcity degrading P99/goodput, and zero
 //                  broker portfolio violations anywhere.
 //
-// A fifth mode, --soak=N, replaces all sections with one long open-loop
+//   xshard sweep   cross-shard deal fraction (cbc_xshard_every) on an
+//                  all-CBC S=4 workload: deals whose assets span shards
+//                  settle via portable DecideProofs. Gated on exact
+//                  conformance at every fraction, the ≥25% cross-shard
+//                  quorum at the stock setting, and zero stale-proof
+//                  rejections (nobody replays in a benign run).
+//
+//   hopchain sweep hop depth × margin pricing on a brokered open-loop
+//                  workload: depth-H broker chains (goods walk seller →
+//                  B1 → … → BH → buyer atomically) with occupancy-priced
+//                  capital. Emits the margin-vs-occupancy market-clearing
+//                  curve (bucketed price chart) per depth; gated on zero
+//                  portfolio violations everywhere and a genuinely rising
+//                  priced curve.
+//
+// A soak mode, --soak=N, replaces all sections with one long open-loop
 // run (controller on) gated on full conformance and cross-thread-count
 // fingerprint equality; the nightly workflow runs it at N=5000.
 //
@@ -57,6 +72,9 @@
 //                       [--broker_counts=4,8]
 //                       [--broker_capitals=3200,1600,800,400]
 //                       [--broker_rates=40,80] [--broker_deals=240]
+//                       [--xshard_every=0,4,2,1] [--xshard_deals=200]
+//                       [--hop_depths=1,2,3] [--hopchain_deals=160]
+//                       [--hopchain_slope=300]
 //                       [--bigd_deals=1000,10000,100000]
 //                       [--soak=5000]
 //                       [--json=BENCH_traffic.json] [--seed=1]
@@ -668,7 +686,265 @@ bool RunBrokerSweep(int argc, char** argv, uint64_t base_seed,
 }
 
 // ---------------------------------------------------------------------------
-// Section 6: big-D scaling — D ∈ {10^3, 10^4, 10^5} open-loop deals under
+// Section 6: cross-shard deal sweep — the fraction of CBC deals whose assets
+// span shards (settling via portable DecideProofs) on an all-CBC S=4
+// workload. Every metric here is simulated/deterministic, so the gate and
+// the baseline diff are exact.
+// ---------------------------------------------------------------------------
+bool RunXShardSweep(int argc, char** argv, uint64_t base_seed,
+                    bench::JsonReport* json) {
+  std::vector<size_t> everies = bench::ParseSizeList(
+      bench::FlagValue(argc, argv, "xshard_every"), {0, 4, 2, 1});
+  const char* deals_flag = bench::FlagValue(argc, argv, "xshard_deals");
+  size_t xshard_deals = deals_flag != nullptr
+                            ? std::strtoull(deals_flag, nullptr, 10)
+                            : 200;
+  if (xshard_deals == 0) xshard_deals = 200;
+
+  std::printf("\n=== cross-shard sweep: D=%zu all-CBC deals on 4 shards, "
+              "every k-th deal's assets placed across shard chains "
+              "(k=0: off) ===\n", xshard_deals);
+  std::printf("%7s %8s %8s %8s %8s %8s %10s\n", "every", "commit", "xshard",
+              "frac %", "lat p50", "lat p99", "viol");
+
+  bool ok = true;
+  for (size_t every : everies) {
+    TrafficOptions options;
+    options.base_seed = base_seed;
+    options.num_deals = xshard_deals;
+    options.num_chains = 4;
+    options.cbc_shards = 4;
+    options.cbc_xshard_every = every;
+    options.min_assets = 2;  // spanning deals really span >= 2 shards
+    options.protocol_mix = {Protocol::kCbc};
+
+    auto start = std::chrono::steady_clock::now();
+    TrafficReport report = RunTraffic(options);
+    double ms = WallMs(start);
+    double fraction = 100.0 * static_cast<double>(report.cross_shard_deals) /
+                      static_cast<double>(xshard_deals);
+    std::printf("%7zu %8zu %8zu %7.1f%% %8" PRIu64 " %8" PRIu64 " %10zu\n",
+                every, report.committed, report.cross_shard_deals, fraction,
+                report.latency_p50, report.latency_p99,
+                report.violations.size());
+
+    // Cross-shard settlement must be conformance-invisible: every deal
+    // commits at every fraction, and a benign run never trips the
+    // stale-proof defense.
+    if (report.committed != xshard_deals || !report.violations.empty() ||
+        report.stale_decide_rejections != 0) {
+      std::printf("  XSHARD SWEEP FAILURE at every=%zu\n%s", every,
+                  report.Summary().c_str());
+      ok = false;
+    }
+    if (every == 0 && report.cross_shard_deals != 0) {
+      std::printf("  XSHARD SWEEP FAILURE: cross-shard deals reported with "
+                  "placement off\n");
+      ok = false;
+    }
+    // The stock setting (every=2) is the issue's acceptance quorum: at
+    // least 25%% of CBC deals span >= 2 shards.
+    if (every == 2 && report.cross_shard_deals * 4 < report.cbc_deals) {
+      std::printf("  XSHARD SWEEP FAILURE: cross-shard quorum lost at "
+                  "every=2 (%zu of %zu CBC deals)\n",
+                  report.cross_shard_deals, report.cbc_deals);
+      ok = false;
+    }
+
+    bench::JsonReport::Labels labels = {
+        {"every", std::to_string(every)},
+        {"deals", std::to_string(xshard_deals)}};
+    json->AddMetric("xshard_committed",
+                    static_cast<double>(report.committed), "", labels);
+    json->AddMetric("xshard_cross_deals",
+                    static_cast<double>(report.cross_shard_deals), "",
+                    labels);
+    json->AddMetric("xshard_violations",
+                    static_cast<double>(report.violations.size()), "",
+                    labels);
+    json->AddMetric("xshard_stale_rejections",
+                    static_cast<double>(report.stale_decide_rejections), "",
+                    labels);
+    json->AddMetric("xshard_latency_p50",
+                    static_cast<double>(report.latency_p50), "ticks",
+                    labels);
+    json->AddMetric("xshard_latency_p99",
+                    static_cast<double>(report.latency_p99), "ticks",
+                    labels);
+    json->AddMetric("xshard_gas_p99", static_cast<double>(report.gas_p99),
+                    "gas", labels);
+    json->AddMetric("xshard_wall_ms", ms, "ms", labels);
+  }
+  return ok;
+}
+
+// ---------------------------------------------------------------------------
+// Section 7: hop-chain sweep — multi-hop broker chains with priced capital.
+// Hop depth H ∈ hop_depths, margins flat (slope 0) and occupancy-priced
+// (slope hopchain_slope) at each depth; the priced cells chart the
+// margin-vs-occupancy market-clearing curve from the per-hop price points.
+// ---------------------------------------------------------------------------
+bool RunHopChainSweep(int argc, char** argv, uint64_t base_seed,
+                      bench::JsonReport* json) {
+  std::vector<size_t> depths = bench::ParseSizeList(
+      bench::FlagValue(argc, argv, "hop_depths"), {1, 2, 3});
+  const char* deals_flag = bench::FlagValue(argc, argv, "hopchain_deals");
+  size_t chain_deals = deals_flag != nullptr
+                           ? std::strtoull(deals_flag, nullptr, 10)
+                           : 160;
+  if (chain_deals == 0) chain_deals = 160;
+  const char* slope_flag = bench::FlagValue(argc, argv, "hopchain_slope");
+  uint64_t priced_slope = slope_flag != nullptr
+                              ? std::strtoull(slope_flag, nullptr, 10)
+                              : 300;
+  if (priced_slope == 0) priced_slope = 300;
+
+  std::printf("\n=== hop-chain sweep: D=%zu brokered Poisson deals, 4 "
+              "brokers, depth-H resale chains, margins flat vs "
+              "occupancy-priced (slope %" PRIu64 ") ===\n",
+              chain_deals, priced_slope);
+  std::printf("%6s %7s %8s %6s %6s %8s %8s %8s %10s\n", "depth", "slope",
+              "commit", "shed", "viol", "margins", "lat p99", "points",
+              "goodput/kt");
+
+  const uint64_t working_capital = 3000;
+  const uint64_t flat_margin = BrokerOptions{}.unit_margin;
+  bool ok = true;
+  for (size_t depth : depths) {
+    if (depth == 0) continue;
+    for (int priced = 0; priced <= 1; ++priced) {
+      const uint64_t slope = priced != 0 ? priced_slope : 0;
+      TrafficOptions options;
+      options.base_seed = base_seed;
+      options.num_deals = chain_deals;
+      options.num_chains = 4;
+      options.block_capacity = 24;  // ample: capital is the only contention
+      options.arrival = ArrivalProcess::kPoisson;
+      options.mean_interarrival = 20.0;
+      options.brokers.num_brokers = 4;
+      options.brokers.working_capital = working_capital;
+      options.brokers.inventory = 200;
+      options.brokers.hop_depth = depth;
+      options.brokers.margin_slope = slope;
+      options.admission.enabled = true;  // hop-capital gate + live pricing
+      options.admission.retry_delay = 25;
+      options.admission.max_retries = 8;
+
+      auto start = std::chrono::steady_clock::now();
+      TrafficReport report = RunTraffic(options);
+      double ms = WallMs(start);
+
+      // The market-clearing chart: every admitted hop's (occupancy at
+      // pricing time, margin charged) point, bucketed by occupancy decile
+      // of the working capital.
+      constexpr size_t kBuckets = 10;
+      struct Bucket {
+        double margin_sum = 0;
+        size_t count = 0;
+      };
+      std::vector<Bucket> curve(kBuckets);
+      uint64_t margin_min = UINT64_MAX, margin_max = 0;
+      size_t points = 0;
+      for (const TrafficDealRecord& rec : report.deals) {
+        if (rec.shed) continue;
+        for (const BrokerPool::PricePoint& point : rec.price_points) {
+          size_t bucket = static_cast<size_t>(
+              point.occupancy * kBuckets / working_capital);
+          if (bucket >= kBuckets) bucket = kBuckets - 1;
+          curve[bucket].margin_sum += static_cast<double>(point.margin);
+          ++curve[bucket].count;
+          margin_min = std::min(margin_min, point.margin);
+          margin_max = std::max(margin_max, point.margin);
+          ++points;
+        }
+      }
+      if (points == 0) margin_min = 0;
+
+      std::printf("%6zu %7" PRIu64 " %8zu %6zu %6zu %3" PRIu64 "-%-4" PRIu64
+                  " %8" PRIu64 " %8zu %10.2f\n",
+                  depth, slope, report.committed, report.shed,
+                  report.violations.size(), margin_min, margin_max,
+                  report.latency_p99, points, report.deals_per_ktick);
+
+      // Conformance everywhere: zero property violations, zero portfolio
+      // violations — every compliant hop ends whole at every depth/price.
+      if (!report.violations.empty() ||
+          report.broker_portfolio_violations != 0 ||
+          !report.double_spends.empty() || report.committed == 0) {
+        std::printf("  HOPCHAIN SWEEP FAILURE at depth=%zu slope=%" PRIu64
+                    "\n%s", depth, slope, report.Summary().c_str());
+        ok = false;
+      }
+      if (report.broker_hop_depth != depth) {
+        std::printf("  HOPCHAIN SWEEP FAILURE: effective depth %zu != %zu\n",
+                    report.broker_hop_depth, depth);
+        ok = false;
+      }
+      // Flat cells price every hop at the stock margin; priced cells must
+      // produce a genuinely rising curve (the market clears: occupancy
+      // pushes margins above flat).
+      if (priced == 0 && points > 0 &&
+          (margin_min != flat_margin || margin_max != flat_margin)) {
+        std::printf("  HOPCHAIN SWEEP FAILURE: flat run priced margins "
+                    "%" PRIu64 "-%" PRIu64 " (expected %" PRIu64 ")\n",
+                    margin_min, margin_max, flat_margin);
+        ok = false;
+      }
+      if (priced != 0 && margin_max <= flat_margin) {
+        std::printf("  HOPCHAIN SWEEP FAILURE: priced run never cleared "
+                    "above the flat margin at depth=%zu — no occupancy "
+                    "pressure reached the price\n", depth);
+        ok = false;
+      }
+
+      bench::JsonReport::Labels labels = {
+          {"depth", std::to_string(depth)},
+          {"slope", std::to_string(slope)},
+          {"deals", std::to_string(chain_deals)}};
+      json->AddMetric("hopchain_committed",
+                      static_cast<double>(report.committed), "", labels);
+      json->AddMetric("hopchain_shed", static_cast<double>(report.shed), "",
+                      labels);
+      json->AddMetric("hopchain_violations",
+                      static_cast<double>(report.violations.size()), "",
+                      labels);
+      json->AddMetric("hopchain_portfolio_violations",
+                      static_cast<double>(report.broker_portfolio_violations),
+                      "", labels);
+      json->AddMetric("hopchain_latency_p99",
+                      static_cast<double>(report.latency_p99), "ticks",
+                      labels);
+      json->AddMetric("hopchain_goodput_per_ktick", report.deals_per_ktick,
+                      "1/kt", labels);
+      json->AddMetric("hopchain_price_points", static_cast<double>(points),
+                      "", labels);
+      json->AddMetric("hopchain_margin_min",
+                      static_cast<double>(margin_min), "coins", labels);
+      json->AddMetric("hopchain_margin_max",
+                      static_cast<double>(margin_max), "coins", labels);
+      json->AddMetric("hopchain_wall_ms", ms, "ms", labels);
+      if (priced != 0) {
+        for (size_t b = 0; b < kBuckets; ++b) {
+          if (curve[b].count == 0) continue;
+          bench::JsonReport::Labels point_labels = labels;
+          point_labels.push_back(
+              {"occupancy_pct", std::to_string(b * 100 / kBuckets)});
+          json->AddMetric("hopchain_curve_margin",
+                          curve[b].margin_sum /
+                              static_cast<double>(curve[b].count),
+                          "coins", point_labels);
+          json->AddMetric("hopchain_curve_points",
+                          static_cast<double>(curve[b].count), "",
+                          point_labels);
+        }
+      }
+    }
+  }
+  return ok;
+}
+
+// ---------------------------------------------------------------------------
+// Section 8: big-D scaling — D ∈ {10^3, 10^4, 10^5} open-loop deals under
 // indexed observation delivery. The gate is the asymptotic itself: deals/sec
 // may degrade by less than 2x per 10x growth in D. Under the old
 // scan-the-world observation path the 10^4 → 10^5 step degraded by ~10x
@@ -851,6 +1127,8 @@ int main(int argc, char** argv) {
     ok = RunRateSweep(argc, argv, base_seed, &json) && ok;
     ok = RunFrontier(argc, argv, base_seed, &json) && ok;
     ok = RunBrokerSweep(argc, argv, base_seed, &json) && ok;
+    ok = RunXShardSweep(argc, argv, base_seed, &json) && ok;
+    ok = RunHopChainSweep(argc, argv, base_seed, &json) && ok;
     ok = RunBigD(argc, argv, base_seed, &json) && ok;
   }
 

@@ -38,13 +38,71 @@ size_t CbcService::ShardOf(const Hash256& deal_id) const {
   return static_cast<size_t>(h % shards_.size());
 }
 
+size_t CbcService::Placement::SpanCount() const {
+  size_t count = 1;  // the home shard
+  for (size_t i = 0; i < asset_shards.size(); ++i) {
+    if (asset_shards[i] == home_shard) continue;
+    bool seen = false;
+    for (size_t j = 0; j < i; ++j) {
+      if (asset_shards[j] == asset_shards[i]) {
+        seen = true;
+        break;
+      }
+    }
+    if (!seen) ++count;
+  }
+  return count;
+}
+
+CbcService::Placement CbcService::PlaceAssets(
+    const Hash256& deal_id, const std::vector<ChainId>& asset_chains) const {
+  Placement placement;
+  placement.home_shard = ShardOf(deal_id);
+  placement.asset_shards.reserve(asset_chains.size());
+  for (const ChainId& chain : asset_chains) {
+    // Assets on non-shard chains (pool chains, examples) settle against the
+    // home shard's log directly, like every pre-redesign deal did.
+    size_t shard = placement.home_shard;
+    for (size_t s = 0; s < shards_.size(); ++s) {
+      if (shards_[s].chain == chain) {
+        shard = s;
+        break;
+      }
+    }
+    placement.asset_shards.push_back(shard);
+  }
+  return placement;
+}
+
 StatusCertificate CbcService::IssueStatus(const CbcLogContract& log,
                                           const Hash256& deal_id) const {
   return validators(ShardOf(deal_id)).IssueStatus(log, deal_id);
 }
 
+DecideProof CbcService::IssueDecideProof(const CbcLogContract& log,
+                                         const Hash256& deal_id,
+                                         uint32_t escrow_epoch) const {
+  size_t shard = ShardOf(deal_id);
+  DecideProof dp;
+  dp.shard = static_cast<uint32_t>(shard);
+  dp.proof.reconfigs = ReconfigsSince(shard, escrow_epoch);
+  dp.proof.status = validators(shard).IssueStatus(log, deal_id);
+  return dp;
+}
+
 ReconfigCertificate CbcService::Reconfigure(size_t shard) {
-  return shards_[shard].validators.Reconfigure();
+  ReconfigCertificate cert = shards_[shard].validators.Reconfigure();
+  shards_[shard].reconfig_history.push_back(cert);
+  return cert;
+}
+
+std::vector<ReconfigCertificate> CbcService::ReconfigsSince(
+    size_t shard, uint32_t epoch) const {
+  std::vector<ReconfigCertificate> chain;
+  for (const ReconfigCertificate& rc : shards_[shard].reconfig_history) {
+    if (rc.new_epoch > epoch) chain.push_back(rc);
+  }
+  return chain;
 }
 
 }  // namespace xdeal

@@ -66,21 +66,60 @@ class CbcService {
     return shards_[shard].validators;
   }
 
-  ChainId ChainFor(const Hash256& deal_id) const {
-    return chain(ShardOf(deal_id));
-  }
-  ValidatorSet& ValidatorsFor(const Hash256& deal_id) {
-    return validators(ShardOf(deal_id));
-  }
+  /// Where a deal's pieces live once assets — not deals — map to shards: the
+  /// deal's *home* shard hosts its CBC log (and issues its certificates),
+  /// while each asset maps to the shard whose chain hosts it (assets on
+  /// non-shard chains ride on the home shard). `asset_shards` is parallel to
+  /// the `asset_chains` input of PlaceAssets.
+  struct Placement {
+    size_t home_shard = 0;
+    std::vector<size_t> asset_shards;
+
+    /// True when any asset settles on a shard other than the home shard —
+    /// i.e. some escrow will need a portable DecideProof instead of reading
+    /// its own shard's log.
+    bool cross_shard() const {
+      for (size_t s : asset_shards) {
+        if (s != home_shard) return true;
+      }
+      return false;
+    }
+
+    /// Number of distinct shards the deal touches (home shard included).
+    size_t SpanCount() const;
+  };
+
+  /// Resolves the placement of a deal: home shard from the deal id (so S=1
+  /// and single-shard deals behave exactly as before), plus the shard of
+  /// each asset chain. This is the one call site answering "which chain
+  /// hosts the log / which shard settles this asset" for drivers and runs.
+  XDEAL_DETERMINISTIC Placement PlaceAssets(
+      const Hash256& deal_id, const std::vector<ChainId>& asset_chains) const;
 
   /// Serves a status certificate for `deal_id` from its shard's validators
   /// (the log must be the one hosted on that shard's chain).
   XDEAL_DETERMINISTIC StatusCertificate IssueStatus(const CbcLogContract& log,
                                 const Hash256& deal_id) const;
 
+  /// Issues the portable decide proof for `deal_id`: the home shard's status
+  /// certificate plus the reconfiguration chain from `escrow_epoch` (the
+  /// epoch the deal's escrows pinned) to the shard's current epoch. Escrows
+  /// on *other* shards verify it against the pinned home-shard validators.
+  XDEAL_DETERMINISTIC DecideProof IssueDecideProof(const CbcLogContract& log,
+                                                   const Hash256& deal_id,
+                                                   uint32_t escrow_epoch) const;
+
   /// Rotates one shard's validator set and returns the reconfiguration
-  /// certificate. Other shards' epochs and keys are untouched.
+  /// certificate. Other shards' epochs and keys are untouched. The service
+  /// records the certificate so later decide proofs can chain from any
+  /// escrow-time epoch (ReconfigsSince).
   ReconfigCertificate Reconfigure(size_t shard);
+
+  /// The recorded reconfiguration chain of `shard` with new_epoch > `epoch`,
+  /// in issue order — exactly what a proof built against an epoch-`epoch`
+  /// escrow must carry.
+  std::vector<ReconfigCertificate> ReconfigsSince(size_t shard,
+                                                  uint32_t epoch) const;
 
   World& world() { return *world_; }
 
@@ -88,6 +127,7 @@ class CbcService {
   struct Shard {
     ChainId chain;
     ValidatorSet validators;
+    std::vector<ReconfigCertificate> reconfig_history;
   };
 
   World* world_;

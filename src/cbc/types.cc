@@ -141,6 +141,39 @@ Result<CbcProof> CbcProof::Deserialize(const Bytes& bytes) {
   return proof;
 }
 
+bool DecideProof::IsWrapped(const Bytes& bytes) {
+  ByteReader r(bytes);
+  auto word = r.U32();
+  return word.ok() && word.value() == kMagic;
+}
+
+Bytes DecideProof::Serialize() const {
+  ByteWriter w;
+  w.U32(kMagic);
+  w.U32(shard);
+  w.Raw(proof.Serialize());
+  return w.Take();
+}
+
+Result<DecideProof> DecideProof::Deserialize(const Bytes& bytes) {
+  ByteReader r(bytes);
+  auto magic = r.U32();
+  if (!magic.ok()) return magic.status();
+  if (magic.value() != kMagic) {
+    return Status::InvalidArgument("proof: not a decide proof");
+  }
+  DecideProof dp;
+  auto shard = r.U32();
+  if (!shard.ok()) return shard.status();
+  dp.shard = shard.value();
+  auto rest = r.Raw(r.remaining());
+  if (!rest.ok()) return rest.status();
+  auto proof = CbcProof::Deserialize(rest.value());
+  if (!proof.ok()) return proof.status();
+  dp.proof = std::move(proof).value();
+  return dp;
+}
+
 size_t CbcProof::NumSignatures() const {
   size_t n = status.sigs.size();
   for (const ReconfigCertificate& rc : reconfigs) n += rc.sigs.size();

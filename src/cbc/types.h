@@ -22,6 +22,7 @@
 #include "chain/ids.h"
 #include "crypto/schnorr.h"
 #include "crypto/sha256.h"
+#include "util/det.h"
 #include "util/serialize.h"
 
 namespace xdeal {
@@ -75,6 +76,35 @@ struct CbcProof {
   /// Total signatures a contract must verify: (k+1)(2f+1) when each
   /// certificate carries exactly the 2f+1 threshold.
   size_t NumSignatures() const;
+};
+
+/// A portable, shard-attributed decide proof for cross-shard deals: the CBC
+/// proof wrapped with the index of the shard whose validators issued it (the
+/// deal's *home* shard). Escrows hosted on other shards pin the home shard at
+/// escrow time and accept the wrapped certificate as decide evidence — but a
+/// proof replayed against an escrow bound to a different shard is rejected
+/// with a cheap front check ("decide: shard mismatch") before any
+/// signature-verification gas is burned.
+///
+/// Wire format: U32 magic, U32 shard, then the bare CbcProof bytes. The
+/// magic is far above CbcProof's 1024-reconfig cap, so a wrapped blob can
+/// never parse as a legacy bare proof (and vice versa); escrow contracts
+/// accept both encodings.
+struct DecideProof {
+  uint32_t shard = 0;
+  CbcProof proof;
+
+  /// First wire word of a wrapped proof; deliberately > the 1024 reconfig
+  /// cap so the two encodings are unambiguous.
+  static constexpr uint32_t kMagic = 0x58444450u;  // "PDDX" little-endian
+
+  /// True when `bytes` begins with the DecideProof magic (vs a legacy bare
+  /// CbcProof blob).
+  static bool IsWrapped(const Bytes& bytes);
+
+  XDEAL_DETERMINISTIC Bytes Serialize() const;
+  XDEAL_DETERMINISTIC static Result<DecideProof> Deserialize(
+      const Bytes& bytes);
 };
 
 /// Verifies `proof` starting from the validator set recorded at escrow time.

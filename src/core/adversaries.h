@@ -198,6 +198,30 @@ class CbcFakeProofParty : public CbcParty {
   }
 };
 
+/// The cross-shard replay attack: takes the home shard's genuine decide
+/// evidence, re-declares it as coming from a DIFFERENT shard, and presents
+/// it to the escrows of its outgoing assets — as if a certificate minted
+/// for one shard could settle deals bound to another. Shard-bound escrows
+/// must reject the replay on the declared-shard check alone ("decide: shard
+/// mismatch"), before burning any signature-verification gas. Otherwise the
+/// party follows the protocol.
+class CbcStaleShardProofParty : public CbcParty {
+ public:
+  void OnVotePhase() override {
+    CbcParty::OnVotePhase();
+    DecideProof stale = run().service().IssueDecideProof(
+        *Log(), deployment().deal_id, run().escrow_epoch());
+    stale.shard = stale.shard + 1;  // declare a shard this deal is not on
+    for (uint32_t a = 0; a < spec().NumAssets(); ++a) {
+      if (spec().Deposits(self(), a)) {
+        SubmitDecideProof(a, stale);
+      }
+    }
+    // Allow genuine claims later despite the dedup set.
+    decided_assets_.clear();
+  }
+};
+
 }  // namespace xdeal
 
 #endif  // XDEAL_CORE_ADVERSARIES_H_

@@ -16,6 +16,7 @@ BrokerPool::BrokerPool(DealEnv* env, const BrokerOptions& options,
   if (options_.num_brokers == 0) return;  // inert: no World mutation at all
   assert(!chains.empty());
   if (options_.broker_every == 0) options_.broker_every = 1;
+  if (options_.hop_depth == 0) options_.hop_depth = 1;
   if (options_.max_units < options_.min_units) {
     options_.max_units = options_.min_units;
   }
@@ -65,6 +66,24 @@ size_t BrokerPool::BrokerOf(size_t deal_index) const {
   return (deal_index / options_.broker_every) % options_.num_brokers;
 }
 
+size_t BrokerPool::ChainDepth() const {
+  return std::min(options_.hop_depth, options_.num_brokers);
+}
+
+uint64_t BrokerPool::PricedMarginFor(size_t broker, uint64_t* occupancy_out) {
+  if (occupancy_out != nullptr) *occupancy_out = 0;
+  if (options_.margin_slope == 0 || options_.working_capital == 0) {
+    return options_.unit_margin;
+  }
+  uint64_t free = FreeCapital(broker);
+  uint64_t in_use = options_.working_capital > free
+                        ? options_.working_capital - free
+                        : 0;
+  if (occupancy_out != nullptr) *occupancy_out = in_use;
+  return options_.unit_margin +
+         options_.margin_slope * in_use / options_.working_capital;
+}
+
 DealSpec BrokerPool::MakeDeal(size_t deal_index, uint64_t seed) {
   assert(IsBrokerDeal(deal_index));
   // Independent stream from the shape/arrival seeds: the broker plan must
@@ -74,7 +93,42 @@ DealSpec BrokerPool::MakeDeal(size_t deal_index, uint64_t seed) {
   plan.broker = BrokerOf(deal_index);
   plan.units = options_.min_units +
                rng.Below(options_.max_units - options_.min_units + 1);
+  // Drawn unconditionally so the per-deal stream is identical at every
+  // depth; hop chains ignore it (they are always capital-fronting).
   plan.sell_side = rng.Below(2) == 1;
+
+  const size_t depth = ChainDepth();
+  if (depth > 1) {
+    plan.sell_side = false;
+    BrokerChainParams params;
+    params.commodity = commodities_[plan.broker];
+    params.coin = coin_;
+    params.units = plan.units;
+    params.unit_price = options_.unit_price;
+    params.seed = seed;
+    params.name_prefix = "d" + std::to_string(deal_index) + "-";
+    // Hop i's float covers what it pays upstream: the seller's price for
+    // the first hop, then the accumulating margins of every hop before it.
+    uint64_t upstream_cost = plan.units * options_.unit_price;
+    for (size_t i = 0; i < depth; ++i) {
+      Hop hop;
+      hop.broker = (plan.broker + i) % options_.num_brokers;
+      hop.asset = static_cast<uint32_t>(1 + i);
+      hop.capital = upstream_cost;
+      hop.margin = PricedMarginFor(hop.broker, &hop.occupancy);
+      plan.capital += hop.capital;
+      params.brokers.push_back(brokers_[hop.broker]);
+      params.margins.push_back(hop.margin);
+      upstream_cost += plan.units * hop.margin;
+      plan.hops.push_back(hop);
+    }
+    plan.margin = plan.hops[0].margin;
+    plan.occupancy = plan.hops[0].occupancy;
+    plans_[deal_index] = plan;
+    return GenerateBrokerChainDeal(env_, params);
+  }
+
+  plan.margin = PricedMarginFor(plan.broker, &plan.occupancy);
   if (plan.sell_side) {
     plan.inventory = plan.units;
   } else {
@@ -89,7 +143,7 @@ DealSpec BrokerPool::MakeDeal(size_t deal_index, uint64_t seed) {
   params.sell_side = plan.sell_side;
   params.units = plan.units;
   params.unit_price = options_.unit_price;
-  params.unit_margin = options_.unit_margin;
+  params.unit_margin = plan.margin;
   params.seed = seed;
   params.name_prefix = "d" + std::to_string(deal_index) + "-";
   return GenerateBrokerDeal(env_, params);
@@ -127,6 +181,16 @@ void BrokerPool::Prune(size_t broker) {
       reservations.end());
 }
 
+uint64_t BrokerPool::FreeCapital(size_t broker) {
+  Prune(broker);
+  uint64_t pending = 0;
+  for (const Reservation& r : reserved_[broker]) {
+    pending += r.capital;
+  }
+  uint64_t coins = BalanceOf(coin_, brokers_[broker]);
+  return coins > pending ? coins - pending : 0;
+}
+
 BrokerSignal BrokerPool::SignalFor(size_t deal_index) {
   BrokerSignal signal;
   auto it = plans_.find(deal_index);
@@ -150,28 +214,91 @@ BrokerSignal BrokerPool::SignalFor(size_t deal_index) {
   return signal;
 }
 
+bool BrokerPool::ChainCapitalShort(size_t deal_index, uint64_t* total_need) {
+  if (total_need != nullptr) *total_need = 0;
+  auto it = plans_.find(deal_index);
+  if (it == plans_.end() || it->second.hops.empty()) return false;
+  const Plan& plan = it->second;
+  uint64_t total = 0;
+  bool over = false;
+  // Hops never repeat a broker (depth is clamped to the pool size), so each
+  // hop's float competes only with that broker's OTHER in-flight deals.
+  for (const Hop& hop : plan.hops) {
+    total += hop.capital;
+    if (hop.capital > FreeCapital(hop.broker)) over = true;
+  }
+  if (total_need != nullptr) *total_need = total;
+  return over;
+}
+
+std::vector<PartyId> BrokerPool::SharedPartiesOf(size_t deal_index) const {
+  std::vector<PartyId> parties;
+  auto it = plans_.find(deal_index);
+  if (it == plans_.end()) return parties;
+  const Plan& plan = it->second;
+  if (plan.hops.empty()) {
+    parties.push_back(brokers_[plan.broker]);
+    return parties;
+  }
+  for (const Hop& hop : plan.hops) {
+    parties.push_back(brokers_[hop.broker]);
+  }
+  return parties;
+}
+
+std::vector<BrokerPool::PricePoint> BrokerPool::PricePointsOf(
+    size_t deal_index) const {
+  std::vector<PricePoint> points;
+  auto it = plans_.find(deal_index);
+  if (it == plans_.end()) return points;
+  const Plan& plan = it->second;
+  if (plan.hops.empty()) {
+    points.push_back(PricePoint{plan.occupancy, plan.margin});
+    return points;
+  }
+  for (const Hop& hop : plan.hops) {
+    points.push_back(PricePoint{hop.occupancy, hop.margin});
+  }
+  return points;
+}
+
+const DealEscrowView* BrokerPool::EscrowViewOf(DealRuntime& runtime,
+                                               uint32_t asset) const {
+  const AssetRef& ref = runtime.spec().assets[asset];
+  const Blockchain* chain = env_->world().chain(ref.chain);
+  return chain == nullptr
+             ? nullptr
+             : dynamic_cast<const DealEscrowView*>(
+                   chain->contract(runtime.escrow_contracts()[asset]));
+}
+
 void BrokerPool::OnDealDeployed(size_t deal_index, DealRuntime& runtime) {
   auto it = plans_.find(deal_index);
   if (it == plans_.end()) return;
   const Plan& plan = it->second;
 
+  // One reservation per hop: each broker along the chain has her own float
+  // in her own escrow contract (see GenerateBrokerChainDeal).
+  if (!plan.hops.empty()) {
+    for (const Hop& hop : plan.hops) {
+      Reservation reservation;
+      reservation.deal_index = deal_index;
+      reservation.capital = hop.capital;
+      reservation.view = EscrowViewOf(runtime, hop.asset);
+      reserved_[hop.broker].push_back(reservation);
+    }
+    return;
+  }
+
   // The asset the broker deposits into: her inventory (index 0) for
   // sell-side deals, her coin float (index 2) for buy-side — each the sole
   // stake of its own escrow contract (see GenerateBrokerDeal).
   uint32_t asset = plan.sell_side ? 0 : 2;
-  const AssetRef& ref = runtime.spec().assets[asset];
-  const Blockchain* chain = env_->world().chain(ref.chain);
-  const DealEscrowView* view =
-      chain == nullptr
-          ? nullptr
-          : dynamic_cast<const DealEscrowView*>(
-                chain->contract(runtime.escrow_contracts()[asset]));
-
   Reservation reservation;
   reservation.deal_index = deal_index;
   reservation.capital = plan.capital;
   reservation.inventory = plan.inventory;
-  reservation.view = view;
+  reservation.view = EscrowViewOf(runtime, asset);
   reserved_[plan.broker].push_back(reservation);
 }
 
@@ -188,31 +315,53 @@ std::vector<BrokerRecord> BrokerPool::BuildRecords(
   std::vector<std::vector<Event>> events(brokers_.size());
   std::vector<std::vector<Tick>> latencies(brokers_.size());
 
+  // Per-broker attribution of each deal: a legacy deal touches one broker
+  // with its flat needs; a hop chain touches every hop broker with that
+  // hop's float. Gas and latency go to the FIRST hop only so chain deals
+  // are not multiply counted in pool-wide sums.
+  struct Stake {
+    size_t broker = 0;
+    uint64_t capital = 0;
+    uint64_t inventory = 0;
+  };
   for (const BrokerDealOutcome& outcome : outcomes) {
     auto it = plans_.find(outcome.deal_index);
     if (it == plans_.end()) continue;
     const Plan& plan = it->second;
-    BrokerRecord& rec = records[plan.broker];
-    ++rec.deals;
-    if (outcome.committed) ++rec.committed;
-    if (outcome.aborted) ++rec.aborted;
-    if (outcome.shed) ++rec.shed;
-    if (!outcome.shed && outcome.admitted_at > outcome.arrival_at) {
-      ++rec.delayed;
+    std::vector<Stake> stakes;
+    if (plan.hops.empty()) {
+      stakes.push_back(Stake{plan.broker, plan.capital, plan.inventory});
+    } else {
+      for (const Hop& hop : plan.hops) {
+        stakes.push_back(Stake{hop.broker, hop.capital, 0});
+      }
     }
-    rec.gas += outcome.gas;
-    if (outcome.all_settled && outcome.settle_time > 0) {
-      latencies[plan.broker].push_back(outcome.latency);
-      rec.latency_max = std::max(rec.latency_max, outcome.latency);
-    }
-    if (outcome.started) {
-      events[plan.broker].push_back(
-          Event{outcome.admitted_at, false, plan.capital, plan.inventory});
-      // A deal that never fully settles holds its resources forever — the
-      // timeline deliberately never releases it.
-      if (outcome.all_settled && outcome.settle_time > 0) {
-        events[plan.broker].push_back(
-            Event{outcome.settle_time, true, plan.capital, plan.inventory});
+    for (size_t s = 0; s < stakes.size(); ++s) {
+      const Stake& stake = stakes[s];
+      BrokerRecord& rec = records[stake.broker];
+      ++rec.deals;
+      if (outcome.committed) ++rec.committed;
+      if (outcome.aborted) ++rec.aborted;
+      if (outcome.shed) ++rec.shed;
+      if (!outcome.shed && outcome.admitted_at > outcome.arrival_at) {
+        ++rec.delayed;
+      }
+      if (s == 0) {
+        rec.gas += outcome.gas;
+        if (outcome.all_settled && outcome.settle_time > 0) {
+          latencies[stake.broker].push_back(outcome.latency);
+          rec.latency_max = std::max(rec.latency_max, outcome.latency);
+        }
+      }
+      if (outcome.started) {
+        events[stake.broker].push_back(Event{outcome.admitted_at, false,
+                                             stake.capital, stake.inventory});
+        // A deal that never fully settles holds its resources forever — the
+        // timeline deliberately never releases it.
+        if (outcome.all_settled && outcome.settle_time > 0) {
+          events[stake.broker].push_back(Event{
+              outcome.settle_time, true, stake.capital, stake.inventory});
+        }
       }
     }
   }

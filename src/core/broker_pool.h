@@ -30,6 +30,14 @@
 // WHOLE deal set (final coin balance >= initial capital, final commodity
 // balance >= initial inventory), no matter how her deals interleaved.
 //
+// hop_depth > 1 generalizes the shape to multi-hop broker CHAINS: brokers
+// resell to other brokers, goods walking seller -> B1 -> ... -> BH -> buyer
+// inside one atomic deal, each hop fronting its own capital. margin_slope
+// prices that capital: a hop's commission scales with its broker's live
+// capital occupancy, so a sweep over load traces a market-clearing
+// margin-vs-occupancy curve. Both default off (depth 1, slope 0) and are
+// then bit-identical to the legacy pool.
+//
 // With num_brokers = 0 the pool is inert: it creates no parties, tokens, or
 // state, so zero-broker traffic reproduces the legacy engine bit-for-bit.
 
@@ -75,6 +83,18 @@ struct BrokerOptions {
   uint64_t unit_price = 100;
   /// The broker's commission per unit (the buyer pays price + margin).
   uint64_t unit_margin = 5;
+  /// Resale-chain depth (Figure 1 at hop depth > 1): 1 = the classic
+  /// single-broker shape, bit-identical to the legacy pool. H > 1 turns
+  /// every broker deal into a chain of H brokers — goods walk seller ->
+  /// B1 -> ... -> BH -> buyer in ONE atomic deal, each hop fronting the
+  /// capital to pay its upstream and recouping it plus margin from the
+  /// next. Clamped to num_brokers so a chain never repeats a party.
+  size_t hop_depth = 1;
+  /// Priced capital: a broker's per-unit margin grows with her capital
+  /// occupancy at pricing time — margin = unit_margin + margin_slope *
+  /// in_use / working_capital (pure integer arithmetic). 0 = flat
+  /// unit_margin, bit-identical to the legacy pool.
+  uint64_t margin_slope = 0;
 };
 
 /// One point of a broker's resource-occupancy timeline: how much of her
@@ -158,9 +178,19 @@ class BrokerPool {
   /// True when deal `deal_index` should take the broker shape.
   bool IsBrokerDeal(size_t deal_index) const;
   /// Which broker hosts deal `deal_index` (round-robin over broker deals).
+  /// For hop chains this is the FIRST hop; later hops follow round-robin
+  /// from it.
   size_t BrokerOf(size_t deal_index) const;
   /// The broker's shared party identity.
   PartyId BrokerParty(size_t broker) const { return brokers_[broker]; }
+  /// Effective resale-chain depth (hop_depth clamped to the pool size).
+  size_t ChainDepth() const;
+  /// True when margins are occupancy-priced (margin_slope > 0): spec
+  /// generation must then be deferred to admission time so each hop's
+  /// margin reflects live capital occupancy, not generation-time zero.
+  bool DynamicPricing() const {
+    return enabled() && options_.margin_slope > 0;
+  }
 
   /// Generates the broker-linked spec for deal `deal_index` (buy- or
   /// sell-side, units drawn from `seed`) and records its resource needs.
@@ -176,7 +206,34 @@ class BrokerPool {
   /// The live admission signal for deal `deal_index`: free = the broker's
   /// on-chain balance minus reservations whose escrow deposit has not yet
   /// landed on chain. Prunes settled/landed reservations as a side effect.
+  /// For hop chains this reports the FIRST hop; ChainCapitalShort covers
+  /// the rest of the chain.
   XDEAL_DETERMINISTIC BrokerSignal SignalFor(size_t deal_index);
+
+  /// Hop-chain capital reading for deal `deal_index` (the hop-capital
+  /// admission signal's source): samples every hop broker's free capital
+  /// against that hop's float, writes the chain's total capital demand to
+  /// `*total_need`, and returns true when ANY hop is short — one
+  /// over-committed hop blocks the whole chain. False (need 0) for
+  /// non-broker deals.
+  XDEAL_DETERMINISTIC bool ChainCapitalShort(size_t deal_index,
+                                             uint64_t* total_need);
+
+  /// Every shared party of deal `deal_index` — all hop brokers for chains,
+  /// the single broker for legacy plans, empty for non-broker deals. The
+  /// checker must mark each one so cross-deal balance accounting nets the
+  /// whole portfolio.
+  std::vector<PartyId> SharedPartiesOf(size_t deal_index) const;
+
+  /// One (capital occupancy at pricing time, per-unit margin charged) point
+  /// per hop of deal `deal_index` — the raw data of the margin-vs-occupancy
+  /// market-clearing chart. Empty for non-broker deals.
+  struct PricePoint {
+    uint64_t occupancy = 0;  // capital in use when the margin was priced
+    uint64_t margin = 0;     // per-unit margin the hop charged
+  };
+  /// The price points quoted for deal `deal_index`, in hop order.
+  std::vector<PricePoint> PricePointsOf(size_t deal_index) const;
 
   /// PartyFactory::OnDeployed hook: registers the deployed deal's escrow
   /// view so the reservation it opened can be tracked until its deposit
@@ -190,13 +247,28 @@ class BrokerPool {
       const std::vector<BrokerDealOutcome>& outcomes) const;
 
  private:
-  /// What one broker deal locks, planned at MakeDeal time.
+  /// One broker's stake in a hop chain, planned at MakeDeal time.
+  struct Hop {
+    size_t broker = 0;
+    uint32_t asset = 0;      // the hop's coin-float escrow asset index
+    uint64_t capital = 0;    // coins this hop fronts
+    uint64_t margin = 0;     // per-unit margin the hop charged
+    uint64_t occupancy = 0;  // capital in use when the margin was priced
+  };
+
+  /// What one broker deal locks, planned at MakeDeal time. `hops` is empty
+  /// for legacy depth-1 plans (whose float is described by the flat fields)
+  /// and carries one entry per chain hop otherwise (capital then totals the
+  /// hop floats).
   struct Plan {
     size_t broker = 0;
     bool sell_side = false;
     uint64_t units = 0;
     uint64_t capital = 0;    // coins locked (buy-side)
     uint64_t inventory = 0;  // units locked (sell-side)
+    uint64_t margin = 0;     // per-unit margin charged (priced or flat)
+    uint64_t occupancy = 0;  // capital in use when the margin was priced
+    std::vector<Hop> hops;
   };
 
   /// An admitted deal whose escrow deposit may not have landed yet: until
@@ -210,6 +282,16 @@ class BrokerPool {
 
   uint64_t BalanceOf(const AssetRef& asset, PartyId party) const;
   void Prune(size_t broker);
+  const DealEscrowView* EscrowViewOf(DealRuntime& runtime,
+                                     uint32_t asset) const;
+  /// Coins of `broker`'s working capital not locked by live reservations
+  /// (prunes as a side effect).
+  uint64_t FreeCapital(size_t broker);
+  /// The occupancy-priced per-unit margin `broker` charges right now, and
+  /// the capital-in-use reading it was priced from. Equals unit_margin
+  /// exactly (occupancy 0) when margin_slope == 0.
+  XDEAL_DETERMINISTIC uint64_t PricedMarginFor(size_t broker,
+                                               uint64_t* occupancy_out);
 
   DealEnv* env_ = nullptr;
   BrokerOptions options_;

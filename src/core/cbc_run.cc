@@ -47,6 +47,9 @@ void CbcParty::SubmitEscrow(const EscrowStep& step) {
   for (const PublicKey& v : validators) w.Raw(v.Serialize());
   w.U32(run_->escrow_epoch());
   w.U64(step.value);
+  // Bind the escrow to the deal's home shard: decide proofs replayed from
+  // any other shard are rejected before signature verification.
+  w.U32(static_cast<uint32_t>(run_->home_shard()));
   world().Submit(self_, spec().assets[step.asset].chain,
                  deployment().escrow_contracts[step.asset],
                  CallData{"escrow", w.Take()}, "escrow",
@@ -82,6 +85,13 @@ void CbcParty::SubmitCbcVote(bool abort) {
 }
 
 void CbcParty::SubmitDecide(uint32_t asset, const CbcProof& proof) {
+  DecideProof dp;
+  dp.shard = static_cast<uint32_t>(run_->home_shard());
+  dp.proof = proof;
+  SubmitDecideProof(asset, dp);
+}
+
+void CbcParty::SubmitDecideProof(uint32_t asset, const DecideProof& proof) {
   if (!decided_assets_.insert(asset).second) return;
   ByteWriter w;
   w.Raw(deployment().deal_id.bytes.data(), 32);
@@ -158,14 +168,14 @@ void CbcParty::ClaimAll(DealOutcome outcome) {
   }
   if (todo.empty()) return;
 
-  // The proof: reconfig chain (if the validators rotated) + a fresh status
-  // certificate from the current validator set.
-  CbcProof proof;
-  proof.reconfigs = run_->reconfig_chain();
-  proof.status =
-      run_->service().IssueStatus(*Log(), deployment().deal_id);
-  if (proof.status.outcome != outcome) return;  // view changed; stale call
-  for (uint32_t a : todo) SubmitDecide(a, proof);
+  // The proof: reconfig chain from the epoch our escrows pinned (the
+  // service records every rotation, including ones scheduled outside this
+  // run) + a fresh status certificate from the current validator set,
+  // stamped with the home shard so escrows on other shards accept it.
+  DecideProof proof = run_->service().IssueDecideProof(
+      *Log(), deployment().deal_id, run_->escrow_epoch());
+  if (proof.proof.status.outcome != outcome) return;  // view changed; stale
+  for (uint32_t a : todo) SubmitDecideProof(a, proof);
 }
 
 void CbcParty::OnStartDealPhase() { SubmitStartDeal(); }
@@ -252,9 +262,15 @@ CbcRun::CbcRun(World* world, DealSpec spec, CbcConfig config,
     : world_(world),
       spec_(std::move(spec)),
       config_(config),
-      service_(service),
-      cbc_chain_(service->ChainFor(spec_.deal_id)),
-      validators_(&service->ValidatorsFor(spec_.deal_id)) {
+      service_(service) {
+  std::vector<ChainId> asset_chains;
+  asset_chains.reserve(spec_.assets.size());
+  for (const AssetRef& asset : spec_.assets) {
+    asset_chains.push_back(asset.chain);
+  }
+  placement_ = service->PlaceAssets(spec_.deal_id, asset_chains);
+  cbc_chain_ = service->chain(placement_.home_shard);
+  validators_ = &service->validators(placement_.home_shard);
   for (PartyId p : spec_.parties) {
     std::unique_ptr<CbcParty> strategy;
     if (factory) strategy = factory(p);
@@ -392,10 +408,12 @@ void CbcRun::SchedulePhases() {
                                    EventLabel::Timer(spec_.transfers[i].from.v),
                                    [actor, i] { actor->OnTransferStep(i); });
   }
-  // Optional mid-deal validator reconfigurations.
+  // Optional mid-deal validator reconfigurations — routed through the
+  // service so its per-shard history (the source of decide-proof chains)
+  // records them.
   for (size_t k = 0; k < config_.reconfigs_before_claim; ++k) {
     world_->scheduler().ScheduleAt(config_.reconfig_time + k, [this] {
-      reconfig_chain_.push_back(validators_->Reconfigure());
+      reconfig_chain_.push_back(service_->Reconfigure(home_shard()));
     });
   }
 }

@@ -92,8 +92,12 @@ class CbcParty {
   void SubmitEscrow(const EscrowStep& step);
   void SubmitTransfer(const TransferStep& step);
   void SubmitCbcVote(bool abort);
-  /// Requests a status certificate and presents it to asset `a`'s escrow.
+  /// Wraps `proof` into a DecideProof declaring this deal's home shard and
+  /// presents it to asset `a`'s escrow.
   void SubmitDecide(uint32_t asset, const CbcProof& proof);
+  /// Presents an explicit DecideProof (adversaries use this to declare the
+  /// wrong shard; compliant code goes through SubmitDecide).
+  void SubmitDecideProof(uint32_t asset, const DecideProof& proof);
   bool RunValidationChecks() const;
   /// Claims every escrow this party cares about, given a decisive outcome.
   void ClaimAll(DealOutcome outcome);
@@ -129,9 +133,12 @@ class CbcRun {
  public:
   using StrategyFactory = std::function<std::unique_ptr<CbcParty>(PartyId)>;
 
-  /// `service` hosts the certified logs; the deal is hashed to one of its
-  /// shards, whose chain carries this run's log contract and whose validator
-  /// set certifies it. The service must outlive the run.
+  /// `service` hosts the certified logs; CbcService::PlaceAssets resolves
+  /// the deal's placement — the *home* shard (hashed from the deal id) hosts
+  /// the log and certifies the deal, while each asset settles on the shard
+  /// hosting its chain (possibly a different one: its escrow then consumes a
+  /// portable DecideProof from the home shard). The service must outlive the
+  /// run.
   CbcRun(World* world, DealSpec spec, CbcConfig config, CbcService* service,
          StrategyFactory factory = nullptr);
 
@@ -143,8 +150,11 @@ class CbcRun {
   const CbcConfig& config() const { return config_; }
   World& world() { return *world_; }
   CbcService& service() { return *service_; }
-  /// This deal's shard validators (via the service).
+  /// This deal's home-shard validators (via the service).
   ValidatorSet& validators() { return *validators_; }
+  /// Where the deal's log and assets landed (from CbcService::PlaceAssets).
+  const CbcService::Placement& placement() const { return placement_; }
+  size_t home_shard() const { return placement_.home_shard; }
   CbcParty* party(PartyId p);
 
   /// Validator keys pinned by escrows (epoch at escrow time).
@@ -167,6 +177,7 @@ class CbcRun {
   DealSpec spec_;
   CbcConfig config_;
   CbcService* service_;
+  CbcService::Placement placement_;
   ChainId cbc_chain_;
   ValidatorSet* validators_;
   CbcDeployment deployment_;

@@ -162,4 +162,78 @@ DealSpec GenerateBrokerDeal(DealEnv* env, const BrokerDealParams& params) {
   return spec;
 }
 
+DealSpec GenerateBrokerChainDeal(DealEnv* env,
+                                 const BrokerChainParams& params) {
+  assert(params.units >= 1);
+  assert(!params.brokers.empty());
+  assert(params.margins.size() == params.brokers.size());
+  const size_t depth = params.brokers.size();
+
+  // cost[i] = what hop i pays its upstream, which is also hop i's escrowed
+  // float (cost[0] = what the first broker pays the seller; cost[depth] =
+  // the buyer's all-in price, every hop's margin stacked).
+  std::vector<uint64_t> cost(depth + 1, 0);
+  cost[0] = params.units * params.unit_price;
+  for (size_t i = 0; i < depth; ++i) {
+    cost[i + 1] = cost[i] + params.units * params.margins[i];
+  }
+
+  DealSpec spec;
+  spec.deal_id = MakeDealId(params.name_prefix + "brokerchain", params.seed);
+  PartyId seller = env->AddParty(params.name_prefix + "seller");
+  PartyId buyer = env->AddParty(params.name_prefix + "buyer");
+  spec.parties = params.brokers;
+  spec.parties.push_back(seller);
+  spec.parties.push_back(buyer);
+
+  // One escrow per stake, each with exactly ONE depositor: asset 0 is the
+  // seller's goods; asset 1+i is hop i's coin float (the capital it fronts
+  // to pay its upstream); asset depth+1 is the buyer's payment. Brokers are
+  // never minted here — their floats draw down finite pool capital.
+  spec.assets.push_back(params.commodity);  // 0: the goods, passed along
+  for (size_t i = 0; i < depth; ++i) {
+    spec.assets.push_back(params.coin);  // 1+i: hop i's float
+  }
+  spec.assets.push_back(params.coin);  // depth+1: buyer's payment
+  env->Mint(spec, 0, seller, params.units);
+  env->Mint(spec, static_cast<uint32_t>(depth + 1), buyer, cost[depth]);
+
+  spec.escrows.push_back(EscrowStep{0, seller, params.units});
+  for (size_t i = 0; i < depth; ++i) {
+    spec.escrows.push_back(EscrowStep{static_cast<uint32_t>(1 + i),
+                                      params.brokers[i], cost[i]});
+  }
+  spec.escrows.push_back(
+      EscrowStep{static_cast<uint32_t>(depth + 1), buyer, cost[depth]});
+
+  // Goods walk the whole chain: seller -> B0 -> ... -> B(depth-1) -> buyer.
+  spec.transfers.push_back(
+      TransferStep{0, seller, params.brokers[0], params.units});
+  for (size_t i = 0; i + 1 < depth; ++i) {
+    spec.transfers.push_back(TransferStep{0, params.brokers[i],
+                                          params.brokers[i + 1],
+                                          params.units});
+  }
+  spec.transfers.push_back(
+      TransferStep{0, params.brokers[depth - 1], buyer, params.units});
+
+  // Payments flow back up: each hop pays its upstream from its own float,
+  // and the buyer pays the last hop. Every adjacent pair thus trades in
+  // both directions, so the deal digraph is strongly connected.
+  spec.transfers.push_back(TransferStep{1, params.brokers[0], seller,
+                                        cost[0]});
+  for (size_t i = 1; i < depth; ++i) {
+    spec.transfers.push_back(TransferStep{static_cast<uint32_t>(1 + i),
+                                          params.brokers[i],
+                                          params.brokers[i - 1], cost[i]});
+  }
+  spec.transfers.push_back(TransferStep{static_cast<uint32_t>(depth + 1),
+                                        buyer, params.brokers[depth - 1],
+                                        cost[depth]});
+
+  assert(spec.Validate().ok());
+  assert(spec.IsWellFormed());
+  return spec;
+}
+
 }  // namespace xdeal

@@ -75,6 +75,42 @@ struct BrokerDealParams {
 /// and inventory are finite pool-level resources.
 DealSpec GenerateBrokerDeal(DealEnv* env, const BrokerDealParams& params);
 
+/// Shape of a multi-hop broker chain (Figure 1 at hop depth > 1): goods
+/// flow seller -> B1 -> ... -> BH -> buyer in ONE atomic deal, with every
+/// broker fronting the capital to pay its upstream and recouping it plus
+/// its own per-unit margin from the next hop. Each stake lives in its own
+/// escrow: the seller's goods, one coin float per broker, and the buyer's
+/// payment — so a compliant hop is whole on abort and strictly better off
+/// on commit, exactly like the single-hop shape, chained.
+struct BrokerChainParams {
+  /// The resale chain, upstream first: brokers[0] buys from the seller,
+  /// brokers.back() sells to the buyer. Must be non-empty and free of
+  /// repeated parties.
+  std::vector<PartyId> brokers;
+  /// The goods token the chain passes along (the first broker's commodity).
+  AssetRef commodity;
+  /// The settlement token every hop's price is denominated in.
+  AssetRef coin;
+  uint64_t units = 1;
+  /// What brokers[0] pays the seller per unit.
+  uint64_t unit_price = 100;
+  /// Per-hop commission, parallel to `brokers`: hop i resells at its buy
+  /// price plus units * margins[i] (priced capital feeds occupancy-scaled
+  /// margins in here).
+  std::vector<uint64_t> margins;
+  uint64_t seed = 1;
+  /// Prepended to the fresh seller/buyer party names.
+  std::string name_prefix;
+};
+
+/// Builds one multi-hop broker-chain deal: creates the seller and buyer,
+/// mints the seller's goods and the buyer's payment (the sum of every hop's
+/// cost and margin), and returns a valid, well-formed spec. Broker holdings
+/// are NOT minted here — each hop's float comes out of that broker's finite
+/// pool capital.
+DealSpec GenerateBrokerChainDeal(DealEnv* env,
+                                 const BrokerChainParams& params);
+
 }  // namespace xdeal
 
 #endif  // XDEAL_CORE_DEAL_GEN_H_

@@ -40,11 +40,23 @@ class TrafficPartyFactory : public PartyFactory {
   BrokerPool* broker_pool = nullptr;
   size_t deal_index = 0;
 
+  /// Cross-shard replay injection: this party presents the home shard's
+  /// decide evidence re-declared for the wrong shard.
+  bool stale_proof = false;
+  PartyId stale_party;
+
   std::unique_ptr<TimelockParty> MakeTimelockParty(PartyId p) override {
     if (offline && p == offline_party) {
       // Escrows, then goes dark: no transfers, votes, forwarding, or refund
       // claims. Its deposit is stranded unless a watchtower steps in.
       return std::make_unique<CrashingTimelockParty>(TlPhase::kTransfer);
+    }
+    return nullptr;
+  }
+
+  std::unique_ptr<CbcParty> MakeCbcParty(PartyId p) override {
+    if (stale_proof && p == stale_party) {
+      return std::make_unique<CbcStaleShardProofParty>();
     }
     return nullptr;
   }
@@ -79,6 +91,31 @@ struct DealSlot {
   /// deviating party, excluded from this deal's compliant set.
   bool has_adversary = false;
   PartyId adversary;
+  /// Dynamic-pricing broker deal whose spec generation is deferred to its
+  /// first admission attempt, so hop margins are priced from live capital
+  /// occupancy instead of generation-time zero.
+  bool deferred_broker = false;
+};
+
+/// The hop-chain capital admission signal: samples every broker along the
+/// deal's resale chain via the pool; one over-committed hop blocks the
+/// whole chain. Registered only when the pool runs chains (depth > 1).
+class HopCapitalSignal : public AdmissionSignal {
+ public:
+  HopCapitalSignal(BrokerPool* pool, bool gate) : pool_(pool), gate_(gate) {}
+  const char* name() const override { return "hop-capital"; }
+  Reading Sample(const AdmissionContext& ctx) override {
+    Reading r;
+    r.gating = gate_;
+    uint64_t need = 0;
+    r.over = pool_->ChainCapitalShort(ctx.deal_index, &need);
+    r.load = need;
+    return r;
+  }
+
+ private:
+  BrokerPool* pool_;
+  bool gate_;
 };
 
 void FillViolation(TrafficDealRecord* rec) {
@@ -357,6 +394,8 @@ TrafficReport RunTraffic(const TrafficOptions& options) {
                                 options.double_spend_deals.end());
   std::set<size_t> offline(options.offline_party_deals.begin(),
                            options.offline_party_deals.end());
+  std::set<size_t> stale_proof(options.stale_proof_deals.begin(),
+                               options.stale_proof_deals.end());
 
   // Arrival schedule: a pure function of (process, base_seed, mean gap) —
   // computed up front so it is identical whether deals deploy eagerly or
@@ -374,7 +413,7 @@ TrafficReport RunTraffic(const TrafficOptions& options) {
   // pre-admission engine); with the controller on it runs from an admission
   // event mid-simulation.
   auto deploy_deal = [&env, &slots, &options, &timelock_driver, &cbc_driver,
-                      &arena](size_t d, Tick admit_time) {
+                      &arena, &broker_pool](size_t d, Tick admit_time) {
     DealSlot& slot = slots[d];
     TrafficDealRecord& rec = slot.rec;
     rec.admitted_at = admit_time;
@@ -399,17 +438,46 @@ TrafficReport RunTraffic(const TrafficOptions& options) {
         &env.world(), slot.spec, slot.runtime->escrow_contracts(),
         timings.deal_tag);
     if (rec.broker != 0) {
-      // The broker's balances move with every concurrent deal she is in;
-      // her per-deal token expectation is undefined. Her solvency is
-      // asserted across the whole deal set by the portfolio check.
-      slot.checker->MarkSharedParty(slot.spec.parties[0]);
+      // The brokers' balances move with every concurrent deal they are in;
+      // their per-deal token expectations are undefined. Solvency is
+      // asserted across the whole deal set by the portfolio check — every
+      // hop of a chain deal is such a shared party.
+      for (PartyId p : broker_pool.SharedPartiesOf(d)) {
+        slot.checker->MarkSharedParty(p);
+      }
     }
     slot.checker->CaptureInitial();
     rec.started = true;
   };
 
+  // Resolves where a CBC deal's assets landed (CbcService::PlaceAssets) and
+  // records whether they span shards — the same resolution the deal's own
+  // CbcRun performs at deploy time.
+  auto note_placement = [&slots, &cbc_service](size_t d) {
+    DealSlot& slot = slots[d];
+    if (slot.rec.protocol != Protocol::kCbc || cbc_service == nullptr ||
+        slot.spec.assets.empty()) {
+      return;
+    }
+    std::vector<ChainId> asset_chains;
+    asset_chains.reserve(slot.spec.assets.size());
+    for (const AssetRef& a : slot.spec.assets) {
+      asset_chains.push_back(a.chain);
+    }
+    slot.rec.cross_shard =
+        cbc_service->PlaceAssets(slot.spec.deal_id, asset_chains)
+            .cross_shard();
+  };
+
+  // Dynamic pricing defers broker spec generation to the admission event
+  // (margins priced from live occupancy); without the controller there is
+  // no admission event, so generation stays eager.
+  const bool defer_broker =
+      broker_pool.DynamicPricing() && options.admission.enabled;
+
   // --- generation: sequential by construction (mutates the World), every
   //     deal's randomness from its own derived seed ---
+  size_t cbc_seen = 0;  // CBC deals so far, for cross-shard placement
   for (size_t d = 0; d < num_deals; ++d) {
     DealSlot& slot = slots[d];
     TrafficDealRecord& rec = slot.rec;
@@ -433,12 +501,16 @@ TrafficReport RunTraffic(const TrafficOptions& options) {
       slots[d - 1].adversary = adversary;
       slots[d - 1].rec.tainted = true;
     } else if (broker_pool.IsBrokerDeal(d)) {
-      // Figure-1 shape: this deal's middle party is a shared broker whose
-      // capital/inventory the deal locks while in flight.
-      slot.spec = broker_pool.MakeDeal(d, rec.seed);
+      // Figure-1 shape: this deal's middle party is a shared broker (or a
+      // chain of them) whose capital/inventory the deal locks in flight.
       rec.broker = broker_pool.BrokerOf(d) + 1;
-      rec.broker_capital_need = broker_pool.CapitalNeed(d);
-      rec.broker_inventory_need = broker_pool.InventoryNeed(d);
+      if (defer_broker) {
+        slot.deferred_broker = true;  // spec built at first admission
+      } else {
+        slot.spec = broker_pool.MakeDeal(d, rec.seed);
+        rec.broker_capital_need = broker_pool.CapitalNeed(d);
+        rec.broker_inventory_need = broker_pool.InventoryNeed(d);
+      }
     } else {
       GenParams gen;
       gen.n_parties = options.min_parties +
@@ -450,15 +522,35 @@ TrafficReport RunTraffic(const TrafficOptions& options) {
       gen.nft_every = options.nft_every;
       gen.seed = rec.seed;
       gen.name_prefix = "d" + std::to_string(d) + "-";
-      // A contiguous window of the pool, so deals overlap on chains.
-      size_t span = std::min(gen.m_assets, num_chains);
-      size_t start = rng.Below(num_chains);
-      for (size_t j = 0; j < span; ++j) {
-        gen.use_chains.push_back(pool[(start + j) % num_chains]);
+      const bool xshard = rec.protocol == Protocol::kCbc &&
+                          options.cbc_xshard_every > 0 &&
+                          cbc_service != nullptr &&
+                          cbc_seen % options.cbc_xshard_every == 0;
+      if (xshard) {
+        // Cross-shard placement: assets land on a contiguous window of the
+        // service's SHARD chains, so they settle on shards other than the
+        // deal's home shard via portable DecideProofs.
+        const size_t num_shards = cbc_service->num_shards();
+        size_t span = std::min(gen.m_assets, num_shards);
+        size_t start = rng.Below(num_shards);
+        for (size_t j = 0; j < span; ++j) {
+          gen.use_chains.push_back(
+              cbc_service->chain((start + j) % num_shards));
+        }
+        gen.num_chains = span;
+      } else {
+        // A contiguous window of the pool, so deals overlap on chains.
+        size_t span = std::min(gen.m_assets, num_chains);
+        size_t start = rng.Below(num_chains);
+        for (size_t j = 0; j < span; ++j) {
+          gen.use_chains.push_back(pool[(start + j) % num_chains]);
+        }
+        gen.num_chains = span;  // everything placed on the shared pool
       }
-      gen.num_chains = span;  // everything placed on the shared pool
       slot.spec = GenerateRandomDeal(&env, gen);
     }
+    if (rec.protocol == Protocol::kCbc) ++cbc_seen;
+    note_placement(d);
     rec.parties = slot.spec.NumParties();
     rec.assets = slot.spec.NumAssets();
     rec.transfers = slot.spec.NumTransfers();
@@ -476,6 +568,18 @@ TrafficReport RunTraffic(const TrafficOptions& options) {
       factory.offline_party = slot.spec.escrows[0].party;
       slot.has_adversary = true;
       slot.adversary = factory.offline_party;
+      rec.tainted = true;
+    }
+    if (stale_proof.count(d) > 0 && !inject && rec.broker == 0 &&
+        rec.protocol == Protocol::kCbc && !slot.spec.escrows.empty()) {
+      // Cross-shard replay: the first escrower presents the home shard's
+      // decide evidence re-declared for the wrong shard. The escrows must
+      // reject it ("decide: shard mismatch"); the replayer is this deal's
+      // deviating party.
+      factory.stale_proof = true;
+      factory.stale_party = slot.spec.escrows[0].party;
+      slot.has_adversary = true;
+      slot.adversary = factory.stale_party;
       rec.tainted = true;
     }
     if (options.watchtower_every > 0 &&
@@ -505,6 +609,12 @@ TrafficReport RunTraffic(const TrafficOptions& options) {
   //     delay quantum and are shed once out of retries. Events are created
   //     in index order, so equal-time arrivals stay deterministic. ---
   AdmissionController controller(options.admission, &env.world());
+  if (broker_pool.enabled() && broker_pool.ChainDepth() > 1) {
+    // Chain deals register the hop-capital extension signal instead of the
+    // single-broker built-in: one short hop blocks the whole chain.
+    controller.RegisterSignal(std::make_unique<HopCapitalSignal>(
+        &broker_pool, options.admission.broker_gate));
+  }
   std::function<void(size_t)> admission_event;
   // Arrival and retry events the engine itself has scheduled but that have
   // not fired yet. They sit in the same event queue the controller reads as
@@ -516,18 +626,32 @@ TrafficReport RunTraffic(const TrafficOptions& options) {
         options.admission.retry_delay > 0 ? options.admission.retry_delay : 1;
     admission_event = [&env, &slots, &controller, &admission_event,
                        &deploy_deal, &own_admission_events, &broker_pool,
-                       retry_delay](size_t d) {
+                       &note_placement, retry_delay](size_t d) {
       --own_admission_events;  // this event just fired
       DealSlot& slot = slots[d];
       TrafficDealRecord& rec = slot.rec;
-      // Broker deals carry the third signal: this broker's live free
-      // capital/inventory versus what the deal would lock.
+      // Dynamic pricing: the deferred broker spec is built at the deal's
+      // FIRST admission attempt, so each hop's margin is priced from live
+      // capital occupancy; retries keep the first-arrival price.
+      if (slot.deferred_broker && slot.spec.parties.empty()) {
+        slot.spec = broker_pool.MakeDeal(d, rec.seed);
+        rec.broker_capital_need = broker_pool.CapitalNeed(d);
+        rec.broker_inventory_need = broker_pool.InventoryNeed(d);
+        rec.parties = slot.spec.NumParties();
+        rec.assets = slot.spec.NumAssets();
+        rec.transfers = slot.spec.NumTransfers();
+        note_placement(d);
+      }
+      // Broker deals carry the capital signal: single-hop deals pass this
+      // broker's live free capital/inventory to the broker built-in; chain
+      // deals are covered by the registered hop-capital signal instead.
+      const bool chain_deal = rec.broker != 0 && broker_pool.ChainDepth() > 1;
       BrokerSignal broker_signal;
-      const bool has_broker_signal = rec.broker != 0;
+      const bool has_broker_signal = rec.broker != 0 && !chain_deal;
       if (has_broker_signal) broker_signal = broker_pool.SignalFor(d);
       AdmissionDecision decision =
           controller.Decide(rec.admission_retries, own_admission_events,
-                            has_broker_signal ? &broker_signal : nullptr);
+                            has_broker_signal ? &broker_signal : nullptr, d);
       if (decision == AdmissionDecision::kDelay) {
         ++rec.admission_retries;
         ++own_admission_events;
@@ -550,6 +674,21 @@ TrafficReport RunTraffic(const TrafficOptions& options) {
       ++own_admission_events;
       env.world().scheduler().ScheduleAt(
           arrivals[d], [&admission_event, d] { admission_event(d); });
+    }
+  }
+
+  // --- mid-run validator reconfiguration: at each listed tick every shard
+  //     rotates its validator set (epoch + 1). Deals escrowed before the
+  //     boundary still settle: their decide proofs chain the new epochs'
+  //     certificates through the service's reconfiguration history. ---
+  if (cbc_service != nullptr) {
+    CbcService* service = cbc_service.get();
+    for (Tick t : options.cbc_reconfig_times) {
+      env.world().scheduler().ScheduleAt(t, [service] {
+        for (size_t s = 0; s < service->num_shards(); ++s) {
+          service->Reconfigure(s);
+        }
+      });
     }
   }
 
@@ -583,6 +722,40 @@ TrafficReport RunTraffic(const TrafficOptions& options) {
   //     deal's clean abort is judged as the defense it is ---
   if (broker_pool.enabled()) {
     TaintBouncedBrokerEscrows(env.world(), &slots, broker_pool);
+  }
+
+  // --- cross-shard replay evidence: decide submissions rejected on the
+  //     escrow's shard-binding check. The rejections are counted and the
+  //     replaying party's deal tainted from the receipts alone, so any
+  //     replay of the same seed taints the same deals — injected or not. ---
+  size_t stale_decide_rejections = 0;
+  if (cbc_service != nullptr) {
+    // (chain, escrow contract) -> deal index, CBC deals only.
+    std::map<std::pair<uint32_t, uint32_t>, size_t> site;
+    for (size_t d = 0; d < slots.size(); ++d) {
+      const DealSlot& slot = slots[d];
+      if (!slot.rec.started || slot.rec.protocol != Protocol::kCbc) continue;
+      const std::vector<ContractId>& escrows =
+          slot.runtime->escrow_contracts();
+      for (uint32_t a = 0; a < slot.spec.NumAssets(); ++a) {
+        site[{slot.spec.assets[a].chain.v, escrows[a].v}] = d;
+      }
+    }
+    for (uint32_t c = 0; c < env.world().num_chains(); ++c) {
+      for (const Receipt& r : env.world().chain(ChainId{c})->receipts()) {
+        if (r.tag != "decide" || r.status.ok()) continue;
+        if (r.status.ToString().find("shard mismatch") == std::string::npos) {
+          continue;
+        }
+        ++stale_decide_rejections;
+        auto it = site.find({r.chain.v, r.contract.v});
+        if (it == site.end()) continue;
+        DealSlot& slot = slots[it->second];
+        slot.has_adversary = true;
+        slot.adversary = r.sender;
+        slot.rec.tainted = true;
+      }
+    }
   }
 
   // --- per-deal gas/receipt attribution: one sequential pass. Gas that
@@ -630,6 +803,13 @@ TrafficReport RunTraffic(const TrafficOptions& options) {
   const bool open_loop_fp = options.arrival != ArrivalProcess::kFixedStagger ||
                             options.admission.enabled;
   const bool broker_fp = broker_pool.enabled();
+  // Hop chains / priced margins and cross-shard placement each fold their
+  // own per-deal facts, gated on their knobs so legacy configs keep their
+  // exact historical fingerprints.
+  const bool hopchain_fp =
+      broker_pool.enabled() &&
+      (broker_pool.ChainDepth() > 1 || broker_pool.DynamicPricing());
+  const bool xshard_fp = options.cbc_xshard_every > 0;
   std::vector<Tick> latencies;
   std::vector<uint64_t> gas_values;
   uint64_t fp = 0x452821E638D01377ULL;
@@ -692,6 +872,20 @@ TrafficReport RunTraffic(const TrafficOptions& options) {
       fp = MixFingerprint(fp, rec.broker_capital_need);
       fp = MixFingerprint(fp, rec.broker_inventory_need);
     }
+    if (rec.broker != 0) {
+      rec.price_points = broker_pool.PricePointsOf(d);
+    }
+    if (rec.cross_shard) ++report.cross_shard_deals;
+    if (hopchain_fp) {
+      fp = MixFingerprint(fp, rec.price_points.size());
+      for (const BrokerPool::PricePoint& pt : rec.price_points) {
+        fp = MixFingerprint(fp, pt.occupancy);
+        fp = MixFingerprint(fp, pt.margin);
+      }
+    }
+    if (xshard_fp) {
+      fp = MixFingerprint(fp, rec.cross_shard ? 1 : 0);
+    }
   }
 
   report.latency_p50 = Percentile(latencies, 50);
@@ -721,6 +915,13 @@ TrafficReport RunTraffic(const TrafficOptions& options) {
         "receipt-index-mismatch: chain " + std::to_string(c) +
             " tag index disagrees with full scan"});
   }
+
+  report.stale_decide_rejections = stale_decide_rejections;
+  if (!options.stale_proof_deals.empty()) {
+    fp = MixFingerprint(fp, stale_decide_rejections);
+  }
+  report.broker_hop_depth =
+      broker_pool.enabled() ? broker_pool.ChainDepth() : 1;
 
   fp = MixFingerprint(fp, untagged_gas);
   report.double_spends = DetectDoubleSpends(env.world(), slots);
@@ -803,6 +1004,14 @@ std::string TrafficReport::Summary() const {
         static_cast<unsigned long long>(peak_occupancy_seen));
     s += line;
   }
+  if (cross_shard_deals + stale_decide_rejections > 0) {
+    std::snprintf(
+        line, sizeof(line),
+        "cross-shard: %zu deals spanned >=2 shards, stale decide "
+        "rejections=%zu\n",
+        cross_shard_deals, stale_decide_rejections);
+    s += line;
+  }
   if (broker_deals > 0) {
     std::snprintf(
         line, sizeof(line),
@@ -811,6 +1020,14 @@ std::string TrafficReport::Summary() const {
         brokers.size(), broker_deals, broker_portfolio_violations,
         broker_blocked);
     s += line;
+    if (broker_hop_depth > 1) {
+      std::snprintf(
+          line, sizeof(line),
+          "  hop chains: every broker deal is a chain of %zu "
+          "capital-fronting brokers settling atomically\n",
+          broker_hop_depth);
+      s += line;
+    }
     for (const BrokerRecord& b : brokers) {
       std::snprintf(
           line, sizeof(line),

@@ -73,6 +73,24 @@ struct TrafficOptions {
   /// CbcService runs; CBC deals are hashed to shards by deal id. 1 = the
   /// paper's single shared CBC.
   size_t cbc_shards = 1;
+  /// Cross-shard placement: every k-th CBC deal (k > 0) draws its asset
+  /// chains from the CbcService's shard chains instead of the shared pool,
+  /// so its assets land on shards other than its home shard and settle via
+  /// portable DecideProofs (CbcService::PlaceAssets). 0 = all deal assets
+  /// live on pool chains (legacy, single-shard settlement).
+  size_t cbc_xshard_every = 0;
+  /// Mid-run validator reconfiguration: at each listed tick, every shard of
+  /// the CbcService rotates its validator set (epoch + 1). Deals escrowed
+  /// before a boundary chain their decide proofs through the service's
+  /// reconfiguration history (ReconfigsSince), so in-flight deals settle
+  /// across the epoch boundary.
+  std::vector<Tick> cbc_reconfig_times;
+  /// Cross-shard adversary injection: in each listed CBC deal, the deal's
+  /// first escrower replays the home shard's decide evidence declaring the
+  /// WRONG shard (CbcStaleShardProofParty). Shard-bound escrows must reject
+  /// the replay ("decide: shard mismatch"); the engine counts the
+  /// rejections and taints the deal from receipt evidence.
+  std::vector<size_t> stale_proof_deals;
   /// Max transactions per block on every chain (0 = unlimited). Finite
   /// capacity turns heavy traffic into real queueing delay — tight enough
   /// values stretch timelock deadlines past Δ and the checker catches it.
@@ -183,10 +201,19 @@ struct TrafficDealRecord {
   /// Property 3 — which assumes all parties compliant — is not asserted.
   bool tainted = false;
   /// Broker hosting this deal, as index + 1 (0 = not a broker deal), plus
-  /// the working capital / inventory the deal locks while in flight.
+  /// the working capital / inventory the deal locks while in flight. For
+  /// hop chains `broker` is the first hop and the capital need totals every
+  /// hop's float.
   size_t broker = 0;
   uint64_t broker_capital_need = 0;
   uint64_t broker_inventory_need = 0;
+  /// Per-hop (capital occupancy at pricing time, per-unit margin charged)
+  /// points of a broker deal — one entry at hop depth 1, one per hop for
+  /// chains. The raw data of the margin-vs-occupancy market-clearing chart.
+  std::vector<BrokerPool::PricePoint> price_points;
+  /// True when a CBC deal's assets span more than one shard: its escrows
+  /// settled via portable DecideProofs issued by the home shard.
+  bool cross_shard = false;
   size_t parties = 0;
   size_t assets = 0;
   size_t transfers = 0;
@@ -243,6 +270,14 @@ struct TrafficReport {
   size_t cbc_deals = 0;
   /// How many deals took the broker shape (0 when brokers are disabled).
   size_t broker_deals = 0;
+  /// Effective broker resale-chain depth (1 = classic single-hop deals).
+  size_t broker_hop_depth = 1;
+  /// CBC deals whose assets spanned >= 2 shards (settled via portable
+  /// cross-shard DecideProofs).
+  size_t cross_shard_deals = 0;
+  /// Decide submissions rejected on the shard-binding check ("decide:
+  /// shard mismatch") — the cross-shard replay defense firing.
+  size_t stale_decide_rejections = 0;
   /// Brokers whose portfolio check failed: they ended worse off across
   /// their whole deal set (Property 1 lifted to portfolios).
   size_t broker_portfolio_violations = 0;

@@ -11,6 +11,7 @@
 #include <gtest/gtest.h>
 
 #include "core/traffic_engine.h"
+#include "golden_fps.h"
 
 namespace xdeal {
 namespace {
@@ -87,7 +88,7 @@ TEST(BrokerPoolTest, ZeroBrokerConfigReproducesGoldenFingerprint) {
     options.num_deals = 40;
     options.num_chains = 6;
     TrafficReport report = RunTraffic(options);
-    EXPECT_EQ(report.fingerprint, 0xf2e05a9b400cccdeULL)
+    EXPECT_EQ(report.fingerprint, kGoldenFpMixedSeed101)
         << report.Summary();
     EXPECT_TRUE(report.brokers.empty());
     EXPECT_EQ(report.broker_deals, 0u);
@@ -99,7 +100,7 @@ TEST(BrokerPoolTest, ZeroBrokerConfigReproducesGoldenFingerprint) {
     options.num_chains = 4;
     options.protocol_mix = {Protocol::kCbc};
     TrafficReport report = RunTraffic(options);
-    EXPECT_EQ(report.fingerprint, 0x0c2664eed3179051ULL)
+    EXPECT_EQ(report.fingerprint, kGoldenFpCbcSeed202)
         << report.Summary();
   }
 }
@@ -294,6 +295,127 @@ TEST(BrokerPoolTest, ReportBitIdenticalAcrossThreadCounts) {
                 baseline.brokers[b].timeline[i].capital_in_use);
     }
   }
+}
+
+// --- multi-hop broker chains + priced capital ---
+
+TEST(BrokerPoolTest, HopChainDepthThreeConformsAndEveryHopEarnsMargin) {
+  // Depth-3 resale chains: every broker deal routes goods seller -> B0 ->
+  // B1 -> B2 -> buyer in ONE atomic deal, each hop fronting the capital to
+  // pay its upstream. All chains commit, no portfolio violation anywhere,
+  // and every hop broker nets her margin.
+  TrafficOptions options;
+  options.base_seed = 17;
+  options.num_deals = 18;
+  options.num_chains = 6;
+  options.brokers = AmpleBrokers(3);
+  options.brokers.hop_depth = 3;
+  TrafficReport report = RunTraffic(options);
+
+  EXPECT_EQ(report.broker_hop_depth, 3u);
+  EXPECT_EQ(report.broker_deals, 18u);
+  EXPECT_EQ(report.committed, 18u) << report.Summary();
+  EXPECT_TRUE(report.violations.empty()) << report.Summary();
+  EXPECT_TRUE(report.double_spends.empty()) << report.Summary();
+  EXPECT_EQ(report.broker_portfolio_violations, 0u) << report.Summary();
+  EXPECT_EQ(report.untagged_gas, 0u);
+
+  // Every deal stakes all three brokers (hop rotation covers the pool), so
+  // per-broker deal counts see the whole workload.
+  ASSERT_EQ(report.brokers.size(), 3u);
+  for (const BrokerRecord& broker : report.brokers) {
+    EXPECT_EQ(broker.deals, 18u);
+    EXPECT_EQ(broker.committed, 18u);
+    EXPECT_TRUE(broker.portfolio_ok) << report.Summary();
+    EXPECT_GT(broker.coin_delta, 0) << report.Summary();
+    EXPECT_EQ(broker.inventory_delta, 0) << report.Summary();
+    EXPECT_GT(broker.peak_capital_in_use, 0u);
+  }
+  // Chain deals carry one price point per hop; with margin_slope = 0 every
+  // hop charges the flat unit margin.
+  for (const TrafficDealRecord& rec : report.deals) {
+    ASSERT_EQ(rec.price_points.size(), 3u) << "deal " << rec.index;
+    for (const BrokerPool::PricePoint& point : rec.price_points) {
+      EXPECT_EQ(point.margin, options.brokers.unit_margin);
+      EXPECT_EQ(point.occupancy, 0u);
+    }
+    // seller + buyer + 3 hop brokers.
+    EXPECT_EQ(rec.parties, 5u);
+  }
+
+  TrafficReport replay = RunTraffic(options);
+  EXPECT_EQ(replay.fingerprint, report.fingerprint);
+}
+
+TEST(BrokerPoolTest, HopDepthOneIsTheLegacyBrokerPathBitForBit) {
+  // hop_depth <= 1 must be byte-identical to the legacy single-broker pool:
+  // 0 (normalized to 1) and 1 produce the same fingerprint, and the legacy
+  // single-stake price chart is one flat point per deal.
+  TrafficOptions options;
+  options.base_seed = 7;
+  options.num_deals = 24;
+  options.num_chains = 6;
+  options.brokers = AmpleBrokers(2);
+  options.brokers.hop_depth = 1;
+  TrafficReport depth_one = RunTraffic(options);
+  EXPECT_EQ(depth_one.broker_hop_depth, 1u);
+
+  options.brokers.hop_depth = 0;  // normalized to 1 by the pool
+  TrafficReport depth_zero = RunTraffic(options);
+  EXPECT_EQ(depth_zero.fingerprint, depth_one.fingerprint);
+
+  for (const TrafficDealRecord& rec : depth_one.deals) {
+    ASSERT_EQ(rec.price_points.size(), 1u);
+    EXPECT_EQ(rec.price_points[0].margin, options.brokers.unit_margin);
+  }
+}
+
+TEST(BrokerPoolTest, PricedCapitalMarginRisesWithOccupancy) {
+  // margin_slope > 0 turns capital into a priced resource: spec generation
+  // defers to admission time, and each hop's margin is priced off the
+  // broker's LIVE capital occupancy — margin = unit_margin + slope *
+  // in_use / working_capital. Under overlapping open-loop arrivals the
+  // occupancy is nonzero for later deals, so the workload traces a rising
+  // margin-vs-occupancy curve (the market-clearing price chart).
+  TrafficOptions options;
+  options.base_seed = 5;
+  options.num_deals = 40;
+  options.num_chains = 4;
+  options.arrival = ArrivalProcess::kPoisson;
+  options.mean_interarrival = 10.0;
+  options.brokers.num_brokers = 2;
+  options.brokers.working_capital = 2000;
+  options.brokers.inventory = 200;
+  options.brokers.hop_depth = 2;
+  options.brokers.margin_slope = 200;
+  options.admission.enabled = true;
+  options.admission.retry_delay = 20;
+  options.admission.max_retries = 6;
+  TrafficReport report = RunTraffic(options);
+
+  EXPECT_GT(report.committed, 0u) << report.Summary();
+  EXPECT_TRUE(report.violations.empty()) << report.Summary();
+  EXPECT_EQ(report.broker_portfolio_violations, 0u) << report.Summary();
+
+  size_t priced_above_flat = 0;
+  for (const TrafficDealRecord& rec : report.deals) {
+    if (rec.shed || rec.price_points.empty()) continue;
+    for (const BrokerPool::PricePoint& point : rec.price_points) {
+      // The pricing formula holds exactly for every point.
+      EXPECT_EQ(point.margin,
+                options.brokers.unit_margin +
+                    options.brokers.margin_slope * point.occupancy /
+                        options.brokers.working_capital);
+      EXPECT_GE(point.margin, options.brokers.unit_margin);
+      if (point.occupancy > 0) ++priced_above_flat;
+    }
+  }
+  // The curve is not flat: overlapping chains really were priced against
+  // nonzero occupancy.
+  EXPECT_GT(priced_above_flat, 0u) << report.Summary();
+
+  TrafficReport replay = RunTraffic(options);
+  EXPECT_EQ(replay.fingerprint, report.fingerprint);
 }
 
 TEST(BrokerPoolTest, ShardedCbcBrokerDealsConform) {

@@ -1,0 +1,30 @@
+// Golden traffic fingerprints shared by every suite that asserts
+// bit-for-bit reproduction of the legacy engine.
+//
+// These two constants are the repo's backward-compatibility contract: any
+// refactor of the traffic engine, broker pool, sharded CBC service, or
+// observation API must still produce them from the exact seed/workload
+// pairs below. They were captured from the pre-ProtocolDriver engine (PR
+// 2's traffic_engine.cc, direct TimelockRun/CbcRun dispatch, single shared
+// CBC chain) and have survived every redesign since.
+//
+// If a change legitimately alters the fingerprint (i.e. the observable
+// wire traffic changed on purpose), update the constants HERE — once —
+// and say why in the commit message. Never fork a private copy in a test.
+
+#ifndef XDEAL_TESTS_GOLDEN_FPS_H_
+#define XDEAL_TESTS_GOLDEN_FPS_H_
+
+#include <cstdint>
+
+namespace xdeal {
+
+/// seed 101, 40 deals, 6 chains, default protocol mix, stock options.
+inline constexpr uint64_t kGoldenFpMixedSeed101 = 0xf2e05a9b400cccdeULL;
+
+/// seed 202, 30 deals, 4 chains, all-kCbc mix, stock options.
+inline constexpr uint64_t kGoldenFpCbcSeed202 = 0x0c2664eed3179051ULL;
+
+}  // namespace xdeal
+
+#endif  // XDEAL_TESTS_GOLDEN_FPS_H_

@@ -13,6 +13,7 @@
 #include "chain/world.h"
 #include "contracts/fungible_token.h"
 #include "core/traffic_engine.h"
+#include "golden_fps.h"
 #include "util/fingerprint.h"
 
 namespace xdeal {
@@ -282,7 +283,7 @@ TEST(ObservationApiTest, MigratedConsumersPreserveGoldenFingerprints) {
     options.num_deals = 40;
     options.num_chains = 6;
     TrafficReport report = RunTraffic(options);
-    EXPECT_EQ(report.fingerprint, 0xf2e05a9b400cccdeULL) << report.Summary();
+    EXPECT_EQ(report.fingerprint, kGoldenFpMixedSeed101) << report.Summary();
   }
   {
     TrafficOptions options;
@@ -291,7 +292,7 @@ TEST(ObservationApiTest, MigratedConsumersPreserveGoldenFingerprints) {
     options.num_chains = 4;
     options.protocol_mix = {Protocol::kCbc};
     TrafficReport report = RunTraffic(options);
-    EXPECT_EQ(report.fingerprint, 0x0c2664eed3179051ULL) << report.Summary();
+    EXPECT_EQ(report.fingerprint, kGoldenFpCbcSeed202) << report.Summary();
   }
   {
     TrafficOptions options;

@@ -10,6 +10,7 @@
 
 #include "chain/world.h"
 #include "core/traffic_engine.h"
+#include "golden_fps.h"
 
 namespace xdeal {
 namespace {
@@ -223,7 +224,7 @@ TEST(TrafficEngineTest, SingleShardReproducesPreRedesignFingerprints) {
     options.num_deals = 40;
     options.num_chains = 6;
     TrafficReport report = RunTraffic(options);
-    EXPECT_EQ(report.fingerprint, 0xf2e05a9b400cccdeULL)
+    EXPECT_EQ(report.fingerprint, kGoldenFpMixedSeed101)
         << report.Summary();
     EXPECT_EQ(report.committed, 40u);
     EXPECT_TRUE(report.violations.empty());
@@ -235,7 +236,7 @@ TEST(TrafficEngineTest, SingleShardReproducesPreRedesignFingerprints) {
     options.num_chains = 4;
     options.protocol_mix = {Protocol::kCbc};
     TrafficReport report = RunTraffic(options);
-    EXPECT_EQ(report.fingerprint, 0x0c2664eed3179051ULL)
+    EXPECT_EQ(report.fingerprint, kGoldenFpCbcSeed202)
         << report.Summary();
     EXPECT_EQ(report.committed, 30u);
     EXPECT_TRUE(report.violations.empty());
@@ -372,7 +373,7 @@ TEST(TrafficEngineTest, ExplicitFixedStaggerIsTheLegacySchedule) {
   options.arrival = ArrivalProcess::kFixedStagger;  // explicit, not default
   options.mean_interarrival = 999.0;                // ignored in this mode
   TrafficReport report = RunTraffic(options);
-  EXPECT_EQ(report.fingerprint, 0xf2e05a9b400cccdeULL) << report.Summary();
+  EXPECT_EQ(report.fingerprint, kGoldenFpMixedSeed101) << report.Summary();
   for (const TrafficDealRecord& rec : report.deals) {
     EXPECT_EQ(rec.arrival_at, rec.index * 20);  // admission_gap stagger
     EXPECT_EQ(rec.admitted_at, rec.arrival_at);

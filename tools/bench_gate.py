@@ -19,11 +19,13 @@ Metric policy (classified by name, see classify()):
 
   exact          conformance counters and swept frontier/knee positions
                  (committed, violations, shed, delayed, knee rate, broker
-                 knee capital, min safe delta, conformance_ok), plus every
+                 knee capital, min safe delta, conformance_ok), every
                  explore_* DPOR counter (inequivalent orders, pruned runs,
-                 violating orders — deterministic properties of the deal).
-                 All simulated — any drift is a real behaviour change and
-                 must be an intentional re-baseline.
+                 violating orders — deterministic properties of the deal),
+                 and the xshard_*/hopchain_* cross-shard counts and price
+                 metrics (margins, curve points — the market clears the
+                 same way every run). All simulated — any drift is a real
+                 behaviour change and must be an intentional re-baseline.
   lower_better   simulated latencies and gas costs: fail when the fresh
                  value exceeds baseline * (1 + tolerance).
   higher_better  simulated throughput (deals/goodput per kilotick): fail
@@ -59,6 +61,16 @@ def classify(name):
     # semantic change to the scheduler, the independence relation, or a
     # protocol, and must be an intentional re-baseline.
     if name.startswith("explore_"):
+        return "exact"
+    # Cross-shard / hop-chain families (bench_traffic): cross-shard deal
+    # counts, stale-proof rejections, and every price-chart metric (point
+    # counts, min/max margins, the bucketed margin-vs-occupancy curve) are
+    # deterministic simulated quantities — exact, like the knee positions.
+    # Their latency/goodput/gas metrics fall through to the generic
+    # tolerance rules below.
+    if name.startswith(("xshard_", "hopchain_")) and \
+            "latency" not in name and "goodput" not in name and \
+            "gas" not in name:
         return "exact"
     if name == "conformance_ok" or name.endswith("committed") or \
             name.endswith("violations") or name.endswith("_shed") or \
