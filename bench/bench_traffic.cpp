@@ -56,9 +56,28 @@
 //                  portfolio violations everywhere and a genuinely rising
 //                  priced curve.
 //
+//   epoch service  TrafficService (long-lived mode): E epochs of fixed-size
+//                  Poisson traffic with towers, brokers, sharded CBC, and
+//                  tower-crash injection, run straight through and then
+//                  once per checkpoint cadence k ∈ --epoch_cadences with a
+//                  full serialize → destroy → restore cycle at every k-th
+//                  boundary. Gated on the restored runs' cumulative
+//                  fingerprints matching the straight-through run exactly
+//                  (epoch_restore_parity), a corrupted snapshot being
+//                  rejected (epoch_snapshot_reject_ok), and zero violations
+//                  per epoch; also charts snapshot size and checkpoint/
+//                  restore wall-time percentiles.
+//
 // A soak mode, --soak=N, replaces all sections with one long open-loop
 // run (controller on) gated on full conformance and cross-thread-count
 // fingerprint equality; the nightly workflow runs it at N=5000.
+//
+// An epoch-soak mode, --epoch_soak=E (with --epoch_deals=D), replaces all
+// sections with a long-lived service run of E epochs × D deals, executed
+// twice: once straight through and once with a forced kill + restore at
+// the midpoint epoch boundary. Gated on bit-identical final fingerprints
+// and zero violations; the nightly workflow runs it at E=20, D=5000
+// (cumulative 100k deals).
 //
 // Exit status is nonzero if any gate fails, so this binary doubles as the
 // traffic conformance + trajectory gate in CI.
@@ -76,7 +95,9 @@
 //                       [--hop_depths=1,2,3] [--hopchain_deals=160]
 //                       [--hopchain_slope=300]
 //                       [--bigd_deals=1000,10000,100000]
-//                       [--soak=5000]
+//                       [--epoch_cadences=1,2,4] [--epoch_count=6]
+//                       [--epoch_deals=30]
+//                       [--soak=5000] [--epoch_soak=20]
 //                       [--json=BENCH_traffic.json] [--seed=1]
 
 #include <algorithm>
@@ -84,6 +105,7 @@
 #include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <thread>
 #include <vector>
 
@@ -1096,6 +1118,316 @@ bool RunSoak(size_t soak_deals, uint64_t base_seed,
   return ok;
 }
 
+// ---------------------------------------------------------------------------
+// Section 9: epoch service — TrafficService checkpoint cadence sweep. One
+// straight-through reference run, then one run per cadence k that
+// serializes, destroys, and restores the service at every k-th epoch
+// boundary. Parity and per-epoch conformance are exact-gated; snapshot
+// size and checkpoint/restore cycle times are charted.
+// ---------------------------------------------------------------------------
+
+/// The epoch-mode workload every epoch cell runs: Poisson traffic with
+/// watchtowers (including crash + recovery injection), brokers, and a
+/// 2-shard CBC service with cross-shard placement.
+TrafficOptions EpochOptions(uint64_t base_seed, size_t deals_per_epoch) {
+  TrafficOptions options;
+  options.base_seed = base_seed;
+  options.num_chains = 4;
+  options.deals_per_epoch = deals_per_epoch;
+  options.indexed_observation = true;
+  options.arrival = ArrivalProcess::kPoisson;
+  options.mean_interarrival = 20.0;
+  options.watchtower_every = 5;
+  options.tower_crash_every = 3;
+  options.tower_crash_after = 15;
+  options.tower_recover_after = 300;
+  options.brokers.num_brokers = 2;
+  options.brokers.broker_every = 4;
+  options.cbc_shards = 2;
+  options.cbc_xshard_every = 2;
+  return options;
+}
+
+bool RunEpochSection(int argc, char** argv, uint64_t base_seed,
+                     bench::JsonReport* json) {
+  std::vector<size_t> cadences = bench::ParseSizeList(
+      bench::FlagValue(argc, argv, "epoch_cadences"), {1, 2, 4});
+  const char* count_flag = bench::FlagValue(argc, argv, "epoch_count");
+  size_t epochs = count_flag != nullptr
+                      ? std::strtoull(count_flag, nullptr, 10)
+                      : 6;
+  if (epochs < 2) epochs = 2;
+  const char* deals_flag = bench::FlagValue(argc, argv, "epoch_deals");
+  size_t per_epoch = deals_flag != nullptr
+                         ? std::strtoull(deals_flag, nullptr, 10)
+                         : 30;
+  if (per_epoch == 0) per_epoch = 30;
+
+  std::printf("\n=== epoch service: %zu epochs x %zu Poisson deals, towers "
+              "(with crash+recover), brokers, 2 CBC shards; checkpoint "
+              "cadences {",
+              epochs, per_epoch);
+  for (size_t i = 0; i < cadences.size(); ++i) {
+    std::printf("%s%zu", i == 0 ? "" : ",", cadences[i]);
+  }
+  std::printf("} ===\n");
+
+  const TrafficOptions options = EpochOptions(base_seed, per_epoch);
+  bool ok = true;
+
+  // --- straight-through reference ---
+  auto straight_start = std::chrono::steady_clock::now();
+  Result<std::unique_ptr<TrafficService>> straight =
+      TrafficService::Create(options);
+  if (!straight.ok()) {
+    std::printf("EPOCH FAILURE: Create: %s\n",
+                straight.status().ToString().c_str());
+    return false;
+  }
+  for (size_t e = 0; e < epochs; ++e) {
+    EpochReport epoch = straight.value()->RunEpoch();
+    bench::JsonReport::Labels labels = {
+        {"epoch", std::to_string(e)},
+        {"per_epoch", std::to_string(per_epoch)}};
+    json->AddMetric("epoch_committed",
+                    static_cast<double>(epoch.committed), "", labels);
+    json->AddMetric("epoch_violations",
+                    static_cast<double>(epoch.violations), "", labels);
+    json->AddMetric("epoch_double_spends",
+                    static_cast<double>(epoch.double_spends), "", labels);
+    json->AddMetric("epoch_untagged_gas",
+                    static_cast<double>(epoch.untagged_gas), "gas", labels);
+    json->AddMetric("epoch_latency_p50",
+                    static_cast<double>(epoch.latency_p50), "ticks", labels);
+    json->AddMetric("epoch_latency_p99",
+                    static_cast<double>(epoch.latency_p99), "ticks", labels);
+    if (epoch.violations != 0) {
+      std::printf("EPOCH FAILURE: %zu violations in epoch %zu\n",
+                  epoch.violations, e);
+      ok = false;
+    }
+  }
+  ServiceReport reference = straight.value()->Finish();
+  double straight_ms = WallMs(straight_start);
+  std::printf("straight-through: %.1f ms, fp=%016" PRIx64 "\n%s",
+              straight_ms, reference.final_fingerprint,
+              reference.Summary().c_str());
+  json->AddMetric("epoch_straight_wall_ms", straight_ms, "ms",
+                  {{"epochs", std::to_string(epochs)},
+                   {"per_epoch", std::to_string(per_epoch)}});
+
+  // --- cadence sweep: checkpoint + kill + restore at every k-th boundary ---
+  std::vector<double> cycle_ms;  // full serialize -> destroy -> restore
+  for (size_t cadence : cadences) {
+    if (cadence == 0) continue;
+    auto run_start = std::chrono::steady_clock::now();
+    Result<std::unique_ptr<TrafficService>> service =
+        TrafficService::Create(options);
+    if (!service.ok()) {
+      std::printf("EPOCH FAILURE: Create(cadence=%zu): %s\n", cadence,
+                  service.status().ToString().c_str());
+      ok = false;
+      continue;
+    }
+    size_t restores = 0;
+    double snapshot_bytes = 0;
+    for (size_t e = 0; e < epochs; ++e) {
+      service.value()->RunEpoch();
+      if ((e + 1) % cadence != 0 || e + 1 >= epochs) continue;
+      auto cycle_start = std::chrono::steady_clock::now();
+      Result<Bytes> snapshot = service.value()->Checkpoint();
+      if (!snapshot.ok()) {
+        std::printf("EPOCH FAILURE: Checkpoint(cadence=%zu, epoch=%zu): "
+                    "%s\n", cadence, e,
+                    snapshot.status().ToString().c_str());
+        ok = false;
+        break;
+      }
+      snapshot_bytes = static_cast<double>(snapshot.value().size());
+      service.value().reset();  // the old process dies here
+      Result<std::unique_ptr<TrafficService>> restored =
+          TrafficService::FromSnapshot(options, snapshot.value());
+      if (!restored.ok()) {
+        std::printf("EPOCH FAILURE: FromSnapshot(cadence=%zu, epoch=%zu): "
+                    "%s\n", cadence, e,
+                    restored.status().ToString().c_str());
+        ok = false;
+        break;
+      }
+      service = std::move(restored);
+      ++restores;
+      cycle_ms.push_back(WallMs(cycle_start));
+    }
+    if (!service.ok()) continue;
+    ServiceReport report = service.value()->Finish();
+    double run_ms = WallMs(run_start);
+    const bool parity =
+        report.final_fingerprint == reference.final_fingerprint &&
+        report.Summary() == reference.Summary();
+    std::printf("cadence %zu: %zu restores, %.1f ms, fp=%016" PRIx64
+                " parity=%s\n",
+                cadence, restores, run_ms, report.final_fingerprint,
+                parity ? "ok" : "MISMATCH");
+    if (!parity) {
+      std::printf("EPOCH FAILURE: restored run diverged from the "
+                  "straight-through reference at cadence %zu\n", cadence);
+      ok = false;
+    }
+
+    bench::JsonReport::Labels labels = {
+        {"cadence", std::to_string(cadence)},
+        {"epochs", std::to_string(epochs)},
+        {"per_epoch", std::to_string(per_epoch)}};
+    json->AddMetric("epoch_restore_parity", parity ? 1 : 0, "", labels);
+    json->AddMetric("epoch_restores", static_cast<double>(restores), "",
+                    labels);
+    json->AddMetric("epoch_checkpoint_bytes", snapshot_bytes, "bytes",
+                    labels);
+    json->AddMetric("epoch_run_wall_ms", run_ms, "ms", labels);
+  }
+
+  // Recovery-cycle wall-time percentiles across every cadence's cycles
+  // (serialize + destroy + restore, the full crash-recovery path).
+  if (!cycle_ms.empty()) {
+    std::sort(cycle_ms.begin(), cycle_ms.end());
+    double p50 = cycle_ms[cycle_ms.size() / 2];
+    double p99 = cycle_ms[cycle_ms.size() * 99 / 100];
+    std::printf("recovery cycle (checkpoint+restore): p50 %.2f ms, p99 "
+                "%.2f ms over %zu cycles\n", p50, p99, cycle_ms.size());
+    bench::JsonReport::Labels labels = {
+        {"epochs", std::to_string(epochs)},
+        {"per_epoch", std::to_string(per_epoch)}};
+    json->AddMetric("epoch_recovery_wall_ms_p50", p50, "ms", labels);
+    json->AddMetric("epoch_recovery_wall_ms_p99", p99, "ms", labels);
+  }
+
+  // --- corrupted snapshot must be rejected, never restored ---
+  bool reject_ok = false;
+  {
+    Result<std::unique_ptr<TrafficService>> service =
+        TrafficService::Create(options);
+    if (service.ok()) {
+      service.value()->RunEpoch();
+      Result<Bytes> snapshot = service.value()->Checkpoint();
+      if (snapshot.ok()) {
+        Bytes corrupt = snapshot.value();
+        corrupt[corrupt.size() / 2] ^= 0xFF;
+        reject_ok = !TrafficService::FromSnapshot(options, corrupt).ok() &&
+                    TrafficService::FromSnapshot(options, snapshot.value())
+                        .ok();
+      }
+    }
+  }
+  if (!reject_ok) {
+    std::printf("EPOCH FAILURE: corrupted snapshot was not rejected (or an "
+                "intact one failed to restore)\n");
+    ok = false;
+  }
+  json->AddMetric("epoch_snapshot_reject_ok", reject_ok ? 1 : 0, "",
+                  {{"per_epoch", std::to_string(per_epoch)}});
+  return ok;
+}
+
+// ---------------------------------------------------------------------------
+// Epoch-soak mode (--epoch_soak=E): the long-lived service at nightly
+// scale. Two runs of E epochs x --epoch_deals deals: straight through, and
+// with a forced kill + restore at the midpoint boundary. Exact parity gate.
+// ---------------------------------------------------------------------------
+bool RunEpochSoak(int argc, char** argv, size_t epochs, uint64_t base_seed,
+                  bench::JsonReport* json) {
+  const char* deals_flag = bench::FlagValue(argc, argv, "epoch_deals");
+  size_t per_epoch = deals_flag != nullptr
+                         ? std::strtoull(deals_flag, nullptr, 10)
+                         : 5000;
+  if (per_epoch == 0) per_epoch = 5000;
+  if (epochs < 2) epochs = 2;
+  const size_t total = epochs * per_epoch;
+
+  std::printf("=== epoch soak: %zu epochs x %zu deals (%zu cumulative), "
+              "forced kill+restore at the midpoint boundary ===\n",
+              epochs, per_epoch, total);
+
+  TrafficOptions options = EpochOptions(base_seed, per_epoch);
+  // Scale the pool with the per-epoch load (≈8 concurrent deals per chain)
+  // and validate on all cores; the fingerprint is thread-count-invariant.
+  options.num_chains = per_epoch / 8 < 4 ? 4 : per_epoch / 8;
+  options.num_threads = 0;
+
+  bool ok = true;
+  auto straight_start = std::chrono::steady_clock::now();
+  Result<std::unique_ptr<TrafficService>> straight =
+      TrafficService::Create(options);
+  if (!straight.ok()) {
+    std::printf("EPOCH SOAK FAILURE: Create: %s\n",
+                straight.status().ToString().c_str());
+    return false;
+  }
+  for (size_t e = 0; e < epochs; ++e) straight.value()->RunEpoch();
+  ServiceReport reference = straight.value()->Finish();
+  straight.value().reset();
+  double straight_ms = WallMs(straight_start);
+  std::printf("straight-through: %.1f ms\n%s", straight_ms,
+              reference.Summary().c_str());
+
+  const size_t kill_at = epochs / 2;
+  auto restored_start = std::chrono::steady_clock::now();
+  Result<std::unique_ptr<TrafficService>> service =
+      TrafficService::Create(options);
+  if (!service.ok()) return false;
+  for (size_t e = 0; e < kill_at; ++e) service.value()->RunEpoch();
+  Result<Bytes> snapshot = service.value()->Checkpoint();
+  if (!snapshot.ok()) {
+    std::printf("EPOCH SOAK FAILURE: Checkpoint: %s\n",
+                snapshot.status().ToString().c_str());
+    return false;
+  }
+  service.value().reset();  // forced kill
+  Result<std::unique_ptr<TrafficService>> restored =
+      TrafficService::FromSnapshot(options, snapshot.value());
+  if (!restored.ok()) {
+    std::printf("EPOCH SOAK FAILURE: FromSnapshot: %s\n",
+                restored.status().ToString().c_str());
+    return false;
+  }
+  for (size_t e = kill_at; e < epochs; ++e) restored.value()->RunEpoch();
+  ServiceReport report = restored.value()->Finish();
+  double restored_ms = WallMs(restored_start);
+
+  const bool parity =
+      report.final_fingerprint == reference.final_fingerprint &&
+      report.Summary() == reference.Summary();
+  std::printf("kill+restore at epoch %zu: %.1f ms (snapshot %zu bytes), "
+              "parity=%s\n",
+              kill_at, restored_ms, snapshot.value().size(),
+              parity ? "ok" : "MISMATCH");
+  if (!parity) {
+    std::printf("EPOCH SOAK FAILURE: restored run diverged from the "
+                "straight-through reference\n");
+    ok = false;
+  }
+  if (report.deals != total || !report.violations.empty() ||
+      report.broker_portfolio_violations != 0) {
+    std::printf("EPOCH SOAK FAILURE: non-conformant service run\n%s",
+                report.Summary().c_str());
+    ok = false;
+  }
+
+  bench::JsonReport::Labels labels = {
+      {"epochs", std::to_string(epochs)},
+      {"per_epoch", std::to_string(per_epoch)}};
+  json->AddMetric("epoch_soak_parity", parity ? 1 : 0, "", labels);
+  json->AddMetric("epoch_soak_committed",
+                  static_cast<double>(report.committed), "", labels);
+  json->AddMetric("epoch_soak_violations",
+                  static_cast<double>(report.violations.size()), "", labels);
+  json->AddMetric("epoch_soak_checkpoint_bytes",
+                  static_cast<double>(snapshot.value().size()), "bytes",
+                  labels);
+  json->AddMetric("epoch_soak_straight_wall_ms", straight_ms, "ms", labels);
+  json->AddMetric("epoch_soak_restored_wall_ms", restored_ms, "ms", labels);
+  return ok;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -1113,7 +1445,12 @@ int main(int argc, char** argv) {
 
   bool ok = true;
   const char* soak_flag = bench::FlagValue(argc, argv, "soak");
-  if (soak_flag != nullptr) {
+  const char* epoch_soak_flag = bench::FlagValue(argc, argv, "epoch_soak");
+  if (epoch_soak_flag != nullptr) {
+    size_t soak_epochs = std::strtoull(epoch_soak_flag, nullptr, 10);
+    json.AddConfig("mode", "epoch_soak");
+    ok = RunEpochSoak(argc, argv, soak_epochs, base_seed, &json);
+  } else if (soak_flag != nullptr) {
     size_t soak_deals = std::strtoull(soak_flag, nullptr, 10);
     if (soak_deals < 100) soak_deals = 100;
     json.AddConfig("mode", "soak");
@@ -1130,6 +1467,7 @@ int main(int argc, char** argv) {
     ok = RunXShardSweep(argc, argv, base_seed, &json) && ok;
     ok = RunHopChainSweep(argc, argv, base_seed, &json) && ok;
     ok = RunBigD(argc, argv, base_seed, &json) && ok;
+    ok = RunEpochSection(argc, argv, base_seed, &json) && ok;
   }
 
   json.AddMetric("conformance_ok", ok ? 1 : 0);

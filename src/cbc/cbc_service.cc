@@ -27,6 +27,46 @@ CbcService::CbcService(World* world, Options options)
   }
 }
 
+std::unique_ptr<CbcService> CbcService::Attach(
+    World* world, Options options,
+    const std::vector<uint32_t>& shard_epochs) {
+  if (shard_epochs.size() != options.num_shards) return nullptr;
+  std::unique_ptr<CbcService> service(
+      new CbcService(world, std::move(options), AttachTag{}));
+  const Options& opts = service->options_;
+  service->shards_.reserve(opts.num_shards);
+  for (size_t s = 0; s < opts.num_shards; ++s) {
+    std::string want = opts.chain_name + ShardSuffix(s);
+    ChainId found;
+    for (size_t c = 0; c < world->num_chains(); ++c) {
+      ChainId id{static_cast<uint32_t>(c)};
+      if (world->chain(id)->name() == want) {
+        found = id;
+        break;
+      }
+    }
+    if (!found.valid()) return nullptr;
+    service->shards_.push_back(Shard{
+        found,
+        ValidatorSet::Create(opts.f, opts.validator_seed + ShardSuffix(s))});
+    // Replay the rotation history: Reconfigure() is a pure function of
+    // (seed, epoch), so each replayed certificate is bit-identical to the
+    // one the uninterrupted service recorded.
+    Shard& shard = service->shards_.back();
+    while (shard.validators.epoch() < shard_epochs[s]) {
+      shard.reconfig_history.push_back(shard.validators.Reconfigure());
+    }
+  }
+  return service;
+}
+
+std::vector<uint32_t> CbcService::ShardEpochs() const {
+  std::vector<uint32_t> epochs;
+  epochs.reserve(shards_.size());
+  for (const Shard& s : shards_) epochs.push_back(s.validators.epoch());
+  return epochs;
+}
+
 size_t CbcService::ShardOf(const Hash256& deal_id) const {
   // The deal id is already a SHA-256 digest; fold its first 8 bytes into a
   // word. Any fixed byte window of a cryptographic hash is uniform, and

@@ -20,6 +20,7 @@
 #ifndef XDEAL_CBC_CBC_SERVICE_H_
 #define XDEAL_CBC_CBC_SERVICE_H_
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -51,6 +52,21 @@ class CbcService {
   /// Creates the S shard chains in `world` immediately (deterministic chain
   /// ids: shard i is the i-th chain created by this constructor).
   CbcService(World* world, Options options);
+
+  /// Attach mode, for a World restored from a checkpoint: binds to the
+  /// already-existing shard chains by name (creating nothing) and replays
+  /// ValidatorSet::Reconfigure() on each shard until it reaches
+  /// `shard_epochs[s]`. Validator keys and reconfiguration certificates are
+  /// pure functions of (seed, epoch), so the replayed sets and the recorded
+  /// history are bit-identical to the uninterrupted service's. Returns
+  /// nullptr if any shard chain is missing from the world.
+  static std::unique_ptr<CbcService> Attach(
+      World* world, Options options,
+      const std::vector<uint32_t>& shard_epochs);
+
+  /// Current validator epoch of every shard, in shard order — exactly what
+  /// a checkpoint must carry for Attach to replay.
+  std::vector<uint32_t> ShardEpochs() const;
 
   size_t num_shards() const { return shards_.size(); }
   size_t f() const { return options_.f; }
@@ -129,6 +145,11 @@ class CbcService {
     ValidatorSet validators;
     std::vector<ReconfigCertificate> reconfig_history;
   };
+
+  // Attach-mode constructor: binds shards_ externally (see Attach).
+  struct AttachTag {};
+  CbcService(World* world, Options options, AttachTag)
+      : world_(world), options_(std::move(options)) {}
 
   World* world_;
   Options options_;

@@ -154,6 +154,12 @@ class ObservationCursor {
 class Blockchain {
  public:
   using Observer = std::function<void(const Receipt&)>;
+  /// Constructs an empty contract of the named type for Restore (layering:
+  /// the chain layer cannot name concrete contract types, so the caller —
+  /// who can — supplies the factory). Returning nullptr means "unknown
+  /// type"; Restore then installs an inert retired placeholder.
+  using ContractFactory =
+      std::function<std::unique_ptr<Contract>(const std::string& type_name)>;
 
   Blockchain(World* world, ChainId id, std::string name, Tick block_interval);
 
@@ -253,6 +259,23 @@ class Blockchain {
     for (const auto& [boundary, txs] : mempool_) pending += txs.size();
     return pending;
   }
+
+  /// Serializes the chain's durable state into `w`. Only valid at a
+  /// quiescent boundary: the mempool must be empty (every submitted tx
+  /// already sealed into a block), otherwise InvalidArgument. The snapshot
+  /// is slim by design: block headers are carried as (count, last-hash) so
+  /// heights and parent-chaining continue correctly; receipts are NOT
+  /// carried (the restored chain's receipt history restarts empty — every
+  /// deal that produced them has settled, and all cross-epoch accounting
+  /// lives in the engine's cumulative counters, not in the chain).
+  XDEAL_DETERMINISTIC Status Checkpoint(ByteWriter* w) const;
+
+  /// Restores a freshly constructed chain (same name/id/interval) from a
+  /// Checkpoint. Contracts that snapshot their state are rebuilt via
+  /// `factory` + RestoreState; the rest become inert retired placeholders
+  /// that preserve ContractId numbering and reject invocation.
+  XDEAL_DETERMINISTIC Status Restore(ByteReader& r,
+                                     const ContractFactory& factory);
 
  private:
   friend class ObservationCursor;

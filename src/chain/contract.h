@@ -54,6 +54,24 @@ class Contract {
   virtual Result<Bytes> Invoke(CallContext& ctx, const std::string& fn,
                                ByteReader& args) = 0;
 
+  /// True if this contract type implements SnapshotState/RestoreState.
+  /// Long-lived contracts (token ledgers) must; per-deal contracts whose
+  /// deals have settled by the checkpoint boundary need not — the
+  /// checkpointer retires them to inert placeholders instead.
+  virtual bool SupportsSnapshot() const { return false; }
+
+  /// Serializes mutable contract state into `w` (canonical encoding).
+  virtual Status SnapshotState(ByteWriter* /*w*/) const {
+    return Status::FailedPrecondition("contract type " + TypeName() +
+                                 " does not support snapshot");
+  }
+
+  /// Restores mutable contract state from `r` (inverse of SnapshotState).
+  virtual Status RestoreState(ByteReader& /*r*/) {
+    return Status::FailedPrecondition("contract type " + TypeName() +
+                                 " does not support restore");
+  }
+
   /// The contract's own id on its chain (set at deployment). Escrow
   /// contracts use it to hold assets in their own name.
   ContractId self_id() const { return self_id_; }

@@ -108,6 +108,25 @@ class World {
   /// Sum of gas across all chains (global cost, Figure 4 rows).
   uint64_t TotalGas() const;
 
+  /// Serializes the World's durable state into `w`: RNG stream position,
+  /// scheduler clock + pending durable events, party registry, and every
+  /// chain's Checkpoint. Only valid at a quiescent boundary — the scheduler
+  /// may hold nothing but durable events (pending() == pending_durable())
+  /// and every mempool must be empty — and only under kIndexed delivery
+  /// (broadcast delivery draws the sequential RNG per subscribed observer,
+  /// including observers of long-settled deals that do not exist after a
+  /// restore, so broadcast runs cannot resume bit-identically).
+  XDEAL_DETERMINISTIC Status Checkpoint(ByteWriter* w) const;
+
+  /// Restores a freshly constructed World (same seed + network model) from
+  /// a Checkpoint: re-registers parties by name (keys re-derive
+  /// deterministically), recreates chains and their contracts via
+  /// `factory`, re-imports durable events at their original (time, seq)
+  /// positions, and fast-forwards the RNG/clock. After Restore the next
+  /// scheduled event fires bit-identically to the uninterrupted run.
+  XDEAL_DETERMINISTIC Status Restore(ByteReader& r,
+                                     const Blockchain::ContractFactory& factory);
+
  private:
   static constexpr uint32_t kChainEndpointBase = 1u << 24;
 

@@ -32,6 +32,13 @@ class FungibleToken : public Contract {
   Result<Bytes> Invoke(CallContext& ctx, const std::string& fn,
                        ByteReader& args) override;
 
+  // Token ledgers are long-lived (they outlive every deal that touches
+  // them), so they are the one contract family a World checkpoint must
+  // carry with full state: symbol, issuer, supply, balances, allowances.
+  bool SupportsSnapshot() const override { return true; }
+  Status SnapshotState(ByteWriter* w) const override;
+  Status RestoreState(ByteReader& r) override;
+
   // --- off-chain reads (contract state is public, §3) ---
   uint64_t BalanceOf(const Holder& h) const;
   uint64_t Allowance(const Holder& owner, const Holder& spender) const;

@@ -36,6 +36,8 @@ BrokerPool::BrokerPool(DealEnv* env, const BrokerOptions& options,
                    "broker-coin"};
 
   reserved_.resize(options_.num_brokers);
+  evidence_.resize(options_.num_brokers);
+  crashed_.assign(options_.num_brokers, 0);
   for (size_t b = 0; b < options_.num_brokers; ++b) {
     ChainId chain = chains[chains.size() > 1 ? 1 + (b % (chains.size() - 1))
                                              : 0];
@@ -56,6 +58,18 @@ BrokerPool::BrokerPool(DealEnv* env, const BrokerOptions& options,
     assert(minted.ok());
     (void)minted;
   }
+}
+
+BrokerPool::BrokerPool(DealEnv* env, const BrokerOptions& options, AttachTag)
+    : env_(env), options_(options) {
+  if (options_.num_brokers == 0) return;
+  if (options_.broker_every == 0) options_.broker_every = 1;
+  if (options_.hop_depth == 0) options_.hop_depth = 1;
+  if (options_.max_units < options_.min_units) {
+    options_.max_units = options_.min_units;
+  }
+  // Bindings arrive via Restore(); nothing is created or minted — the
+  // restored world already holds the parties, tokens, and balances.
 }
 
 bool BrokerPool::IsBrokerDeal(size_t deal_index) const {
@@ -168,17 +182,42 @@ uint64_t BrokerPool::BalanceOf(const AssetRef& asset, PartyId party) const {
 
 void BrokerPool::Prune(size_t broker) {
   PartyId party = brokers_[broker];
+  auto done = [party](const Reservation& r) {
+    // Once the deposit is on chain the broker's balance already reflects it
+    // (and a settled escrow has been paid back out), so the reservation's
+    // job is done.
+    return r.view == nullptr || r.view->Settled() ||
+           r.view->escrow_core().EscrowedOf(party) > 0;
+  };
   std::vector<Reservation>& reservations = reserved_[broker];
   reservations.erase(
-      std::remove_if(reservations.begin(), reservations.end(),
-                     [party](const Reservation& r) {
-                       // Once the deposit is on chain the broker's balance
-                       // already reflects it (and a settled escrow has been
-                       // paid back out), so the reservation's job is done.
-                       return r.view == nullptr || r.view->Settled() ||
-                              r.view->escrow_core().EscrowedOf(party) > 0;
-                     }),
+      std::remove_if(reservations.begin(), reservations.end(), done),
       reservations.end());
+  std::vector<Reservation>& evidence = evidence_[broker];
+  evidence.erase(std::remove_if(evidence.begin(), evidence.end(), done),
+                 evidence.end());
+}
+
+void BrokerPool::PruneAll() {
+  for (size_t b = 0; b < brokers_.size(); ++b) Prune(b);
+}
+
+void BrokerPool::CrashBroker(size_t broker) {
+  if (broker >= brokers_.size()) return;
+  crashed_[broker] = 1;
+  // The in-memory reservation book dies with the process; the evidence list
+  // models what is re-derivable from public chain state and survives.
+  reserved_[broker].clear();
+}
+
+void BrokerPool::RecoverBroker(size_t broker) {
+  if (broker >= brokers_.size() || crashed_[broker] == 0) return;
+  crashed_[broker] = 0;
+  // Rebuild the book from on-chain evidence: prune first so only deals whose
+  // deposit is still outstanding come back — exactly the entries a
+  // never-crashed book would hold at this instant.
+  Prune(broker);
+  reserved_[broker] = evidence_[broker];
 }
 
 uint64_t BrokerPool::FreeCapital(size_t broker) {
@@ -278,14 +317,19 @@ void BrokerPool::OnDealDeployed(size_t deal_index, DealRuntime& runtime) {
   const Plan& plan = it->second;
 
   // One reservation per hop: each broker along the chain has her own float
-  // in her own escrow contract (see GenerateBrokerChainDeal).
+  // in her own escrow contract (see GenerateBrokerChainDeal). Evidence is
+  // recorded unconditionally (it models public chain state); the live book
+  // only when the broker's accounting process is up.
   if (!plan.hops.empty()) {
     for (const Hop& hop : plan.hops) {
       Reservation reservation;
       reservation.deal_index = deal_index;
       reservation.capital = hop.capital;
       reservation.view = EscrowViewOf(runtime, hop.asset);
-      reserved_[hop.broker].push_back(reservation);
+      evidence_[hop.broker].push_back(reservation);
+      if (crashed_[hop.broker] == 0) {
+        reserved_[hop.broker].push_back(reservation);
+      }
     }
     return;
   }
@@ -299,7 +343,133 @@ void BrokerPool::OnDealDeployed(size_t deal_index, DealRuntime& runtime) {
   reservation.capital = plan.capital;
   reservation.inventory = plan.inventory;
   reservation.view = EscrowViewOf(runtime, asset);
-  reserved_[plan.broker].push_back(reservation);
+  evidence_[plan.broker].push_back(reservation);
+  if (crashed_[plan.broker] == 0) {
+    reserved_[plan.broker].push_back(reservation);
+  }
+}
+
+Status BrokerPool::Checkpoint(ByteWriter* w) const {
+  for (size_t b = 0; b < brokers_.size(); ++b) {
+    if (!reserved_[b].empty() || !evidence_[b].empty()) {
+      return Status::FailedPrecondition(
+          "broker pool checkpoint: broker " + std::to_string(b) +
+          " still holds live reservations (PruneAll before checkpointing; a "
+          "compliant quiescent boundary leaves none)");
+    }
+  }
+  auto write_asset = [w](const AssetRef& a) {
+    w->U32(a.chain.v).U32(a.token.v).U8(static_cast<uint8_t>(a.kind));
+    w->Str(a.label);
+  };
+  w->U32(static_cast<uint32_t>(brokers_.size()));
+  for (PartyId b : brokers_) w->U32(b.v);
+  write_asset(coin_);
+  for (const AssetRef& c : commodities_) write_asset(c);
+  for (uint8_t c : crashed_) w->U8(c);
+  w->U64(plans_.size());
+  for (const auto& [deal_index, plan] : plans_) {
+    w->U64(deal_index);
+    w->U64(plan.broker);
+    w->Bool(plan.sell_side);
+    w->U64(plan.units).U64(plan.capital).U64(plan.inventory);
+    w->U64(plan.margin).U64(plan.occupancy);
+    w->U32(static_cast<uint32_t>(plan.hops.size()));
+    for (const Hop& hop : plan.hops) {
+      w->U64(hop.broker).U32(hop.asset);
+      w->U64(hop.capital).U64(hop.margin).U64(hop.occupancy);
+    }
+  }
+  return Status::OK();
+}
+
+Status BrokerPool::Restore(ByteReader& r) {
+  auto read_asset = [&r](AssetRef* a) -> Status {
+    auto chain = r.U32();
+    auto token = r.U32();
+    auto kind = r.U8();
+    auto label = r.Str();
+    if (!chain.ok() || !token.ok() || !kind.ok() || !label.ok()) {
+      return Status::InvalidArgument("broker snapshot: truncated asset ref");
+    }
+    a->chain = ChainId{chain.value()};
+    a->token = ContractId{token.value()};
+    a->kind = static_cast<AssetKind>(kind.value());
+    a->label = label.value();
+    return Status::OK();
+  };
+  auto n_brokers = r.U32();
+  if (!n_brokers.ok()) return n_brokers.status();
+  if (n_brokers.value() != options_.num_brokers) {
+    return Status::InvalidArgument(
+        "broker snapshot: broker count mismatches options");
+  }
+  brokers_.clear();
+  for (uint32_t b = 0; b < n_brokers.value(); ++b) {
+    auto id = r.U32();
+    if (!id.ok()) return id.status();
+    brokers_.push_back(PartyId{id.value()});
+  }
+  XDEAL_RETURN_IF_ERROR(read_asset(&coin_));
+  commodities_.assign(n_brokers.value(), AssetRef{});
+  for (uint32_t b = 0; b < n_brokers.value(); ++b) {
+    XDEAL_RETURN_IF_ERROR(read_asset(&commodities_[b]));
+  }
+  crashed_.assign(n_brokers.value(), 0);
+  for (uint32_t b = 0; b < n_brokers.value(); ++b) {
+    auto c = r.U8();
+    if (!c.ok()) return c.status();
+    crashed_[b] = c.value();
+  }
+  reserved_.assign(n_brokers.value(), {});
+  evidence_.assign(n_brokers.value(), {});
+  plans_.clear();
+  auto n_plans = r.U64();
+  if (!n_plans.ok()) return n_plans.status();
+  for (uint64_t i = 0; i < n_plans.value(); ++i) {
+    auto deal_index = r.U64();
+    auto broker = r.U64();
+    auto sell_side = r.Bool();
+    auto units = r.U64();
+    auto capital = r.U64();
+    auto inventory = r.U64();
+    auto margin = r.U64();
+    auto occupancy = r.U64();
+    auto n_hops = r.U32();
+    if (!deal_index.ok() || !broker.ok() || !sell_side.ok() || !units.ok() ||
+        !capital.ok() || !inventory.ok() || !margin.ok() || !occupancy.ok() ||
+        !n_hops.ok()) {
+      return Status::InvalidArgument("broker snapshot: truncated plan");
+    }
+    Plan plan;
+    plan.broker = static_cast<size_t>(broker.value());
+    plan.sell_side = sell_side.value();
+    plan.units = units.value();
+    plan.capital = capital.value();
+    plan.inventory = inventory.value();
+    plan.margin = margin.value();
+    plan.occupancy = occupancy.value();
+    for (uint32_t h = 0; h < n_hops.value(); ++h) {
+      auto hop_broker = r.U64();
+      auto hop_asset = r.U32();
+      auto hop_capital = r.U64();
+      auto hop_margin = r.U64();
+      auto hop_occupancy = r.U64();
+      if (!hop_broker.ok() || !hop_asset.ok() || !hop_capital.ok() ||
+          !hop_margin.ok() || !hop_occupancy.ok()) {
+        return Status::InvalidArgument("broker snapshot: truncated hop");
+      }
+      Hop hop;
+      hop.broker = static_cast<size_t>(hop_broker.value());
+      hop.asset = hop_asset.value();
+      hop.capital = hop_capital.value();
+      hop.margin = hop_margin.value();
+      hop.occupancy = hop_occupancy.value();
+      plan.hops.push_back(hop);
+    }
+    plans_[static_cast<size_t>(deal_index.value())] = std::move(plan);
+  }
+  return Status::OK();
 }
 
 std::vector<BrokerRecord> BrokerPool::BuildRecords(

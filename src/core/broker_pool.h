@@ -170,6 +170,13 @@ class BrokerPool {
   BrokerPool(DealEnv* env, const BrokerOptions& options,
              const std::vector<ChainId>& chains);
 
+  /// Attach-mode constructor, for a World restored from a checkpoint: binds
+  /// nothing and mutates nothing (parties and token contracts already exist
+  /// in the restored world). Restore() then fills the bindings and plans
+  /// from the pool's Checkpoint blob.
+  struct AttachTag {};
+  BrokerPool(DealEnv* env, const BrokerOptions& options, AttachTag);
+
   /// False when num_brokers == 0: every other method is then inert.
   bool enabled() const { return options_.num_brokers > 0; }
   const BrokerOptions& options() const { return options_; }
@@ -246,6 +253,44 @@ class BrokerPool {
   XDEAL_DETERMINISTIC std::vector<BrokerRecord> BuildRecords(
       const std::vector<BrokerDealOutcome>& outcomes) const;
 
+  // --- crash/restart injection ---
+
+  /// Kills broker `broker`'s off-chain accounting process: her in-memory
+  /// reservation book is lost (free-capital signals then overstate what she
+  /// can safely commit — the over-commit risk a real crash creates). Her
+  /// on-chain balances and in-flight escrows are untouched.
+  void CrashBroker(size_t broker);
+
+  /// Restarts a crashed broker: rebuilds her reservation book from on-chain
+  /// evidence — the escrow views of every deployed-but-unsettled deal whose
+  /// deposit has not yet landed — exactly the entries a never-crashed book
+  /// would still hold.
+  void RecoverBroker(size_t broker);
+
+  /// True while broker `broker` is down (between Crash and Recover).
+  bool BrokerCrashed(size_t broker) const {
+    return broker < crashed_.size() && crashed_[broker] != 0;
+  }
+
+  // --- checkpoint/restore ---
+
+  /// Drops every reservation (and its recovery evidence) whose deposit has
+  /// landed or whose escrow settled. The epoch seal calls this before a
+  /// checkpoint; at a quiescent boundary of a compliant run every entry
+  /// prunes away.
+  void PruneAll();
+
+  /// Serializes the pool's bindings (broker parties, token refs), crash
+  /// flags, and deal plans into `w`. Requires a reservation-free pool
+  /// (PruneAll leaves it so at any compliant quiescent boundary) — live
+  /// reservations hold pointers into chain contracts that a restore
+  /// retires, so they cannot cross a snapshot.
+  Status Checkpoint(ByteWriter* w) const;
+
+  /// Fills an attach-mode pool from a Checkpoint blob. The restored World
+  /// must already hold the parties and token contracts the bindings name.
+  Status Restore(ByteReader& r);
+
  private:
   /// One broker's stake in a hop chain, planned at MakeDeal time.
   struct Hop {
@@ -300,6 +345,11 @@ class BrokerPool {
   std::vector<PartyId> brokers_;
   std::map<size_t, Plan> plans_;
   std::vector<std::vector<Reservation>> reserved_;  // per broker
+  // Recovery evidence: the same entries as reserved_, but NOT cleared by a
+  // crash — this is the on-chain-derivable record (each entry is backed by a
+  // public escrow view) a restarted broker rebuilds her book from.
+  std::vector<std::vector<Reservation>> evidence_;
+  std::vector<uint8_t> crashed_;  // per broker; 1 = accounting process down
 };
 
 }  // namespace xdeal

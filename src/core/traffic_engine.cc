@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstring>
 #include <functional>
 #include <map>
 #include <memory>
@@ -9,15 +10,18 @@
 #include <tuple>
 
 #include "cbc/cbc_service.h"
+#include "contracts/fungible_token.h"
 #include "core/adversaries.h"
 #include "core/checker.h"
 #include "core/deal_gen.h"
 #include "core/env.h"
 #include "core/watchtower.h"
+#include "crypto/sha256.h"
 #include "sim/worker_pool.h"
 #include "util/fingerprint.h"
 #include "util/percentile.h"
 #include "util/rng.h"
+#include "util/serialize.h"
 
 namespace xdeal {
 namespace {
@@ -34,6 +38,16 @@ class TrafficPartyFactory : public PartyFactory {
   World* world = nullptr;
   PartyId tower_operator;
   std::vector<std::unique_ptr<Watchtower>>* towers = nullptr;
+
+  /// Tower crash injection (default off): every `tower_crash_every`-th
+  /// armed tower is killed `tower_crash_after` ticks after arming, and
+  /// restarts `tower_recover_after` ticks later (0 = never). The shared
+  /// counter spans the whole run so the k-th armed tower is the same tower
+  /// whether epochs or a batch armed it.
+  size_t tower_crash_every = 0;
+  Tick tower_crash_after = 0;
+  Tick tower_recover_after = 0;
+  uint64_t* towers_armed = nullptr;
 
   /// Set on broker deals: once contracts exist, the pool starts tracking
   /// the capital/inventory reservation this deal opened.
@@ -73,6 +87,17 @@ class TrafficPartyFactory : public PartyFactory {
         runtime.spec().parties, run->config().deal_tag);
     tower->Arm();
     towers->push_back(std::move(tower));
+    uint64_t seq = towers_armed != nullptr ? (*towers_armed)++ : 0;
+    if (tower_crash_every > 0 && tower_crash_after > 0 &&
+        seq % tower_crash_every == 0) {
+      Watchtower* t = towers->back().get();
+      world->scheduler().ScheduleAfter(tower_crash_after,
+                                       [t] { t->Crash(); });
+      if (tower_recover_after > 0) {
+        world->scheduler().ScheduleAfter(
+            tower_crash_after + tower_recover_after, [t] { t->Recover(); });
+      }
+    }
   }
 };
 
@@ -208,7 +233,8 @@ DealSpec BuildDoubleSpendSpec(DealEnv* env, const DealSlot& host,
 /// failed in one deal while the same token funded its escrow in another is
 /// a cross-deal double-spender. Evidence-based — independent of injection.
 std::vector<DoubleSpendIncident> DetectDoubleSpends(
-    const World& world, const std::vector<DealSlot>& slots) {
+    const World& world, const std::vector<DealSlot>& slots,
+    const std::vector<size_t>* receipt_start = nullptr) {
   // (chain, escrow contract) -> (deal, asset index).
   std::map<std::pair<uint32_t, uint32_t>, std::pair<size_t, uint32_t>>
       escrow_site;
@@ -231,7 +257,10 @@ std::vector<DoubleSpendIncident> DetectDoubleSpends(
   };
   std::map<std::tuple<uint32_t, uint32_t, uint32_t>, Evidence> by_token;
   for (uint32_t c = 0; c < world.num_chains(); ++c) {
-    for (const Receipt& r : world.chain(ChainId{c})->receipts()) {
+    const std::vector<Receipt>& all = world.chain(ChainId{c})->receipts();
+    size_t start = receipt_start != nullptr ? (*receipt_start)[c] : 0;
+    for (size_t ri = start; ri < all.size(); ++ri) {
+      const Receipt& r = all[ri];
       if (r.tag != "escrow") continue;
       auto site = escrow_site.find({r.chain.v, r.contract.v});
       if (site == escrow_site.end()) continue;
@@ -249,8 +278,10 @@ std::vector<DoubleSpendIncident> DetectDoubleSpends(
       for (size_t winner : ev.funded) {
         if (winner == loser || !seen.insert({loser, winner}).second) continue;
         DoubleSpendIncident incident;
-        incident.loser_deal = loser;
-        incident.winner_deal = winner;
+        // Report GLOBAL deal indices (== the local slot index in batch mode,
+        // where rec.index == d; the epoch offset in service mode).
+        incident.loser_deal = slots[loser].rec.index;
+        incident.winner_deal = slots[winner].rec.index;
         incident.party = std::get<2>(key);
         incident.seed = slots[loser].rec.seed;
         incidents.push_back(incident);
@@ -274,7 +305,9 @@ std::vector<DoubleSpendIncident> DetectDoubleSpends(
 /// the same seed taints the same deals.
 void TaintBouncedBrokerEscrows(const World& world,
                                std::vector<DealSlot>* slots,
-                               const BrokerPool& pool) {
+                               const BrokerPool& pool,
+                               const std::vector<size_t>* receipt_start =
+                                   nullptr) {
   // (chain, escrow contract) -> deal index, broker deals only.
   std::map<std::pair<uint32_t, uint32_t>, size_t> site;
   for (size_t d = 0; d < slots->size(); ++d) {
@@ -287,7 +320,10 @@ void TaintBouncedBrokerEscrows(const World& world,
     }
   }
   for (uint32_t c = 0; c < world.num_chains(); ++c) {
-    for (const Receipt& r : world.chain(ChainId{c})->receipts()) {
+    const std::vector<Receipt>& all = world.chain(ChainId{c})->receipts();
+    size_t start = receipt_start != nullptr ? (*receipt_start)[c] : 0;
+    for (size_t ri = start; ri < all.size(); ++ri) {
+      const Receipt& r = all[ri];
       if (r.tag != "escrow" || r.status.ok()) continue;
       auto it = site.find({r.chain.v, r.contract.v});
       if (it == site.end()) continue;
@@ -385,6 +421,7 @@ TrafficReport RunTraffic(const TrafficOptions& options) {
   // Watchtower infrastructure: one operator identity, one tower per guarded
   // deal (towers must outlive the scheduler drain).
   std::vector<std::unique_ptr<Watchtower>> towers;
+  uint64_t towers_armed = 0;
   PartyId tower_operator;
   if (options.watchtower_every > 0) {
     tower_operator = env.AddParty("watchtower");
@@ -589,6 +626,10 @@ TrafficReport RunTraffic(const TrafficOptions& options) {
       factory.world = &env.world();
       factory.tower_operator = tower_operator;
       factory.towers = &towers;
+      factory.tower_crash_every = options.tower_crash_every;
+      factory.tower_crash_after = options.tower_crash_after;
+      factory.tower_recover_after = options.tower_recover_after;
+      factory.towers_armed = &towers_armed;
     }
     if (rec.broker != 0) {
       factory.broker_pool = &broker_pool;
@@ -689,6 +730,24 @@ TrafficReport RunTraffic(const TrafficOptions& options) {
           service->Reconfigure(s);
         }
       });
+    }
+  }
+
+  // --- crash injection: listed ticks kill a broker (round-robin over the
+  //     pool); a recovery delay, when set, brings it back after rebuilding
+  //     its reservations from on-chain escrow evidence. ---
+  if (broker_pool.enabled() && !options.broker_crash_times.empty()) {
+    const size_t num_brokers = broker_pool.num_brokers();
+    for (size_t i = 0; i < options.broker_crash_times.size(); ++i) {
+      const size_t b = i % num_brokers;
+      env.world().scheduler().ScheduleAt(
+          options.broker_crash_times[i],
+          [&broker_pool, b] { broker_pool.CrashBroker(b); });
+      if (options.broker_recover_after > 0) {
+        env.world().scheduler().ScheduleAt(
+            options.broker_crash_times[i] + options.broker_recover_after,
+            [&broker_pool, b] { broker_pool.RecoverBroker(b); });
+      }
     }
   }
 
@@ -1086,6 +1145,1086 @@ std::string TrafficReport::Summary() const {
                   static_cast<unsigned long long>(i.seed));
     s += line;
   }
+  return s;
+}
+
+// ===========================================================================
+// TrafficService: the engine as a long-lived process with epochs,
+// checkpoint/restore, and crash-recovery.
+// ===========================================================================
+
+namespace {
+
+/// The fold every fingerprint in the engine starts from (RunTraffic uses the
+/// same constant; service-mode fingerprints are a separate domain because
+/// the epoch header is folded before any deal).
+constexpr uint64_t kFpInit = 0x452821E638D01377ULL;
+
+/// Snapshot envelope framing.
+constexpr char kSnapshotMagic[8] = {'X', 'D', 'S', 'N', 'A', 'P', '0', '1'};
+constexpr uint32_t kSnapshotVersion = 1;
+
+Status ValidateServiceOptions(const TrafficOptions& options) {
+  if (options.deals_per_epoch == 0) {
+    return Status::InvalidArgument(
+        "service mode requires deals_per_epoch > 0");
+  }
+  if (!options.indexed_observation) {
+    return Status::InvalidArgument(
+        "service mode requires indexed_observation: broadcast delivery "
+        "draws sequential RNG for observers of settled deals that do not "
+        "exist after a restore, so broadcast runs cannot resume "
+        "bit-identically");
+  }
+  if (options.admission.enabled) {
+    return Status::InvalidArgument(
+        "service mode does not support the admission controller "
+        "(controller state is not checkpointable)");
+  }
+  return Status::OK();
+}
+
+/// Order-sensitive fold over every workload-defining option. Stamped into
+/// the snapshot envelope so a restore under different options is rejected
+/// instead of silently diverging. num_threads is deliberately excluded:
+/// validation threading must not affect results, and restoring under a
+/// different thread count is a supported (and tested) configuration.
+uint64_t OptionsFingerprint(const TrafficOptions& o) {
+  uint64_t fp = 0x9E3779B97F4A7C15ULL;
+  auto mix = [&fp](uint64_t v) { fp = MixFingerprint(fp, v); };
+  mix(o.base_seed);
+  mix(o.num_deals);
+  mix(o.num_chains);
+  mix(o.cbc_shards);
+  mix(o.cbc_xshard_every);
+  mix(o.cbc_reconfig_times.size());
+  for (Tick t : o.cbc_reconfig_times) mix(t);
+  mix(o.stale_proof_deals.size());
+  for (size_t d : o.stale_proof_deals) mix(d);
+  mix(o.block_capacity);
+  mix(o.block_interval);
+  mix(o.admission_gap);
+  mix(o.delta);
+  mix(static_cast<uint64_t>(o.arrival));
+  mix(static_cast<uint64_t>(o.mean_interarrival * 1024.0));
+  mix(o.admission.enabled ? 1 : 0);
+  mix(o.min_parties);
+  mix(o.max_parties);
+  mix(o.min_assets);
+  mix(o.max_assets);
+  mix(o.extra_transfers);
+  mix(o.nft_every);
+  mix(o.protocol_mix.size());
+  for (Protocol p : o.protocol_mix) mix(static_cast<uint64_t>(p));
+  mix(o.double_spend_deals.size());
+  for (size_t d : o.double_spend_deals) mix(d);
+  mix(o.offline_party_deals.size());
+  for (size_t d : o.offline_party_deals) mix(d);
+  mix(o.watchtower_every);
+  mix(o.brokers.num_brokers);
+  mix(o.brokers.broker_every);
+  mix(o.brokers.working_capital);
+  mix(o.brokers.inventory);
+  mix(o.brokers.min_units);
+  mix(o.brokers.max_units);
+  mix(o.brokers.unit_price);
+  mix(o.brokers.unit_margin);
+  mix(o.brokers.hop_depth);
+  mix(o.brokers.margin_slope);
+  mix(o.indexed_observation ? 1 : 0);
+  mix(o.fullscan_oracle ? 1 : 0);
+  mix(o.deals_per_epoch);
+  mix(o.tower_crash_every);
+  mix(o.tower_crash_after);
+  mix(o.tower_recover_after);
+  mix(o.broker_crash_times.size());
+  for (Tick t : o.broker_crash_times) mix(t);
+  mix(o.broker_recover_after);
+  return fp;
+}
+
+}  // namespace
+
+struct TrafficService::Impl {
+  TrafficOptions options;
+  size_t num_chains = 1;
+  std::vector<Protocol> mix;
+  bool any_cbc = false;
+  std::set<size_t> double_spend;
+  std::set<size_t> offline;
+  std::set<size_t> stale_proof;
+
+  std::unique_ptr<DealEnv> env;
+  std::vector<ChainId> pool;
+  std::unique_ptr<BrokerPool> broker_pool;
+  std::unique_ptr<CbcService> cbc_service;
+  TimelockDriver timelock_driver;
+  std::unique_ptr<CbcDriver> cbc_driver;
+  /// Towers armed this session; old towers stay subscribed but are inert
+  /// (their tags never recur under indexed delivery).
+  std::vector<std::unique_ptr<Watchtower>> towers;
+  PartyId tower_operator;
+
+  // --- cross-epoch state (everything here lands in the checkpoint) ---
+  size_t next_deal = 0;
+  size_t epochs_run = 0;
+  uint64_t towers_armed = 0;
+  uint64_t cbc_seen = 0;
+  uint64_t cumulative_fp = kFpInit;
+  size_t total_committed = 0;
+  size_t total_aborted = 0;
+  size_t total_timelock = 0;
+  size_t total_cbc = 0;
+  size_t total_broker_deals = 0;
+  size_t total_cross_shard = 0;
+  size_t total_stale = 0;
+  size_t total_double_spends = 0;
+  uint64_t total_gas = 0;
+  uint64_t total_untagged = 0;
+  uint64_t total_messages = 0;
+  Tick makespan = 0;
+  std::vector<EpochReport> reports;
+  std::vector<TrafficViolation> violations;
+  std::vector<BrokerDealOutcome> outcomes;
+
+  /// Per-chain scan-start index: the epoch seal scans only receipts this
+  /// epoch produced. NOT serialized — a restored chain starts with an empty
+  /// receipt vector, so both paths scan exactly the new epoch's receipts.
+  std::vector<size_t> receipt_cursor;
+
+  void RegisterHandlers() {
+    Scheduler& sched = env->world().scheduler();
+    Impl* self = this;
+    sched.RegisterDurableHandler("cbc-reconfig", [self](uint64_t shard) {
+      if (self->cbc_service != nullptr) {
+        self->cbc_service->Reconfigure(static_cast<size_t>(shard));
+      }
+    });
+    sched.RegisterDurableHandler("broker-crash", [self](uint64_t b) {
+      self->broker_pool->CrashBroker(static_cast<size_t>(b));
+    });
+    sched.RegisterDurableHandler("broker-recover", [self](uint64_t b) {
+      self->broker_pool->RecoverBroker(static_cast<size_t>(b));
+    });
+  }
+
+  /// Shared construction tail of Create and FromSnapshot: the pieces that
+  /// are pure functions of the options.
+  void InitDerived() {
+    num_chains = std::max<size_t>(1, options.num_chains);
+    mix = options.protocol_mix.empty()
+              ? std::vector<Protocol>{Protocol::kTimelock}
+              : options.protocol_mix;
+    for (Protocol p : mix) any_cbc = any_cbc || p == Protocol::kCbc;
+    double_spend = std::set<size_t>(options.double_spend_deals.begin(),
+                                    options.double_spend_deals.end());
+    offline = std::set<size_t>(options.offline_party_deals.begin(),
+                               options.offline_party_deals.end());
+    stale_proof = std::set<size_t>(options.stale_proof_deals.begin(),
+                                   options.stale_proof_deals.end());
+  }
+
+  CbcService::Options CbcOptions() const {
+    CbcService::Options service_options;
+    service_options.num_shards = std::max<size_t>(1, options.cbc_shards);
+    service_options.f = 1;
+    service_options.chain_name = "cbc";
+    service_options.validator_seed =
+        "traffic-" + std::to_string(options.base_seed);
+    service_options.block_interval = options.block_interval;
+    service_options.block_capacity = options.block_capacity;
+    return service_options;
+  }
+
+  void MakeCbcDriver() {
+    CbcDriver::Options cbc_options;
+    cbc_options.abort_patience =
+        std::max(cbc_options.abort_patience, options.delta);
+    cbc_driver = std::make_unique<CbcDriver>(cbc_service.get(), cbc_options);
+  }
+
+  EpochReport RunEpoch();
+  Result<Bytes> DoCheckpoint();
+  ServiceReport BuildFinal() const;
+};
+
+TrafficService::TrafficService() : impl_(new Impl) {}
+TrafficService::~TrafficService() = default;
+
+Result<std::unique_ptr<TrafficService>> TrafficService::Create(
+    const TrafficOptions& options) {
+  Status valid = ValidateServiceOptions(options);
+  if (!valid.ok()) return valid;
+
+  auto service = std::unique_ptr<TrafficService>(new TrafficService());
+  Impl& im = *service->impl_;
+  im.options = options;
+  im.InitDerived();
+
+  EnvConfig env_config;
+  env_config.seed = options.base_seed;
+  env_config.block_interval = options.block_interval;
+  im.env = std::make_unique<DealEnv>(std::move(env_config));
+  World& world = im.env->world();
+  world.set_observation_delivery(ObservationDelivery::kIndexed);
+
+  for (size_t c = 0; c < im.num_chains; ++c) {
+    ChainId id = im.env->AddChain("pool-" + std::to_string(c));
+    world.chain(id)->set_max_txs_per_block(options.block_capacity);
+    im.pool.push_back(id);
+  }
+  im.broker_pool =
+      std::make_unique<BrokerPool>(im.env.get(), options.brokers, im.pool);
+  if (im.any_cbc) {
+    im.cbc_service = std::make_unique<CbcService>(&world, im.CbcOptions());
+    im.MakeCbcDriver();
+  }
+  if (options.watchtower_every > 0) {
+    im.tower_operator = im.env->AddParty("watchtower");
+  }
+  im.receipt_cursor.assign(world.num_chains(), 0);
+  im.RegisterHandlers();
+
+  // Cross-epoch work is scheduled DURABLY so it survives a checkpoint: a
+  // validator rotation or broker kill three epochs out re-fires at the
+  // original (time, seq) position in a restored run.
+  Scheduler& sched = world.scheduler();
+  if (im.cbc_service != nullptr) {
+    for (Tick t : options.cbc_reconfig_times) {
+      for (size_t s = 0; s < im.cbc_service->num_shards(); ++s) {
+        sched.ScheduleDurableAt(t, EventLabel{}, "cbc-reconfig", s);
+      }
+    }
+  }
+  if (im.broker_pool->enabled() && !options.broker_crash_times.empty()) {
+    const size_t num_brokers = im.broker_pool->num_brokers();
+    for (size_t i = 0; i < options.broker_crash_times.size(); ++i) {
+      const uint64_t b = i % num_brokers;
+      sched.ScheduleDurableAt(options.broker_crash_times[i], EventLabel{},
+                              "broker-crash", b);
+      if (options.broker_recover_after > 0) {
+        sched.ScheduleDurableAt(
+            options.broker_crash_times[i] + options.broker_recover_after,
+            EventLabel{}, "broker-recover", b);
+      }
+    }
+  }
+  return service;
+}
+
+EpochReport TrafficService::Impl::RunEpoch() {
+  World& world = env->world();
+  Scheduler& sched = world.scheduler();
+  const size_t first = next_deal;
+  const size_t count = options.deals_per_epoch;
+  const Tick epoch_base = world.now();
+
+  // The global arrival schedule is a pure function of (process, base_seed)
+  // over the deal-index prefix; the epoch re-anchors its slice at the
+  // current clock. Offsets are identical whether the run was restored at
+  // this boundary or ran straight through.
+  std::vector<Tick> arrivals = BuildArrivalSchedule(
+      options.arrival, first + count, options.base_seed,
+      options.arrival == ArrivalProcess::kFixedStagger
+          ? static_cast<double>(options.admission_gap)
+          : options.mean_interarrival);
+
+  // Runtimes and checkers live exactly as long as the epoch: every deal in
+  // it settles before the seal, and the broker pool prunes every escrow-view
+  // pointer at the boundary, so nothing dangles into the next epoch.
+  Arena arena;
+  std::vector<DealSlot> slots(count);
+
+  auto deploy_deal = [this, &world, &slots, &arena, first](size_t i,
+                                                           Tick admit_time) {
+    DealSlot& slot = slots[i];
+    TrafficDealRecord& rec = slot.rec;
+    rec.admitted_at = admit_time;
+
+    DealTimings timings = DealTimings::DefaultsFor(rec.protocol);
+    timings.ShiftBy(admit_time);
+    timings.delta = options.delta;
+    // Deal tags are GLOBAL (index + 1) so gas attribution and indexed
+    // observation stay collision-free across the whole service lifetime.
+    timings.deal_tag = static_cast<uint64_t>(first + i) + 1;
+
+    ProtocolDriver& driver = rec.protocol == Protocol::kCbc
+                                 ? static_cast<ProtocolDriver&>(*cbc_driver)
+                                 : timelock_driver;
+    slot.runtime = driver.CreateDealIn(&arena, &world, slot.spec, timings,
+                                       &slot.factory);
+    Status started = slot.runtime->Deploy();
+    if (!started.ok()) {
+      rec.violation = "start-failed: " + started.ToString();
+      return;
+    }
+    slot.checker = arena.Create<DealChecker>(
+        &world, slot.spec, slot.runtime->escrow_contracts(),
+        timings.deal_tag);
+    if (rec.broker != 0) {
+      for (PartyId p : broker_pool->SharedPartiesOf(first + i)) {
+        slot.checker->MarkSharedParty(p);
+      }
+    }
+    slot.checker->CaptureInitial();
+    rec.started = true;
+  };
+
+  // --- generation: the same per-deal pipeline as RunTraffic, indexed
+  //     globally so derived seeds, protocol mix, injections, and broker
+  //     round-robin are continuations of the stream every prior epoch drew
+  //     from ---
+  for (size_t i = 0; i < count; ++i) {
+    const size_t d = first + i;
+    DealSlot& slot = slots[i];
+    TrafficDealRecord& rec = slot.rec;
+    rec.index = d;
+    rec.seed = TrafficDealSeed(options.base_seed, d);
+    rec.protocol = mix[d % mix.size()];
+    rec.arrival_at = epoch_base + (arrivals[d] - arrivals[first]);
+    rec.admitted_at = rec.arrival_at;
+    Rng rng(rec.seed);
+
+    // Double-spend hosts must live in the same epoch (the injected swap
+    // re-promises the host's tokens; the host's slot must still be open).
+    const bool inject = double_spend.count(d) > 0 && i > 0 &&
+                        double_spend.count(d - 1) == 0;
+    if (inject) {
+      slot.spec = BuildDoubleSpendSpec(env.get(), slots[i - 1], d, rec.seed,
+                                       num_chains, &rng);
+      PartyId adversary = slot.spec.parties[0];
+      slot.has_adversary = true;
+      slot.adversary = adversary;
+      rec.tainted = true;
+      slots[i - 1].has_adversary = true;
+      slots[i - 1].adversary = adversary;
+      slots[i - 1].rec.tainted = true;
+    } else if (broker_pool->IsBrokerDeal(d)) {
+      rec.broker = broker_pool->BrokerOf(d) + 1;
+      slot.spec = broker_pool->MakeDeal(d, rec.seed);
+      rec.broker_capital_need = broker_pool->CapitalNeed(d);
+      rec.broker_inventory_need = broker_pool->InventoryNeed(d);
+    } else {
+      GenParams gen;
+      gen.n_parties = options.min_parties +
+                      rng.Below(options.max_parties - options.min_parties + 1);
+      gen.m_assets = options.min_assets +
+                     rng.Below(options.max_assets - options.min_assets + 1);
+      gen.t_transfers = gen.n_parties + (gen.m_assets - 1) +
+                        rng.Below(options.extra_transfers + 1);
+      gen.nft_every = options.nft_every;
+      gen.seed = rec.seed;
+      gen.name_prefix = "d" + std::to_string(d) + "-";
+      const bool xshard = rec.protocol == Protocol::kCbc &&
+                          options.cbc_xshard_every > 0 &&
+                          cbc_service != nullptr &&
+                          cbc_seen % options.cbc_xshard_every == 0;
+      if (xshard) {
+        const size_t num_shards = cbc_service->num_shards();
+        size_t span = std::min(gen.m_assets, num_shards);
+        size_t start = rng.Below(num_shards);
+        for (size_t j = 0; j < span; ++j) {
+          gen.use_chains.push_back(
+              cbc_service->chain((start + j) % num_shards));
+        }
+        gen.num_chains = span;
+      } else {
+        size_t span = std::min(gen.m_assets, num_chains);
+        size_t start = rng.Below(num_chains);
+        for (size_t j = 0; j < span; ++j) {
+          gen.use_chains.push_back(pool[(start + j) % num_chains]);
+        }
+        gen.num_chains = span;
+      }
+      slot.spec = GenerateRandomDeal(env.get(), gen);
+    }
+    if (rec.protocol == Protocol::kCbc) ++cbc_seen;
+    if (rec.protocol == Protocol::kCbc && cbc_service != nullptr &&
+        !slot.spec.assets.empty()) {
+      std::vector<ChainId> asset_chains;
+      asset_chains.reserve(slot.spec.assets.size());
+      for (const AssetRef& a : slot.spec.assets) {
+        asset_chains.push_back(a.chain);
+      }
+      rec.cross_shard =
+          cbc_service->PlaceAssets(slot.spec.deal_id, asset_chains)
+              .cross_shard();
+    }
+    rec.parties = slot.spec.NumParties();
+    rec.assets = slot.spec.NumAssets();
+    rec.transfers = slot.spec.NumTransfers();
+
+    if (rec.protocol == Protocol::kHtlc) {
+      rec.violation = "start-failed: htlc has no traffic driver";
+      continue;
+    }
+
+    TrafficPartyFactory& factory = slot.factory;
+    if (offline.count(d) > 0 && !inject &&
+        rec.protocol == Protocol::kTimelock && !slot.spec.escrows.empty()) {
+      factory.offline = true;
+      factory.offline_party = slot.spec.escrows[0].party;
+      slot.has_adversary = true;
+      slot.adversary = factory.offline_party;
+      rec.tainted = true;
+    }
+    if (stale_proof.count(d) > 0 && !inject && rec.broker == 0 &&
+        rec.protocol == Protocol::kCbc && !slot.spec.escrows.empty()) {
+      factory.stale_proof = true;
+      factory.stale_party = slot.spec.escrows[0].party;
+      slot.has_adversary = true;
+      slot.adversary = factory.stale_party;
+      rec.tainted = true;
+    }
+    if (options.watchtower_every > 0 &&
+        d % options.watchtower_every == 0 &&
+        rec.protocol == Protocol::kTimelock) {
+      factory.arm_tower = true;
+      factory.world = &world;
+      factory.tower_operator = tower_operator;
+      factory.towers = &towers;
+      factory.tower_crash_every = options.tower_crash_every;
+      factory.tower_crash_after = options.tower_crash_after;
+      factory.tower_recover_after = options.tower_recover_after;
+      factory.towers_armed = &towers_armed;
+    }
+    if (rec.broker != 0) {
+      factory.broker_pool = broker_pool.get();
+      factory.deal_index = d;
+    }
+    deploy_deal(i, rec.admitted_at);
+  }
+
+  // --- drive to the quiescent boundary: every non-durable event fires
+  //     (tower refund watches and crash/recovery closures included); only
+  //     future durable events may remain pending. Durable events whose time
+  //     falls inside the epoch fire in time order like any other. ---
+  while (sched.pending() > sched.pending_durable()) sched.Step();
+  const Tick sealed_at = world.now();
+
+  // --- evidence scans, receipt-cursor-scoped to this epoch's window ---
+  if (broker_pool->enabled()) {
+    TaintBouncedBrokerEscrows(world, &slots, *broker_pool, &receipt_cursor);
+  }
+  size_t epoch_stale = 0;
+  if (cbc_service != nullptr) {
+    std::map<std::pair<uint32_t, uint32_t>, size_t> site;  // -> local slot
+    for (size_t i = 0; i < count; ++i) {
+      const DealSlot& slot = slots[i];
+      if (!slot.rec.started || slot.rec.protocol != Protocol::kCbc) continue;
+      const std::vector<ContractId>& escrows =
+          slot.runtime->escrow_contracts();
+      for (uint32_t a = 0; a < slot.spec.NumAssets(); ++a) {
+        site[{slot.spec.assets[a].chain.v, escrows[a].v}] = i;
+      }
+    }
+    for (uint32_t c = 0; c < world.num_chains(); ++c) {
+      const std::vector<Receipt>& all = world.chain(ChainId{c})->receipts();
+      for (size_t ri = receipt_cursor[c]; ri < all.size(); ++ri) {
+        const Receipt& r = all[ri];
+        if (r.tag != "decide" || r.status.ok()) continue;
+        if (r.status.ToString().find("shard mismatch") == std::string::npos) {
+          continue;
+        }
+        ++epoch_stale;
+        auto it = site.find({r.chain.v, r.contract.v});
+        if (it == site.end()) continue;
+        DealSlot& slot = slots[it->second];
+        slot.has_adversary = true;
+        slot.adversary = r.sender;
+        slot.rec.tainted = true;
+      }
+    }
+  }
+
+  // Gas/receipt attribution over this epoch's window. Tags outside the
+  // epoch's global range are leakage (a conformant engine keeps it zero:
+  // every old deal settled before its epoch sealed).
+  std::vector<uint64_t> gas_by(count, 0);
+  std::vector<uint64_t> messages_by(count, 0);
+  uint64_t epoch_untagged = 0;
+  for (uint32_t c = 0; c < world.num_chains(); ++c) {
+    const std::vector<Receipt>& all = world.chain(ChainId{c})->receipts();
+    for (size_t ri = receipt_cursor[c]; ri < all.size(); ++ri) {
+      const Receipt& r = all[ri];
+      if (r.deal_tag <= first || r.deal_tag > first + count) {
+        epoch_untagged += r.gas_used;
+        continue;
+      }
+      gas_by[r.deal_tag - first - 1] += r.gas_used;
+      ++messages_by[r.deal_tag - first - 1];
+    }
+  }
+  for (size_t i = 0; i < count; ++i) {
+    slots[i].rec.gas = gas_by[i];
+    slots[i].rec.messages = messages_by[i];
+  }
+
+  // --- validate: parallel, read-only, per-slot; identical across any
+  //     thread count ---
+  WorkerPool workers(options.num_threads);
+  workers.ParallelFor(count, [&slots](size_t i) { ValidateDeal(&slots[i]); });
+
+  std::vector<DoubleSpendIncident> incidents =
+      DetectDoubleSpends(world, slots, &receipt_cursor);
+
+  // --- seal: fold the epoch fingerprint (same per-deal shape as RunTraffic,
+  //     with the open-loop fields always folded and an epoch header in
+  //     front), chain it into the cumulative fold, accumulate totals ---
+  const bool broker_fp = broker_pool->enabled();
+  const bool hopchain_fp =
+      broker_pool->enabled() &&
+      (broker_pool->ChainDepth() > 1 || broker_pool->DynamicPricing());
+  const bool xshard_fp = options.cbc_xshard_every > 0;
+
+  EpochReport epoch;
+  epoch.index = epochs_run;
+  epoch.first_deal = first;
+  epoch.num_deals = count;
+  const size_t violations_before = violations.size();
+
+  std::vector<Tick> latencies;
+  uint64_t fp = kFpInit;
+  fp = MixFingerprint(fp, epochs_run);
+  fp = MixFingerprint(fp, first);
+  fp = MixFingerprint(fp, count);
+  fp = MixFingerprint(fp, epoch_base);
+  for (size_t i = 0; i < count; ++i) {
+    TrafficDealRecord& rec = slots[i].rec;
+    if (rec.protocol == Protocol::kTimelock) {
+      ++total_timelock;
+    } else {
+      ++total_cbc;
+    }
+    if (rec.committed) {
+      ++epoch.committed;
+      ++total_committed;
+    }
+    if (rec.aborted) {
+      ++epoch.aborted;
+      ++total_aborted;
+    }
+    epoch.gas += rec.gas;
+    total_gas += rec.gas;
+    total_messages += rec.messages;
+    makespan = std::max(makespan, rec.settle_time);
+    if (rec.all_settled && rec.settle_time > 0) {
+      latencies.push_back(rec.latency);
+    }
+    if (!rec.violation.empty()) {
+      violations.push_back(
+          TrafficViolation{rec.index, rec.seed, rec.protocol, rec.violation});
+    }
+
+    fp = MixFingerprint(fp, rec.index);
+    fp = MixFingerprint(fp, rec.seed);
+    fp = MixFingerprint(fp, static_cast<uint64_t>(rec.started) |
+                                static_cast<uint64_t>(rec.committed) << 1 |
+                                static_cast<uint64_t>(rec.aborted) << 2 |
+                                static_cast<uint64_t>(rec.mixed) << 3 |
+                                static_cast<uint64_t>(rec.all_settled) << 4 |
+                                static_cast<uint64_t>(rec.atomic) << 5 |
+                                static_cast<uint64_t>(rec.safety_ok) << 6 |
+                                static_cast<uint64_t>(rec.weak_liveness_ok)
+                                    << 7 |
+                                static_cast<uint64_t>(rec.strong_liveness_ok)
+                                    << 8 |
+                                static_cast<uint64_t>(rec.tainted) << 9);
+    fp = MixFingerprint(fp, rec.gas);
+    fp = MixFingerprint(fp, rec.messages);
+    fp = MixFingerprint(fp, rec.settle_time);
+    fp = MixFingerprint(fp, FingerprintString(rec.violation));
+    fp = MixFingerprint(fp, rec.arrival_at);
+    fp = MixFingerprint(fp, rec.admitted_at);
+    if (broker_fp) {
+      if (rec.broker != 0) ++total_broker_deals;
+      fp = MixFingerprint(fp, rec.broker);
+      fp = MixFingerprint(fp, rec.broker_capital_need);
+      fp = MixFingerprint(fp, rec.broker_inventory_need);
+    }
+    if (rec.broker != 0) {
+      rec.price_points = broker_pool->PricePointsOf(rec.index);
+    }
+    if (rec.cross_shard) ++total_cross_shard;
+    if (hopchain_fp) {
+      fp = MixFingerprint(fp, rec.price_points.size());
+      for (const BrokerPool::PricePoint& pt : rec.price_points) {
+        fp = MixFingerprint(fp, pt.occupancy);
+        fp = MixFingerprint(fp, pt.margin);
+      }
+    }
+    if (xshard_fp) {
+      fp = MixFingerprint(fp, rec.cross_shard ? 1 : 0);
+    }
+
+    if (rec.broker != 0) {
+      BrokerDealOutcome outcome;
+      outcome.deal_index = rec.index;
+      outcome.arrival_at = rec.arrival_at;
+      outcome.admitted_at = rec.admitted_at;
+      outcome.settle_time = rec.settle_time;
+      outcome.latency = rec.latency;
+      outcome.started = rec.started;
+      outcome.committed = rec.committed;
+      outcome.aborted = rec.aborted;
+      outcome.shed = rec.shed;
+      outcome.all_settled = rec.all_settled;
+      outcome.gas = rec.gas;
+      outcomes.push_back(outcome);
+    }
+  }
+  fp = MixFingerprint(fp, epoch_stale);
+  fp = MixFingerprint(fp, epoch_untagged);
+  for (const DoubleSpendIncident& incident : incidents) {
+    fp = MixFingerprint(fp, incident.loser_deal);
+    fp = MixFingerprint(fp, incident.winner_deal);
+    fp = MixFingerprint(fp, incident.party);
+  }
+  fp = MixFingerprint(fp, sealed_at);
+
+  epoch.violations = violations.size() - violations_before;
+  epoch.double_spends = incidents.size();
+  epoch.stale_decide_rejections = epoch_stale;
+  epoch.untagged_gas = epoch_untagged;
+  epoch.latency_p50 = Percentile(latencies, 50);
+  epoch.latency_p99 = Percentile(latencies, 99);
+  epoch.sealed_at = sealed_at;
+  epoch.events_executed = sched.stats().executed;
+  epoch.epoch_fingerprint = fp;
+  total_stale += epoch_stale;
+  total_untagged += epoch_untagged;
+  total_double_spends += incidents.size();
+  cumulative_fp = MixFingerprint(cumulative_fp, fp);
+  epoch.cumulative_fingerprint = cumulative_fp;
+
+  // --- boundary hygiene: every reservation's deposit has landed or settled
+  //     by quiescence, so the pool drops its runtime pointers before the
+  //     arena (and the epoch's runtimes) die; cursors advance so the next
+  //     seal scans only its own window. ---
+  broker_pool->PruneAll();
+  receipt_cursor.resize(world.num_chains(), 0);
+  for (uint32_t c = 0; c < world.num_chains(); ++c) {
+    receipt_cursor[c] = world.chain(ChainId{c})->receipts().size();
+  }
+
+  ++epochs_run;
+  next_deal = first + count;
+  reports.push_back(epoch);
+  return epoch;
+}
+
+Result<Bytes> TrafficService::Impl::DoCheckpoint() {
+  World& world = env->world();
+  broker_pool->PruneAll();
+
+  ByteWriter body;
+  ByteWriter world_writer;
+  Status world_ok = world.Checkpoint(&world_writer);
+  if (!world_ok.ok()) return world_ok;
+  body.Blob(world_writer.Take());
+
+  body.U64(next_deal)
+      .U64(epochs_run)
+      .U64(towers_armed)
+      .U64(cbc_seen)
+      .U64(cumulative_fp)
+      .U64(total_committed)
+      .U64(total_aborted)
+      .U64(total_timelock)
+      .U64(total_cbc)
+      .U64(total_broker_deals)
+      .U64(total_cross_shard)
+      .U64(total_stale)
+      .U64(total_double_spends)
+      .U64(total_gas)
+      .U64(total_untagged)
+      .U64(total_messages)
+      .U64(makespan)
+      .U32(tower_operator.v);
+
+  body.U32(static_cast<uint32_t>(pool.size()));
+  for (ChainId id : pool) body.U32(id.v);
+
+  body.U32(static_cast<uint32_t>(reports.size()));
+  for (const EpochReport& e : reports) {
+    body.U64(e.index)
+        .U64(e.first_deal)
+        .U64(e.num_deals)
+        .U64(e.committed)
+        .U64(e.aborted)
+        .U64(e.violations)
+        .U64(e.double_spends)
+        .U64(e.stale_decide_rejections)
+        .U64(e.gas)
+        .U64(e.untagged_gas)
+        .U64(e.latency_p50)
+        .U64(e.latency_p99)
+        .U64(e.sealed_at)
+        .U64(e.events_executed)
+        .U64(e.epoch_fingerprint)
+        .U64(e.cumulative_fingerprint);
+  }
+
+  body.U32(static_cast<uint32_t>(violations.size()));
+  for (const TrafficViolation& v : violations) {
+    body.U64(v.deal_index)
+        .U64(v.seed)
+        .U8(static_cast<uint8_t>(v.protocol))
+        .Str(v.what);
+  }
+
+  body.U32(static_cast<uint32_t>(outcomes.size()));
+  for (const BrokerDealOutcome& o : outcomes) {
+    body.U64(o.deal_index)
+        .U64(o.arrival_at)
+        .U64(o.admitted_at)
+        .U64(o.settle_time)
+        .U64(o.latency)
+        .U64(o.gas)
+        .Bool(o.started)
+        .Bool(o.committed)
+        .Bool(o.aborted)
+        .Bool(o.shed)
+        .Bool(o.all_settled);
+  }
+
+  body.Bool(cbc_service != nullptr);
+  if (cbc_service != nullptr) {
+    std::vector<uint32_t> shard_epochs = cbc_service->ShardEpochs();
+    body.U32(static_cast<uint32_t>(shard_epochs.size()));
+    for (uint32_t e : shard_epochs) body.U32(e);
+  }
+
+  body.Bool(broker_pool->enabled());
+  if (broker_pool->enabled()) {
+    ByteWriter pool_writer;
+    Status pool_ok = broker_pool->Checkpoint(&pool_writer);
+    if (!pool_ok.ok()) return pool_ok;
+    body.Blob(pool_writer.Take());
+  }
+
+  Bytes payload = body.Take();
+  Hash256 digest = Sha256Digest(payload);
+  ByteWriter envelope;
+  envelope.Raw(reinterpret_cast<const uint8_t*>(kSnapshotMagic),
+               sizeof(kSnapshotMagic));
+  envelope.U32(kSnapshotVersion);
+  envelope.U64(OptionsFingerprint(options));
+  envelope.Blob(payload);
+  envelope.Raw(digest.bytes.data(), digest.bytes.size());
+  return envelope.Take();
+}
+
+Result<std::unique_ptr<TrafficService>> TrafficService::FromSnapshot(
+    const TrafficOptions& options, const Bytes& snapshot) {
+  Status valid = ValidateServiceOptions(options);
+  if (!valid.ok()) return valid;
+
+  // --- envelope: every rejection is a distinct, versioned error; a
+  //     corrupted snapshot must never restore into a silently diverging
+  //     run ---
+  ByteReader envelope(snapshot);
+  XDEAL_ASSIGN_OR_RETURN(Bytes magic, envelope.Raw(sizeof(kSnapshotMagic)));
+  if (std::memcmp(magic.data(), kSnapshotMagic, sizeof(kSnapshotMagic)) !=
+      0) {
+    return Status::InvalidArgument(
+        "snapshot rejected: bad magic (not an XDSNAP stream)");
+  }
+  XDEAL_ASSIGN_OR_RETURN(uint32_t version, envelope.U32());
+  if (version != kSnapshotVersion) {
+    return Status::InvalidArgument(
+        "snapshot rejected: unsupported snapshot version " +
+        std::to_string(version) + " (this build reads version " +
+        std::to_string(kSnapshotVersion) + ")");
+  }
+  XDEAL_ASSIGN_OR_RETURN(uint64_t options_fp, envelope.U64());
+  if (options_fp != OptionsFingerprint(options)) {
+    return Status::InvalidArgument(
+        "snapshot rejected: options fingerprint mismatch (the snapshot was "
+        "taken under different TrafficOptions)");
+  }
+  XDEAL_ASSIGN_OR_RETURN(Bytes payload, envelope.Blob());
+  XDEAL_ASSIGN_OR_RETURN(Bytes digest, envelope.Raw(32));
+  Hash256 expected = Sha256Digest(payload);
+  if (std::memcmp(digest.data(), expected.bytes.data(), 32) != 0) {
+    return Status::InvalidArgument(
+        "snapshot rejected: payload digest mismatch (corrupted snapshot)");
+  }
+
+  auto service = std::unique_ptr<TrafficService>(new TrafficService());
+  Impl& im = *service->impl_;
+  im.options = options;
+  im.InitDerived();
+
+  EnvConfig env_config;
+  env_config.seed = options.base_seed;
+  env_config.block_interval = options.block_interval;
+  im.env = std::make_unique<DealEnv>(std::move(env_config));
+  World& world = im.env->world();
+
+  ByteReader body(payload);
+  XDEAL_ASSIGN_OR_RETURN(Bytes world_blob, body.Blob());
+  ByteReader world_reader(world_blob);
+  // Layering: the chain library cannot name contract types, so the caller
+  // supplies the factory. Only token ledgers snapshot full state; every
+  // other contract belonged to a settled deal and restores as a retired
+  // placeholder (preserving ContractId numbering).
+  Status restored = world.Restore(
+      world_reader, [](const std::string& type) -> std::unique_ptr<Contract> {
+        if (type == "FungibleToken") {
+          return std::make_unique<FungibleToken>("", PartyId{});
+        }
+        return nullptr;
+      });
+  if (!restored.ok()) return restored;
+
+  XDEAL_ASSIGN_OR_RETURN(uint64_t next_deal, body.U64());
+  XDEAL_ASSIGN_OR_RETURN(uint64_t epochs_run, body.U64());
+  XDEAL_ASSIGN_OR_RETURN(im.towers_armed, body.U64());
+  XDEAL_ASSIGN_OR_RETURN(im.cbc_seen, body.U64());
+  XDEAL_ASSIGN_OR_RETURN(im.cumulative_fp, body.U64());
+  im.next_deal = static_cast<size_t>(next_deal);
+  im.epochs_run = static_cast<size_t>(epochs_run);
+  XDEAL_ASSIGN_OR_RETURN(uint64_t total_committed, body.U64());
+  XDEAL_ASSIGN_OR_RETURN(uint64_t total_aborted, body.U64());
+  XDEAL_ASSIGN_OR_RETURN(uint64_t total_timelock, body.U64());
+  XDEAL_ASSIGN_OR_RETURN(uint64_t total_cbc, body.U64());
+  XDEAL_ASSIGN_OR_RETURN(uint64_t total_broker_deals, body.U64());
+  XDEAL_ASSIGN_OR_RETURN(uint64_t total_cross_shard, body.U64());
+  XDEAL_ASSIGN_OR_RETURN(uint64_t total_stale, body.U64());
+  XDEAL_ASSIGN_OR_RETURN(uint64_t total_double_spends, body.U64());
+  im.total_committed = static_cast<size_t>(total_committed);
+  im.total_aborted = static_cast<size_t>(total_aborted);
+  im.total_timelock = static_cast<size_t>(total_timelock);
+  im.total_cbc = static_cast<size_t>(total_cbc);
+  im.total_broker_deals = static_cast<size_t>(total_broker_deals);
+  im.total_cross_shard = static_cast<size_t>(total_cross_shard);
+  im.total_stale = static_cast<size_t>(total_stale);
+  im.total_double_spends = static_cast<size_t>(total_double_spends);
+  XDEAL_ASSIGN_OR_RETURN(im.total_gas, body.U64());
+  XDEAL_ASSIGN_OR_RETURN(im.total_untagged, body.U64());
+  XDEAL_ASSIGN_OR_RETURN(im.total_messages, body.U64());
+  XDEAL_ASSIGN_OR_RETURN(im.makespan, body.U64());
+  XDEAL_ASSIGN_OR_RETURN(uint32_t tower_op, body.U32());
+  im.tower_operator = PartyId{tower_op};
+
+  XDEAL_ASSIGN_OR_RETURN(uint32_t pool_size, body.U32());
+  for (uint32_t c = 0; c < pool_size; ++c) {
+    XDEAL_ASSIGN_OR_RETURN(uint32_t id, body.U32());
+    if (id >= world.num_chains()) {
+      return Status::InvalidArgument(
+          "snapshot rejected: pool chain id out of range");
+    }
+    im.pool.push_back(ChainId{id});
+  }
+
+  XDEAL_ASSIGN_OR_RETURN(uint32_t num_reports, body.U32());
+  for (uint32_t i = 0; i < num_reports; ++i) {
+    EpochReport e;
+    XDEAL_ASSIGN_OR_RETURN(uint64_t index, body.U64());
+    XDEAL_ASSIGN_OR_RETURN(uint64_t first_deal, body.U64());
+    XDEAL_ASSIGN_OR_RETURN(uint64_t num_deals, body.U64());
+    XDEAL_ASSIGN_OR_RETURN(uint64_t committed, body.U64());
+    XDEAL_ASSIGN_OR_RETURN(uint64_t aborted, body.U64());
+    XDEAL_ASSIGN_OR_RETURN(uint64_t num_violations, body.U64());
+    XDEAL_ASSIGN_OR_RETURN(uint64_t num_double_spends, body.U64());
+    XDEAL_ASSIGN_OR_RETURN(uint64_t stale, body.U64());
+    e.index = static_cast<size_t>(index);
+    e.first_deal = static_cast<size_t>(first_deal);
+    e.num_deals = static_cast<size_t>(num_deals);
+    e.committed = static_cast<size_t>(committed);
+    e.aborted = static_cast<size_t>(aborted);
+    e.violations = static_cast<size_t>(num_violations);
+    e.double_spends = static_cast<size_t>(num_double_spends);
+    e.stale_decide_rejections = static_cast<size_t>(stale);
+    XDEAL_ASSIGN_OR_RETURN(e.gas, body.U64());
+    XDEAL_ASSIGN_OR_RETURN(e.untagged_gas, body.U64());
+    XDEAL_ASSIGN_OR_RETURN(e.latency_p50, body.U64());
+    XDEAL_ASSIGN_OR_RETURN(e.latency_p99, body.U64());
+    XDEAL_ASSIGN_OR_RETURN(e.sealed_at, body.U64());
+    XDEAL_ASSIGN_OR_RETURN(e.events_executed, body.U64());
+    XDEAL_ASSIGN_OR_RETURN(e.epoch_fingerprint, body.U64());
+    XDEAL_ASSIGN_OR_RETURN(e.cumulative_fingerprint, body.U64());
+    im.reports.push_back(std::move(e));
+  }
+
+  XDEAL_ASSIGN_OR_RETURN(uint32_t num_violations, body.U32());
+  for (uint32_t i = 0; i < num_violations; ++i) {
+    TrafficViolation v;
+    XDEAL_ASSIGN_OR_RETURN(uint64_t deal_index, body.U64());
+    v.deal_index = static_cast<size_t>(deal_index);
+    XDEAL_ASSIGN_OR_RETURN(v.seed, body.U64());
+    XDEAL_ASSIGN_OR_RETURN(uint8_t protocol, body.U8());
+    v.protocol = static_cast<Protocol>(protocol);
+    XDEAL_ASSIGN_OR_RETURN(v.what, body.Str());
+    im.violations.push_back(std::move(v));
+  }
+
+  XDEAL_ASSIGN_OR_RETURN(uint32_t num_outcomes, body.U32());
+  for (uint32_t i = 0; i < num_outcomes; ++i) {
+    BrokerDealOutcome o;
+    XDEAL_ASSIGN_OR_RETURN(uint64_t deal_index, body.U64());
+    o.deal_index = static_cast<size_t>(deal_index);
+    XDEAL_ASSIGN_OR_RETURN(o.arrival_at, body.U64());
+    XDEAL_ASSIGN_OR_RETURN(o.admitted_at, body.U64());
+    XDEAL_ASSIGN_OR_RETURN(o.settle_time, body.U64());
+    XDEAL_ASSIGN_OR_RETURN(o.latency, body.U64());
+    XDEAL_ASSIGN_OR_RETURN(o.gas, body.U64());
+    XDEAL_ASSIGN_OR_RETURN(o.started, body.Bool());
+    XDEAL_ASSIGN_OR_RETURN(o.committed, body.Bool());
+    XDEAL_ASSIGN_OR_RETURN(o.aborted, body.Bool());
+    XDEAL_ASSIGN_OR_RETURN(o.shed, body.Bool());
+    XDEAL_ASSIGN_OR_RETURN(o.all_settled, body.Bool());
+    im.outcomes.push_back(o);
+  }
+
+  XDEAL_ASSIGN_OR_RETURN(bool has_cbc, body.Bool());
+  if (has_cbc != im.any_cbc) {
+    return Status::InvalidArgument(
+        "snapshot rejected: CBC backend presence disagrees with options");
+  }
+  if (has_cbc) {
+    XDEAL_ASSIGN_OR_RETURN(uint32_t num_shards, body.U32());
+    std::vector<uint32_t> shard_epochs;
+    for (uint32_t s = 0; s < num_shards; ++s) {
+      XDEAL_ASSIGN_OR_RETURN(uint32_t epoch, body.U32());
+      shard_epochs.push_back(epoch);
+    }
+    // Validator keys and reconfiguration certificates are pure functions of
+    // (seed, epoch): Attach replays Reconfigure() per shard until the
+    // recorded epoch, rebuilding bit-identical sets and history.
+    im.cbc_service = CbcService::Attach(&world, im.CbcOptions(), shard_epochs);
+    if (im.cbc_service == nullptr) {
+      return Status::InvalidArgument(
+          "snapshot rejected: restored world is missing CBC shard chains");
+    }
+    im.MakeCbcDriver();
+  }
+
+  XDEAL_ASSIGN_OR_RETURN(bool has_brokers, body.Bool());
+  im.broker_pool = std::make_unique<BrokerPool>(
+      im.env.get(), options.brokers, BrokerPool::AttachTag{});
+  if (has_brokers != im.broker_pool->enabled()) {
+    return Status::InvalidArgument(
+        "snapshot rejected: broker pool presence disagrees with options");
+  }
+  if (has_brokers) {
+    XDEAL_ASSIGN_OR_RETURN(Bytes pool_blob, body.Blob());
+    ByteReader pool_reader(pool_blob);
+    Status pool_ok = im.broker_pool->Restore(pool_reader);
+    if (!pool_ok.ok()) return pool_ok;
+  }
+
+  // Cursors start at the restored chains' receipt counts (empty: restored
+  // chains carry no receipt history), so the next epoch seal scans exactly
+  // the receipts it produces — the same window the uninterrupted run scans.
+  im.receipt_cursor.assign(world.num_chains(), 0);
+  for (uint32_t c = 0; c < world.num_chains(); ++c) {
+    im.receipt_cursor[c] = world.chain(ChainId{c})->receipts().size();
+  }
+  // Durable events were re-imported by World::Restore at their original
+  // (time, seq) positions; only their handlers need re-binding.
+  im.RegisterHandlers();
+  return service;
+}
+
+ServiceReport TrafficService::Impl::BuildFinal() const {
+  ServiceReport report;
+  report.epochs = epochs_run;
+  report.deals = next_deal;
+  report.committed = total_committed;
+  report.aborted = total_aborted;
+  report.timelock_deals = total_timelock;
+  report.cbc_deals = total_cbc;
+  report.broker_deals = total_broker_deals;
+  report.cross_shard_deals = total_cross_shard;
+  report.stale_decide_rejections = total_stale;
+  report.double_spends = total_double_spends;
+  report.total_gas = total_gas;
+  report.untagged_gas = total_untagged;
+  report.total_messages = total_messages;
+  report.makespan = makespan;
+  report.epoch_reports = reports;
+  report.violations = violations;
+
+  uint64_t fp = cumulative_fp;
+  if (broker_pool->enabled()) {
+    report.brokers = broker_pool->BuildRecords(outcomes);
+    for (const BrokerRecord& broker : report.brokers) {
+      if (!broker.portfolio_ok) ++report.broker_portfolio_violations;
+      fp = MixFingerprint(fp, broker.index);
+      fp = MixFingerprint(fp, broker.party);
+      fp = MixFingerprint(fp, broker.deals);
+      fp = MixFingerprint(fp, broker.committed);
+      fp = MixFingerprint(fp, broker.aborted);
+      fp = MixFingerprint(fp, broker.shed);
+      fp = MixFingerprint(fp, broker.delayed);
+      fp = MixFingerprint(fp, broker.gas);
+      fp = MixFingerprint(fp, static_cast<uint64_t>(broker.coin_delta));
+      fp = MixFingerprint(fp, static_cast<uint64_t>(broker.inventory_delta));
+      fp = MixFingerprint(fp, broker.peak_capital_in_use);
+      fp = MixFingerprint(fp, broker.peak_inventory_in_use);
+      fp = MixFingerprint(fp, broker.portfolio_ok ? 1 : 0);
+    }
+  }
+  report.final_fingerprint = fp;
+  return report;
+}
+
+EpochReport TrafficService::RunEpoch() { return impl_->RunEpoch(); }
+Result<Bytes> TrafficService::Checkpoint() { return impl_->DoCheckpoint(); }
+ServiceReport TrafficService::Finish() const { return impl_->BuildFinal(); }
+size_t TrafficService::epochs_run() const { return impl_->epochs_run; }
+size_t TrafficService::deals_run() const { return impl_->next_deal; }
+uint64_t TrafficService::cumulative_fingerprint() const {
+  return impl_->cumulative_fp;
+}
+const std::vector<EpochReport>& TrafficService::epoch_reports() const {
+  return impl_->reports;
+}
+
+std::string ServiceReport::Summary() const {
+  std::string s;
+  char line[320];
+  std::snprintf(
+      line, sizeof(line),
+      "service: %zu epochs, %zu deals (timelock=%zu cbc=%zu broker=%zu "
+      "xshard=%zu) committed=%zu aborted=%zu\n",
+      epochs, deals, timelock_deals, cbc_deals, broker_deals,
+      cross_shard_deals, committed, aborted);
+  s += line;
+  std::snprintf(
+      line, sizeof(line),
+      "violations=%zu double_spends=%zu stale_decide_rejections=%zu "
+      "portfolio_violations=%zu untagged_gas=%llu\n",
+      violations.size(), double_spends, stale_decide_rejections,
+      broker_portfolio_violations,
+      static_cast<unsigned long long>(untagged_gas));
+  s += line;
+  for (const EpochReport& e : epoch_reports) {
+    std::snprintf(
+        line, sizeof(line),
+        "  epoch %zu: deals [%zu, %zu) committed=%zu aborted=%zu "
+        "violations=%zu lat p50/p99=%llu/%llu sealed_at=%llu "
+        "fp=%016llx cum=%016llx\n",
+        e.index, e.first_deal, e.first_deal + e.num_deals, e.committed,
+        e.aborted, e.violations,
+        static_cast<unsigned long long>(e.latency_p50),
+        static_cast<unsigned long long>(e.latency_p99),
+        static_cast<unsigned long long>(e.sealed_at),
+        static_cast<unsigned long long>(e.epoch_fingerprint),
+        static_cast<unsigned long long>(e.cumulative_fingerprint));
+    s += line;
+  }
+  std::snprintf(
+      line, sizeof(line),
+      "makespan=%llu ticks, gas=%llu, messages=%llu, "
+      "final_fingerprint=%016llx\n",
+      static_cast<unsigned long long>(makespan),
+      static_cast<unsigned long long>(total_gas),
+      static_cast<unsigned long long>(total_messages),
+      static_cast<unsigned long long>(final_fingerprint));
+  s += line;
   return s;
 }
 

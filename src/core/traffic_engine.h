@@ -49,6 +49,7 @@
 #define XDEAL_CORE_TRAFFIC_ENGINE_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -56,7 +57,9 @@
 #include "core/broker_pool.h"
 #include "core/protocol_driver.h"
 #include "sim/scheduler.h"
+#include "util/bytes.h"
 #include "util/det.h"
+#include "util/result.h"
 
 namespace xdeal {
 
@@ -178,6 +181,34 @@ struct TrafficOptions {
 
   /// Worker threads for post-run per-deal validation (0 = hardware).
   size_t num_threads = 1;
+
+  // --- long-lived service mode (TrafficService) + crash injection ---
+  /// Deals generated per epoch by TrafficService::RunEpoch. Must be > 0 for
+  /// service mode; ignored by batch RunTraffic.
+  size_t deals_per_epoch = 0;
+
+  /// Watchtower crash injection: every k-th armed tower (k > 0) is killed
+  /// `tower_crash_after` ticks after arming — it stops relaying/refunding
+  /// and loses its in-memory dedup state, exactly like a process kill.
+  /// 0 = no tower ever crashes (default; preserves legacy fingerprints).
+  size_t tower_crash_every = 0;
+  Tick tower_crash_after = 0;
+  /// Ticks after its crash at which a killed tower restarts and recovers
+  /// purely from on-chain evidence (Watchtower::Recover). 0 = the tower
+  /// never comes back — the negative control that re-exposes the §5.3
+  /// stranded-deposit attack its clients relied on it to neutralize.
+  Tick tower_recover_after = 0;
+
+  /// Broker crash schedule: entry i kills broker (i % num_brokers)'s
+  /// off-chain accounting process at the listed absolute tick
+  /// (BrokerPool::CrashBroker — her in-memory reservation book is lost; her
+  /// on-chain balances and escrows are untouched). Empty = no crashes
+  /// (default; preserves legacy fingerprints).
+  std::vector<Tick> broker_crash_times;
+  /// Ticks after each crash at which the broker restarts and rebuilds her
+  /// book from on-chain evidence (BrokerPool::RecoverBroker). 0 = she stays
+  /// down (her book stays empty; over-commitment risk persists).
+  Tick broker_recover_after = 0;
 };
 
 /// Per-deal outcome row (the unit the report fingerprint folds over).
@@ -345,6 +376,128 @@ uint64_t TrafficDealSeed(uint64_t base_seed, uint64_t deal_index);
 /// parallel), and fold the deterministic report.
 XDEAL_DETERMINISTIC
 TrafficReport RunTraffic(const TrafficOptions& options);
+
+/// What one epoch of the long-lived service produced: this epoch's slice of
+/// the per-deal outcome stream, folded into a per-epoch fingerprint and
+/// chained into the run's cumulative fingerprint. Two runs whose epoch
+/// streams carry equal cumulative fingerprints executed bit-identically —
+/// the restore-parity gate compares exactly this.
+struct EpochReport {
+  size_t index = 0;       // epoch number, 0-based
+  size_t first_deal = 0;  // global index of the epoch's first deal
+  size_t num_deals = 0;
+  size_t committed = 0;
+  size_t aborted = 0;
+  size_t violations = 0;
+  size_t double_spends = 0;
+  size_t stale_decide_rejections = 0;
+  uint64_t gas = 0;
+  uint64_t untagged_gas = 0;
+  Tick latency_p50 = 0;
+  Tick latency_p99 = 0;
+  /// Scheduler time when the epoch reached its quiescent boundary.
+  Tick sealed_at = 0;
+  /// Cumulative scheduler events executed as of the seal.
+  uint64_t events_executed = 0;
+  /// Fold over this epoch's deal records only.
+  uint64_t epoch_fingerprint = 0;
+  /// Chained fold over every epoch fingerprint so far.
+  uint64_t cumulative_fingerprint = 0;
+};
+
+/// The whole service run, sealed by TrafficService::Finish: cross-epoch
+/// totals, the per-epoch report stream, every violation with its reproducer
+/// seed, per-broker portfolio records, and the final fingerprint (the
+/// cumulative epoch fold plus the broker-record fold).
+struct ServiceReport {
+  size_t epochs = 0;
+  size_t deals = 0;
+  size_t committed = 0;
+  size_t aborted = 0;
+  size_t timelock_deals = 0;
+  size_t cbc_deals = 0;
+  size_t broker_deals = 0;
+  size_t cross_shard_deals = 0;
+  size_t stale_decide_rejections = 0;
+  size_t double_spends = 0;
+  size_t broker_portfolio_violations = 0;
+  uint64_t total_gas = 0;
+  uint64_t untagged_gas = 0;
+  uint64_t total_messages = 0;
+  Tick makespan = 0;
+  std::vector<EpochReport> epoch_reports;
+  std::vector<TrafficViolation> violations;
+  std::vector<BrokerRecord> brokers;
+  uint64_t final_fingerprint = 0;
+
+  /// Human-readable epoch/conformance table.
+  std::string Summary() const;
+};
+
+/// TrafficService: the TrafficEngine run as a long-lived service instead of
+/// a batch. An unbounded open-loop arrival stream is partitioned into
+/// fixed-length epochs of `deals_per_epoch` deals; each RunEpoch generates
+/// the next slice on the SAME World (chains, brokers, validator sets, and
+/// the scheduler clock persist across epochs), drives it to a quiescent
+/// boundary, and emits a streaming EpochReport.
+///
+/// At any epoch boundary the whole run can be serialized by Checkpoint()
+/// into a versioned snapshot — chains (token ledgers in full, settled deals'
+/// contracts retired in place so ContractId numbering survives), the
+/// scheduler clock and its pending durable events (cross-epoch validator
+/// reconfigurations and broker crash/recovery schedules), CbcService shard
+/// epochs (validator keys and reconfig certificates replay from seeds),
+/// broker capital/inventory bindings and plans, and the service's own
+/// counters. FromSnapshot resumes a run killed at that boundary and
+/// continues BIT-IDENTICALLY: every subsequent EpochReport, fingerprint,
+/// and final ServiceReport equals the uninterrupted run's (the differential
+/// checkpoint tests prove it across thread counts, shard counts, brokers,
+/// and reconfigurations straddling the snapshot).
+///
+/// Requirements: deals_per_epoch > 0, indexed_observation = true (broadcast
+/// delivery draws sequential RNG for observers of long-settled deals that
+/// do not exist after a restore), and the admission controller off.
+class TrafficService {
+ public:
+  /// Builds a fresh service world (chain pool, brokers, CBC shards) from
+  /// the options. Fails on options service mode cannot honor.
+  static Result<std::unique_ptr<TrafficService>> Create(
+      const TrafficOptions& options);
+
+  /// Restores a service from a Checkpoint snapshot taken under the SAME
+  /// options. Rejects — with a distinct versioned error, never silent
+  /// divergence — snapshots with a bad magic, an unsupported version, an
+  /// options fingerprint mismatch, or a corrupted payload digest.
+  static Result<std::unique_ptr<TrafficService>> FromSnapshot(
+      const TrafficOptions& options, const Bytes& snapshot);
+
+  ~TrafficService();
+
+  /// Generates, drives, validates, and seals the next epoch.
+  XDEAL_DETERMINISTIC EpochReport RunEpoch();
+
+  /// Serializes the run at the current epoch boundary (see class comment).
+  XDEAL_DETERMINISTIC Result<Bytes> Checkpoint();
+
+  /// Seals the run: builds per-broker records over every epoch's outcomes
+  /// and folds the final fingerprint. Callable repeatedly; RunEpoch may
+  /// continue afterwards (Finish is a read-only aggregation).
+  XDEAL_DETERMINISTIC ServiceReport Finish() const;
+
+  /// Number of epochs sealed so far (restored runs count restored epochs).
+  size_t epochs_run() const;
+  /// Cumulative deals generated across all epochs (the next global index).
+  size_t deals_run() const;
+  /// The running fingerprint every sealed epoch has folded into.
+  uint64_t cumulative_fingerprint() const;
+  /// Per-epoch reports in seal order, including epochs before a restore.
+  const std::vector<EpochReport>& epoch_reports() const;
+
+ private:
+  TrafficService();
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
 
 }  // namespace xdeal
 

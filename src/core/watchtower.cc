@@ -32,7 +32,30 @@ void Watchtower::Arm() {
       deployment_.info.RefundTime() + 1, [this] { OnRefundWatch(); });
 }
 
+void Watchtower::Crash() {
+  crashed_ = true;
+  // A killed process loses its in-memory dedup state; everything else the
+  // tower knows is re-derivable from public contract state.
+  relayed_votes_.clear();
+}
+
+void Watchtower::Recover() {
+  if (!crashed_) return;
+  crashed_ = false;
+  // Catch up from on-chain evidence: every accepted vote is public contract
+  // state, so scan each escrow and relay whatever the tower missed while
+  // down. Votes already accepted on the target are skipped (HasVoted), so
+  // recovery costs gas only for genuinely missing relays.
+  for (uint32_t a = 0; a < spec_.NumAssets(); ++a) {
+    RelayMissingVotes(a);
+  }
+  // If the refund deadline passed while the tower was down, run the watch
+  // now; claimRefund is callable by anyone and idempotent per contract.
+  if (world_->now() > deployment_.info.RefundTime()) OnRefundWatch();
+}
+
 void Watchtower::OnObservedReceipt(const Receipt& receipt) {
+  if (crashed_) return;
   if (receipt.function != "commit" || !receipt.status.ok()) return;
   // Find the asset this receipt's contract backs.
   uint32_t observed = kInvalidId;
@@ -44,6 +67,10 @@ void Watchtower::OnObservedReceipt(const Receipt& receipt) {
     }
   }
   if (observed == kInvalidId) return;
+  RelayMissingVotes(observed);
+}
+
+void Watchtower::RelayMissingVotes(uint32_t observed) {
   const TimelockEscrowContract* source = EscrowOfAsset(observed);
   if (source == nullptr) return;
 
@@ -69,6 +96,7 @@ void Watchtower::OnObservedReceipt(const Receipt& receipt) {
 }
 
 void Watchtower::OnRefundWatch() {
+  if (crashed_) return;
   for (uint32_t a = 0; a < spec_.NumAssets(); ++a) {
     const TimelockEscrowContract* esc = EscrowOfAsset(a);
     if (esc == nullptr || esc->settled()) continue;

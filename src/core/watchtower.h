@@ -42,9 +42,24 @@ class Watchtower {
   /// Number of votes this watchtower has relayed (for tests/metrics).
   size_t relayed() const { return relayed_; }
 
+  /// Crash injection: the tower stops reacting to observations and refund
+  /// watches, and loses its in-memory relay dedup state — exactly what a
+  /// process kill would destroy. Subscriptions stay registered (they gate on
+  /// crashed_), so Recover needs no re-subscription.
+  void Crash();
+
+  /// Restart: resumes reacting and rebuilds what the crash lost purely from
+  /// on-chain evidence — every escrow's public accepted_votes() — then
+  /// relays any vote the tower missed while down and, if past the refund
+  /// deadline, re-runs the refund watch (claimRefund is idempotent).
+  void Recover();
+
+  bool crashed() const { return crashed_; }
+
  private:
   void OnObservedReceipt(const Receipt& receipt);
   void OnRefundWatch();
+  void RelayMissingVotes(uint32_t source_asset);
   TimelockEscrowContract* EscrowOfAsset(uint32_t asset) const;
 
   World* world_;
@@ -53,6 +68,7 @@ class Watchtower {
   PartyId operator_id_;
   std::vector<PartyId> clients_;
   uint64_t deal_tag_;
+  bool crashed_ = false;
   std::set<std::pair<uint32_t, uint32_t>> relayed_votes_;  // (asset, voter)
   size_t relayed_ = 0;
 };

@@ -39,6 +39,57 @@ void Scheduler::ScheduleAfter(Tick delay, EventLabel label, Callback fn) {
   Push(Event{t, next_seq_++, label, std::move(fn)});
 }
 
+void Scheduler::RegisterDurableHandler(std::string name,
+                                       DurableHandler handler) {
+  durable_handlers_[std::move(name)] = std::move(handler);
+}
+
+void Scheduler::ScheduleDurableAt(Tick t, EventLabel label,
+                                  std::string handler, uint64_t payload) {
+  if (t < now_) t = now_;
+  uint64_t seq = next_seq_++;
+  durable_[seq] = DurableEvent{seq, t, label, std::move(handler), payload};
+  // The queued wrapper resolves the handler by name at fire time, so an
+  // imported event works even if its handler was registered afterwards.
+  Push(Event{t, seq, label, [this, seq]() {
+         auto it = durable_.find(seq);
+         if (it == durable_.end()) return;
+         DurableEvent rec = std::move(it->second);
+         durable_.erase(it);
+         auto h = durable_handlers_.find(rec.handler);
+         if (h != durable_handlers_.end()) h->second(rec.payload);
+       }});
+}
+
+std::vector<DurableEvent> Scheduler::PendingDurable() const {
+  std::vector<DurableEvent> out;
+  out.reserve(durable_.size());
+  for (const auto& [seq, rec] : durable_) out.push_back(rec);
+  return out;  // map iteration order == seq ascending
+}
+
+void Scheduler::ImportDurable(const std::vector<DurableEvent>& events) {
+  for (const DurableEvent& rec : events) {
+    uint64_t seq = rec.seq;
+    durable_[seq] = rec;
+    Push(Event{rec.time, seq, rec.label, [this, seq]() {
+           auto it = durable_.find(seq);
+           if (it == durable_.end()) return;
+           DurableEvent r = std::move(it->second);
+           durable_.erase(it);
+           auto h = durable_handlers_.find(r.handler);
+           if (h != durable_handlers_.end()) h->second(r.payload);
+         }});
+  }
+}
+
+void Scheduler::RestoreClock(Tick now, uint64_t next_seq,
+                             const SchedulerStats& stats) {
+  now_ = now;
+  next_seq_ = next_seq;
+  stats_ = stats;
+}
+
 // With a policy installed: gather every event tied at the earliest pending
 // time, collapse same-(kind, chain, actor) ties into FIFO channels (only the
 // lowest-seq member of a channel is enabled — see the header), let the policy

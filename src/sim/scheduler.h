@@ -35,7 +35,9 @@
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <queue>
+#include <string>
 #include <vector>
 
 #include "util/det.h"
@@ -150,10 +152,25 @@ struct SchedulerStats {
   Tick max_pending_at = 0;  // sim time when the high-water mark was set
 };
 
+/// A scheduled event that survives serialization: instead of an opaque
+/// closure it names a registered handler and carries a 64-bit payload. This
+/// is the checkpointable subset of the event queue — cross-epoch work
+/// (validator reconfiguration, broker crash/recovery) is scheduled durably
+/// so a restored run re-fires it at the original (time, seq) position.
+struct DurableEvent {
+  uint64_t seq = 0;  // original sequence number; preserved across restore
+  Tick time = 0;
+  EventLabel label;
+  std::string handler;  // name registered via RegisterDurableHandler
+  uint64_t payload = 0;
+};
+
 /// Deterministic event loop.
 class Scheduler {
  public:
   using Callback = std::function<void()>;
+  /// Callback type for named durable-event handlers (payload-carrying).
+  using DurableHandler = std::function<void(uint64_t)>;
   /// Observation hook invoked after every executed event with the current
   /// time and the number of still-pending events. Must not schedule or run
   /// events itself — it is a passive fairness/backlog probe.
@@ -183,6 +200,33 @@ class Scheduler {
   }
   /// Schedules `fn` `delay` ticks from now with a dependence label.
   void ScheduleAfter(Tick delay, EventLabel label, Callback fn);
+
+  /// Registers (or replaces) the handler a durable event of this name
+  /// invokes at fire time. Lookup happens when the event fires, so durable
+  /// events may be imported before their handlers are registered.
+  void RegisterDurableHandler(std::string name, DurableHandler handler);
+
+  /// Schedules a durable (serializable) event at absolute time `t`. The
+  /// named handler receives `payload` when the event fires.
+  void ScheduleDurableAt(Tick t, EventLabel label, std::string handler,
+                         uint64_t payload);
+
+  /// Number of still-pending durable events (subset of pending()). A
+  /// checkpoint-safe drain runs while pending() > pending_durable().
+  size_t pending_durable() const { return durable_.size(); }
+
+  /// Snapshot of the pending durable events, sorted by seq ascending.
+  std::vector<DurableEvent> PendingDurable() const;
+
+  /// Re-inserts previously exported durable events with their ORIGINAL
+  /// sequence numbers (so same-tick tie-breaks replay bit-identically).
+  /// Callers must RestoreClock first so next_seq_ is already past every
+  /// imported seq.
+  void ImportDurable(const std::vector<DurableEvent>& events);
+
+  /// Restores the clock, sequence counter, and load stats from a
+  /// checkpoint. Only valid on a scheduler with an empty queue.
+  void RestoreClock(Tick now, uint64_t next_seq, const SchedulerStats& stats);
 
   /// Runs a single event; returns false if the queue is empty.
   XDEAL_DETERMINISTIC bool Step();
@@ -214,6 +258,10 @@ class Scheduler {
   StepObserver step_observer_;
   ChoicePolicy* policy_ = nullptr;
   std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  // Durable-event bookkeeping: pending durable records keyed by seq (erased
+  // when the queued wrapper fires) and the name -> handler registry.
+  std::map<uint64_t, DurableEvent> durable_;
+  std::map<std::string, DurableHandler> durable_handlers_;
 };
 
 }  // namespace xdeal

@@ -53,6 +53,16 @@ class Rng {
   /// Derives an independent child generator (for per-actor streams).
   Rng Fork();
 
+  /// Copies the 256-bit generator state out (for checkpointing).
+  void GetState(uint64_t out[4]) const {
+    for (int i = 0; i < 4; ++i) out[i] = state_[i];
+  }
+
+  /// Overwrites the generator state (for restore from a checkpoint).
+  void SetState(const uint64_t in[4]) {
+    for (int i = 0; i < 4; ++i) state_[i] = in[i];
+  }
+
  private:
   static uint64_t Rotl(uint64_t x, int k) {
     return (x << k) | (x >> (64 - k));

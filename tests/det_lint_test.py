@@ -192,6 +192,42 @@ class SourceClassTests(unittest.TestCase):
             }
             """, "endian-memcpy", "host-endian")
 
+    def test_endian_memcpy_snapshot_writer(self):
+        # The serialization direction: a checkpoint writer that memcpy's a
+        # scalar's bytes straight into the snapshot buffer bakes host
+        # endianness into the artifact — restore on the other endianness
+        # silently diverges. This is exactly the bug class the snapshot
+        # envelope (TrafficService::Checkpoint) must avoid.
+        self.assert_single_violation("""
+            #include <cstdint>
+            #include <cstring>
+            #include <vector>
+            XDEAL_DETERMINISTIC void
+            Snapshot(std::vector<unsigned char>& out, std::uint64_t epoch) {
+              unsigned char raw[8];
+              std::memcpy(raw, &epoch, sizeof(epoch));
+              out.insert(out.end(), raw, raw + 8);
+            }
+            """, "endian-memcpy", "host-endian")
+
+    def test_shift_based_writer_is_clean(self):
+        # The approved serialization idiom (util/serialize.h ByteWriter):
+        # explicit little-endian byte shifts are endianness-independent —
+        # zero findings.
+        code, report, out = run_lint({"fixture.cc": """
+            #include <cstdint>
+            #include <vector>
+            XDEAL_DETERMINISTIC void
+            AppendLe(std::vector<unsigned char>& out, std::uint64_t v) {
+              for (unsigned i = 0; i < 8; ++i) {
+                out.push_back(static_cast<unsigned char>(v >> (8 * i)));
+              }
+            }
+            """})
+        self.assertEqual(code, 0, out)
+        self.assertEqual(report["violations"], [])
+        self.assertEqual(report["unreachable_findings"], [])
+
 
 class SuppressionTests(unittest.TestCase):
     SNIPPET = """

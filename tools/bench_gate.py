@@ -72,6 +72,15 @@ def classify(name):
             "latency" not in name and "goodput" not in name and \
             "gas" not in name:
         return "exact"
+    # Epoch-service family (bench_traffic section 9 + --epoch_soak):
+    # restore-vs-straight-through parity bits, per-epoch conformance
+    # counters, restore counts, and snapshot sizes are all deterministic
+    # simulated quantities — exact. Latency/gas metrics fall through to the
+    # tolerance rules; wall-clock (checkpoint/restore cycle times) was
+    # already classified above.
+    if name.startswith("epoch_") and "latency" not in name and \
+            "goodput" not in name and "gas" not in name:
+        return "exact"
     if name == "conformance_ok" or name.endswith("committed") or \
             name.endswith("violations") or name.endswith("_shed") or \
             name.endswith("_delayed") or name.endswith("knee_rate") or \
